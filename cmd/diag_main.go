@@ -1,0 +1,29 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/vcity"
+)
+
+func main() {
+	for _, seed := range []uint64{9, 42, 77, 123, 500} {
+		city, _ := vcity.Generate(vcity.Hyperparams{Scale: 1, Width: 480, Height: 270, Duration: 4, FPS: 15, Seed: seed})
+		tile := city.Tiles[0]
+		count := 0
+		vehSeen := map[int]bool{}
+		for _, cam := range city.TrafficCameras() {
+			for f := 0; f < 60; f++ {
+				t := float64(f) / 15
+				for _, v := range tile.Vehicles {
+					obs := tile.PlateAt(cam, t, v, 480, 270)
+					if obs.Identifiable {
+						count++
+						vehSeen[v.ID] = true
+					}
+				}
+			}
+		}
+		fmt.Printf("seed %d: %d identifiable plate-frames, %d distinct vehicles\n", seed, count, len(vehSeen))
+	}
+}

@@ -1,0 +1,271 @@
+// Command vcd is the Visual City Driver: it runs the Visual Road
+// benchmark against a VDBMS over a generated dataset, measures each
+// query batch, validates results, and prints the report.
+//
+// Usage:
+//
+//	vcd -data DIR [-system scannerlike|lightdblike|noscopelike]
+//	    [-queries Q1,Q2a,...] [-mode write|streaming] [-out DIR]
+//	    [-seed S] [-validate] [-instances N]
+//
+// Example:
+//
+//	vcd -data /tmp/vr -system lightdblike -mode streaming -validate
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/detect"
+	"repro/internal/queries"
+	"repro/internal/vcd"
+	"repro/internal/vdbms"
+	"repro/internal/vdbms/lightdblike"
+	"repro/internal/vdbms/noscopelike"
+	"repro/internal/vdbms/scannerlike"
+	"repro/internal/vfs"
+)
+
+func main() {
+	data := flag.String("data", "", "dataset directory written by vcg (required)")
+	system := flag.String("system", "lightdblike", "system under test: scannerlike, lightdblike, noscopelike")
+	queryList := flag.String("queries", "", "comma-separated query list (e.g. Q1,Q2a,Q7); default all")
+	mode := flag.String("mode", "streaming", "result mode: write or streaming")
+	out := flag.String("out", "", "result directory (write mode)")
+	seed := flag.Uint64("seed", 1, "parameter sampling seed")
+	validate := flag.Bool("validate", false, "validate results against the reference implementation / scene geometry")
+	instances := flag.Int("instances", 4, "query instances per unit of scale (the paper uses 4)")
+	online := flag.Bool("online", false, "online mode: deliver inputs as live-paced streams (Q1/Q2a/Q2c/Q5)")
+	transport := flag.String("transport", "pipe", "online transport: pipe or rtp")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON (for downstream tooling)")
+	flag.Parse()
+
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "vcd: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	store, err := vfs.NewLocal(*data)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := vcd.LoadDataset(store, detect.ProfileSynthetic)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := systemByName(*system)
+	if err != nil {
+		fatal(err)
+	}
+	qs, err := parseQueries(*queryList)
+	if err != nil {
+		fatal(err)
+	}
+	opt := vcd.Options{
+		Queries:           qs,
+		InstancesPerScale: *instances,
+		Seed:              *seed,
+		Validate:          *validate,
+		MaxUpsamplePixels: 1 << 24,
+	}
+	switch *mode {
+	case "write":
+		if *out == "" {
+			fatal(fmt.Errorf("vcd: write mode requires -out"))
+		}
+		rs, err := vfs.NewLocal(*out)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Mode = vcd.WriteMode
+		opt.ResultStore = rs
+	case "streaming":
+		opt.Mode = vcd.StreamingMode
+	default:
+		fatal(fmt.Errorf("vcd: unknown mode %q", *mode))
+	}
+
+	fmt.Printf("vcd: benchmarking %s on %s (L=%d, %dx%d, %.0fs)\n",
+		sys.Name(), *data, ds.Manifest.Scale, ds.Manifest.Width, ds.Manifest.Height, ds.Manifest.Duration)
+	if *online {
+		runOnline(ds, opt, *transport)
+		return
+	}
+	report, err := vcd.Run(ds, sys, opt)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summarizeReport(report)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printReport(report, *validate)
+}
+
+// reportJSON is the machine-readable benchmark report: the global
+// election (scale, resolution, mode) plus per-query runtime, throughput,
+// and validation descriptive statistics, as §3.2 requires evaluators to
+// report.
+type reportJSON struct {
+	System    string      `json:"system"`
+	Scale     int         `json:"scale"`
+	Mode      string      `json:"mode"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+	Queries   []queryJSON `json:"queries"`
+}
+
+type queryJSON struct {
+	Query          string  `json:"query"`
+	Unsupported    bool    `json:"unsupported,omitempty"`
+	BatchSize      int     `json:"batch_size"`
+	Completed      int     `json:"completed"`
+	ResourceErrors int     `json:"resource_errors,omitempty"`
+	BatchSplits    int     `json:"batch_splits,omitempty"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
+	Frames         int     `json:"frames"`
+	FPS            float64 `json:"fps"`
+	ValidatedPct   float64 `json:"validated_pct"`
+	PSNRMean       float64 `json:"psnr_mean_db"`
+	PSNRMin        float64 `json:"psnr_min_db"`
+	SemanticPct    float64 `json:"semantic_pct"`
+}
+
+func summarizeReport(r *vcd.RunReport) reportJSON {
+	mode := "streaming"
+	if r.Mode == vcd.WriteMode {
+		mode = "write"
+	}
+	out := reportJSON{
+		System: r.System, Scale: r.Scale, Mode: mode,
+		ElapsedMS: r.Elapsed.Seconds() * 1000,
+	}
+	for _, qr := range r.Queries {
+		out.Queries = append(out.Queries, queryJSON{
+			Query:          string(qr.Query),
+			Unsupported:    qr.Unsupported,
+			BatchSize:      qr.BatchSize,
+			Completed:      qr.Completed,
+			ResourceErrors: qr.ResourceErrors,
+			BatchSplits:    qr.BatchSplits,
+			ElapsedMS:      qr.Elapsed.Seconds() * 1000,
+			Frames:         qr.Frames,
+			FPS:            qr.FPS(),
+			ValidatedPct:   qr.Validation.PassRate() * 100,
+			PSNRMean:       qr.Validation.PSNR.Mean,
+			PSNRMin:        qr.Validation.PSNR.Min,
+			SemanticPct:    qr.Validation.SemanticPassRate() * 100,
+		})
+	}
+	return out
+}
+
+// runOnline executes the online-capable queries against live-paced
+// streams and reports achieved frames per second, as the paper requires
+// for online-mode results.
+func runOnline(ds *vcd.Dataset, opt vcd.Options, transportName string) {
+	var transport vcd.OnlineTransport
+	switch transportName {
+	case "pipe":
+		transport = vcd.TransportPipe
+	case "rtp":
+		transport = vcd.TransportRTP
+	default:
+		fatal(fmt.Errorf("vcd: unknown transport %q", transportName))
+	}
+	qs := opt.Queries
+	if len(qs) == 0 {
+		qs = []queries.QueryID{queries.Q1, queries.Q2a, queries.Q2c, queries.Q5}
+	}
+	fmt.Printf("\n%-7s %10s %10s %10s\n", "Query", "Frames", "Elapsed", "FPS")
+	for _, q := range qs {
+		insts, err := vcd.BuildBatch(ds, q, 1, opt)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := vcd.RunOnline(insts[0], transport, nil, nil)
+		if err != nil {
+			fmt.Printf("%-7s %10s\n", q, "unsupported")
+			continue
+		}
+		fmt.Printf("%-7s %10d %10s %10.1f\n", q, rep.Frames, rep.Elapsed.Round(1e6), rep.FPS)
+	}
+}
+
+func systemByName(name string) (vdbms.System, error) {
+	switch name {
+	case "scannerlike":
+		return scannerlike.New(scannerlike.Options{}), nil
+	case "lightdblike":
+		return lightdblike.New(lightdblike.Options{}), nil
+	case "noscopelike":
+		return noscopelike.NewDefault(), nil
+	}
+	return nil, fmt.Errorf("vcd: unknown system %q", name)
+}
+
+// parseQueries maps short names like "Q2a" to query IDs.
+func parseQueries(s string) ([]queries.QueryID, error) {
+	if s == "" {
+		return nil, nil
+	}
+	byShort := map[string]queries.QueryID{}
+	for _, q := range queries.AllQueries {
+		short := strings.NewReplacer("(", "", ")", "").Replace(string(q))
+		byShort[strings.ToLower(short)] = q
+		byShort[strings.ToLower(string(q))] = q
+	}
+	var out []queries.QueryID
+	for _, part := range strings.Split(s, ",") {
+		q, ok := byShort[strings.ToLower(strings.TrimSpace(part))]
+		if !ok {
+			return nil, fmt.Errorf("vcd: unknown query %q", part)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+func printReport(r *vcd.RunReport, validated bool) {
+	fmt.Printf("\n%-7s %10s %10s %8s %10s", "Query", "Batch", "Elapsed", "Frames", "FPS")
+	if validated {
+		fmt.Printf(" %8s %10s %10s", "Valid", "PSNR(avg)", "Semantic")
+	}
+	fmt.Println()
+	for _, qr := range r.Queries {
+		if qr.Unsupported {
+			fmt.Printf("%-7s %10s\n", qr.Query, "unsupported")
+			continue
+		}
+		fmt.Printf("%-7s %6d/%-3d %10s %8d %10.1f",
+			qr.Query, qr.Completed, qr.BatchSize, qr.Elapsed.Round(1e6), qr.Frames, qr.FPS())
+		if validated {
+			sem := "-"
+			if qr.Validation.SemanticChecked > 0 {
+				sem = fmt.Sprintf("%.0f%%", qr.Validation.SemanticPassRate()*100)
+			}
+			fmt.Printf(" %7.0f%% %10.1f %10s",
+				qr.Validation.PassRate()*100, qr.Validation.PSNR.Mean, sem)
+		}
+		if qr.ResourceErrors > 0 {
+			fmt.Printf("  [%d resource failure(s)]", qr.ResourceErrors)
+		}
+		if qr.BatchSplits > 0 {
+			fmt.Printf("  [split into %d sub-batches]", qr.BatchSplits+1)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\ntotal: %s\n", r.Elapsed.Round(1e6))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "vcd: %v\n", err)
+	os.Exit(1)
+}

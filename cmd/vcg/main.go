@@ -1,0 +1,124 @@
+// Command vcg is the Visual City Generator: it generates a Visual Road
+// dataset — encoded videos for every camera in a simulated city, plus a
+// manifest — from the benchmark hyperparameters.
+//
+// Usage:
+//
+//	vcg -out DIR [-scale L] [-res 1k|2k|4k|WxH] [-duration SECONDS]
+//	    [-fps N] [-seed S] [-codec h264|hevc] [-bitrate KBPS]
+//	    [-nodes N] [-profile synthetic|recorded]
+//
+// Example:
+//
+//	vcg -out /tmp/vr -scale 2 -res 1k -duration 10 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/codec"
+	"repro/internal/vcg"
+	"repro/internal/vcity"
+	"repro/internal/vfs"
+)
+
+func main() {
+	out := flag.String("out", "", "output directory (required)")
+	scale := flag.Int("scale", 1, "scale factor L (number of tiles)")
+	res := flag.String("res", "1k", "resolution: 1k, 2k, 4k, or WxH")
+	duration := flag.Float64("duration", 10, "per-camera duration in seconds")
+	fps := flag.Int("fps", 30, "frame rate (15-90)")
+	seed := flag.Uint64("seed", 0, "dataset seed")
+	codecName := flag.String("codec", "h264", "output codec: h264 or hevc")
+	bitrate := flag.Int("bitrate", 0, "target bitrate in kbps (0 = constant quality)")
+	nodes := flag.Int("nodes", 1, "parallel generation nodes")
+	profile := flag.String("profile", "synthetic", "capture profile: synthetic or recorded")
+	weather := flag.String("weather", "any", "tile weather filter: any, dry, rain")
+	density := flag.String("density", "any", "tile density filter: any, Sparse, Moderate, RushHour")
+	traffic := flag.Int("traffic-cams", 4, "traffic cameras per tile")
+	pano := flag.Int("pano-cams", 1, "panoramic cameras per tile")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "vcg: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	w, h, err := parseResolution(*res)
+	if err != nil {
+		fatal(err)
+	}
+	preset, err := codec.PresetByName(*codecName)
+	if err != nil {
+		fatal(err)
+	}
+	var prof vcg.Profile
+	switch *profile {
+	case "synthetic":
+		prof = vcg.ProfileSynthetic
+	case "recorded":
+		prof = vcg.ProfileRecorded
+	default:
+		fatal(fmt.Errorf("vcg: unknown profile %q", *profile))
+	}
+	store, err := vfs.NewLocal(*out)
+	if err != nil {
+		fatal(err)
+	}
+	params := vcity.Hyperparams{
+		Scale: *scale, Width: w, Height: h,
+		Duration: *duration, FPS: *fps, Seed: *seed,
+		Cameras: vcity.CameraConfig{Traffic: *traffic, Panoramic: *pano},
+	}
+	fmt.Printf("vcg: generating L=%d %dx%d %.0fs @%dfps seed=%d (%s, %d node(s))\n",
+		params.Scale, w, h, *duration, *fps, *seed, preset.Name, *nodes)
+	wf, df := *weather, *density
+	result, err := vcg.Generate(params, vcg.Options{
+		Preset: preset, BitrateKbps: *bitrate, Nodes: *nodes,
+		Profile: prof, Captions: true,
+		WeatherFilter: wf, DensityFilter: df,
+	}, store)
+	if err != nil {
+		fatal(err)
+	}
+	total := 0
+	for _, v := range result.Manifest.Videos {
+		total += v.Bytes
+	}
+	fmt.Printf("vcg: generated %d videos (%d bytes) in %s\n",
+		len(result.Manifest.Videos), total, result.Elapsed.Round(1e6))
+	for i, t := range result.NodeTimes {
+		fmt.Printf("vcg:   node %d: %s\n", i, t.Round(1e6))
+	}
+}
+
+// parseResolution accepts the named benchmark resolutions (at the
+// paper's dimensions) or an explicit WxH.
+func parseResolution(s string) (int, int, error) {
+	switch s {
+	case "1k":
+		return 960, 540, nil
+	case "2k":
+		return 1920, 1080, nil
+	case "4k":
+		return 3840, 2160, nil
+	}
+	parts := strings.SplitN(s, "x", 2)
+	if len(parts) == 2 {
+		w, err1 := strconv.Atoi(parts[0])
+		h, err2 := strconv.Atoi(parts[1])
+		if err1 == nil && err2 == nil && w > 0 && h > 0 {
+			return w, h, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("vcg: cannot parse resolution %q (use 1k, 2k, 4k, or WxH)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "vcg: %v\n", err)
+	os.Exit(1)
+}

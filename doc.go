@@ -1,0 +1,32 @@
+// Package visualroad is a from-scratch Go reproduction of "Visual Road:
+// A Video Data Management Benchmark" (Haynes et al., SIGMOD 2019) — a
+// benchmark for video database management systems (VDBMSs).
+//
+// The package exposes the benchmark's three pillars:
+//
+//   - The Visual City Generator (VCG): deterministic, seeded generation
+//     of synthetic traffic-camera and panoramic video from a simulated
+//     metropolitan area, with exact ground truth derived from scene
+//     geometry. See Generate.
+//
+//   - The Visual City Driver (VCD): query-batch submission (4·L
+//     instances per query with uniformly sampled parameters), offline
+//     and online delivery, write and streaming result modes, and frame
+//     (PSNR) plus semantic validation. See Load and Run.
+//
+//   - The query suite: microbenchmarks Q1–Q6 (selection, grayscale,
+//     blur, object-detection boxes, background masking, tiled
+//     re-encoding, resampling, unions) and composites Q7–Q10 (object
+//     detection pipeline, vehicle tracking, panoramic stitching,
+//     tile-based streaming).
+//
+// Three bundled engines — ScannerLike, LightDBLike, and NoScopeLike —
+// emulate the architectures of the systems the paper evaluates and can
+// be benchmarked out of the box; any VDBMS can participate by
+// implementing the System interface.
+//
+// Every substrate the paper depends on (the CARLA/Unreal simulator, the
+// H.264/HEVC codecs, MP4 containers, WebVTT, YOLOv2, OpenALPR, RTP) is
+// implemented in this module using only the Go standard library; see
+// DESIGN.md for the substitution inventory.
+package visualroad

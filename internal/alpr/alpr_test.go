@@ -1,0 +1,106 @@
+package alpr
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/render"
+	"repro/internal/video"
+)
+
+// drawPlate rasterizes a plate region exactly as the 3D renderer's
+// plate texel shader does (margins, 6 cells of (GlyphW+1)×GlyphH),
+// but axis-aligned for direct testing.
+func drawPlate(f *video.Frame, box geom.Rect, plate string) {
+	bgY, bgU, bgV := video.Color{R: 240, G: 240, B: 240}.YUV()
+	fgY, fgU, fgV := video.Color{R: 20, G: 20, B: 30}.YUV()
+	const chars = 6
+	marginU, marginV := 0.04, 0.12
+	for y := int(box.MinY); y < int(box.MaxY); y++ {
+		for x := int(box.MinX); x < int(box.MaxX); x++ {
+			u := (float64(x) + 0.5 - box.MinX) / box.W()
+			v := (float64(y) + 0.5 - box.MinY) / box.H()
+			f.Set(x, y, bgY, bgU, bgV)
+			if u < marginU || u > 1-marginU || v < marginV || v > 1-marginV {
+				continue
+			}
+			uu := (u - marginU) / (1 - 2*marginU)
+			vv := (v - marginV) / (1 - 2*marginV)
+			ci := int(uu * chars)
+			if ci >= len(plate) {
+				continue
+			}
+			cu := uu*chars - float64(ci)
+			cx := int(cu * (render.GlyphW + 1))
+			cy := int(vv * render.GlyphH)
+			if cx < render.GlyphW && render.GlyphBit(rune(plate[ci]), cx, cy) {
+				f.Set(x, y, fgY, fgU, fgV)
+			}
+		}
+	}
+}
+
+func TestReadRegionLargePlate(t *testing.T) {
+	f := video.NewFrame(200, 80)
+	box := geom.Rect{MinX: 20, MinY: 20, MaxX: 20 + 120, MaxY: 20 + 28}
+	drawPlate(f, box, "AB12CD")
+	rec := New()
+	got, score := rec.ReadRegion(f, box)
+	if got != "AB12CD" {
+		t.Errorf("ReadRegion = %q (score %.2f), want AB12CD", got, score)
+	}
+	if score < matchThreshold {
+		t.Errorf("score %.2f below threshold", score)
+	}
+}
+
+func TestReadRegionAllAlphabet(t *testing.T) {
+	rec := New()
+	// Read plates covering the full alphabet in chunks of 6.
+	alpha := rec.Alphabet
+	for i := 0; i+6 <= len(alpha); i += 6 {
+		plate := alpha[i : i+6]
+		f := video.NewFrame(220, 80)
+		box := geom.Rect{MinX: 10, MinY: 10, MaxX: 10 + 150, MaxY: 10 + 34}
+		drawPlate(f, box, plate)
+		got, _ := rec.ReadRegion(f, box)
+		if got != plate {
+			t.Errorf("ReadRegion = %q, want %q", got, plate)
+		}
+	}
+}
+
+func TestReadRegionNoContrast(t *testing.T) {
+	f := video.NewFrame(100, 50)
+	f.Fill(120, 128, 128)
+	rec := New()
+	if got, score := rec.ReadRegion(f, geom.Rect{MinX: 10, MinY: 10, MaxX: 80, MaxY: 40}); score != 0 {
+		t.Errorf("flat region read %q with score %.2f, want rejection", got, score)
+	}
+}
+
+func TestReadRegionTooSmall(t *testing.T) {
+	f := video.NewFrame(100, 50)
+	rec := New()
+	if _, score := rec.ReadRegion(f, geom.Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 2}); score != 0 {
+		t.Error("sub-readable region should score 0")
+	}
+}
+
+func TestReadRegionClipsToFrame(t *testing.T) {
+	f := video.NewFrame(64, 32)
+	rec := New()
+	// Region partially outside the frame must not panic.
+	rec.ReadRegion(f, geom.Rect{MinX: -20, MinY: -10, MaxX: 200, MaxY: 100})
+}
+
+func TestReadRegionWrongPlateScoresLower(t *testing.T) {
+	f := video.NewFrame(220, 80)
+	box := geom.Rect{MinX: 10, MinY: 10, MaxX: 160, MaxY: 44}
+	drawPlate(f, box, "AAAAAA")
+	rec := New()
+	got, _ := rec.ReadRegion(f, box)
+	if got != "AAAAAA" {
+		t.Errorf("repeated-char plate read as %q", got)
+	}
+}

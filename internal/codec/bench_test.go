@@ -1,0 +1,72 @@
+package codec
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Codec micro-benchmarks: encode/decode throughput by preset and the
+// QP / rate-distortion sweep that underlies Q3's per-region bitrate
+// assignment.
+
+func BenchmarkEncode(b *testing.B) {
+	for _, preset := range []Preset{PresetH264, PresetHEVC} {
+		b.Run(preset.Name, func(b *testing.B) {
+			src := gradientVideo(192, 108, 15)
+			cfg := Config{QP: 24, Preset: preset}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := EncodeVideo(src, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(192 * 108 * 15 * 3 / 2))
+		})
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	src := gradientVideo(192, 108, 15)
+	enc, err := EncodeVideo(src, Config{QP: 24})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(enc.Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Decode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQPSweep(b *testing.B) {
+	src := gradientVideo(128, 96, 10)
+	for _, qp := range []int{8, 24, 40} {
+		b.Run(fmt.Sprintf("qp=%d", qp), func(b *testing.B) {
+			var size int
+			for i := 0; i < b.N; i++ {
+				enc, err := EncodeVideo(src, Config{QP: qp})
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = enc.Size()
+			}
+			b.ReportMetric(float64(size), "bytes")
+		})
+	}
+}
+
+func BenchmarkMotionSearchRange(b *testing.B) {
+	src := gradientVideo(192, 108, 10)
+	for _, r := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("range=%d", r), func(b *testing.B) {
+			cfg := Config{QP: 24, Preset: Preset{Name: "custom", ID: 1, SearchRange: r}}
+			for i := 0; i < b.N; i++ {
+				if _, err := EncodeVideo(src, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

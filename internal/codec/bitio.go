@@ -1,0 +1,147 @@
+// Package codec implements the block-based video codec that stands in
+// for H.264/HEVC in this reproduction of Visual Road. It provides
+// I/P-frame encoding with 16×16-macroblock motion compensation, 8×8
+// DCT transform coding, scalar quantization with dead-zone, zigzag
+// run-level entropy coding using Exp-Golomb codes, and a simple
+// GOP-level bitrate controller.
+//
+// The codec is a real (lossy) compressor: it exploits the inter-frame
+// and spatial redundancy of structured video, and — like the codecs the
+// paper builds on — gains nothing on random noise. Two presets are
+// exposed, named after the codecs Visual Road supports: PresetH264 and
+// PresetHEVC (the latter searches a wider motion range and quantizes
+// more finely, yielding better rate/distortion at higher encode cost).
+package codec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// bitWriter accumulates bits MSB-first into a byte slice.
+type bitWriter struct {
+	buf  []byte
+	cur  uint64
+	nCur uint // bits currently held in cur (< 8)
+}
+
+func (w *bitWriter) writeBit(b uint) {
+	w.cur = w.cur<<1 | uint64(b&1)
+	w.nCur++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// writeBits writes the low n bits of v, MSB first. n must be ≤ 32.
+func (w *bitWriter) writeBits(v uint32, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.writeBit(uint(v>>uint(i)) & 1)
+	}
+}
+
+// writeUE writes v using unsigned Exp-Golomb coding.
+func (w *bitWriter) writeUE(v uint32) {
+	x := uint64(v) + 1
+	// Count bits of x.
+	n := uint(0)
+	for t := x; t > 1; t >>= 1 {
+		n++
+	}
+	for i := uint(0); i < n; i++ {
+		w.writeBit(0)
+	}
+	for i := int(n); i >= 0; i-- {
+		w.writeBit(uint(x>>uint(i)) & 1)
+	}
+}
+
+// writeSE writes v using signed Exp-Golomb coding (H.264 mapping:
+// positive k → 2k-1, non-positive k → -2k).
+func (w *bitWriter) writeSE(v int32) {
+	if v > 0 {
+		w.writeUE(uint32(2*v - 1))
+	} else {
+		w.writeUE(uint32(-2 * v))
+	}
+}
+
+// bytes flushes any partial byte (zero-padded) and returns the buffer.
+func (w *bitWriter) bytes() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, byte(w.cur<<(8-w.nCur)))
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+// bitLen returns the number of bits written so far.
+func (w *bitWriter) bitLen() int { return len(w.buf)*8 + int(w.nCur) }
+
+// errTruncated reports a bitstream that ended mid-symbol.
+var errTruncated = errors.New("codec: truncated bitstream")
+
+// bitReader consumes bits MSB-first from a byte slice.
+type bitReader struct {
+	buf []byte
+	pos uint // bit position
+}
+
+func (r *bitReader) readBit() (uint, error) {
+	byteIdx := r.pos >> 3
+	if int(byteIdx) >= len(r.buf) {
+		return 0, errTruncated
+	}
+	bit := uint(r.buf[byteIdx]>>(7-(r.pos&7))) & 1
+	r.pos++
+	return bit, nil
+}
+
+func (r *bitReader) readBits(n uint) (uint32, error) {
+	var v uint32
+	for i := uint(0); i < n; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint32(b)
+	}
+	return v, nil
+}
+
+func (r *bitReader) readUE() (uint32, error) {
+	n := uint(0)
+	for {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		n++
+		if n > 32 {
+			return 0, fmt.Errorf("codec: invalid Exp-Golomb code (leading zeros > 32)")
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	rest, err := r.readBits(n)
+	if err != nil {
+		return 0, err
+	}
+	return (1<<n | rest) - 1, nil
+}
+
+func (r *bitReader) readSE() (int32, error) {
+	u, err := r.readUE()
+	if err != nil {
+		return 0, err
+	}
+	if u&1 == 1 {
+		return int32(u/2) + 1, nil
+	}
+	return -int32(u / 2), nil
+}

@@ -1,0 +1,189 @@
+package codec
+
+import (
+	"fmt"
+
+	"repro/internal/video"
+)
+
+// Decoder decompresses access units produced by an Encoder with the same
+// configuration. It is not safe for concurrent use.
+type Decoder struct {
+	cfg              Config
+	refY, refU, refV *plane
+	curY, curU, curV *plane
+	haveRef          bool
+}
+
+// NewDecoder returns a decoder for the given configuration. Only the
+// dimensions and FPS fields are required to match the encoder.
+func NewDecoder(cfg Config) (*Decoder, error) {
+	c := cfg.withDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	cw, ch := (c.Width+1)/2, (c.Height+1)/2
+	return &Decoder{
+		cfg:  c,
+		refY: newPlane(c.Width, c.Height, 16),
+		refU: newPlane(cw, ch, 8),
+		refV: newPlane(cw, ch, 8),
+		curY: newPlane(c.Width, c.Height, 16),
+		curU: newPlane(cw, ch, 8),
+		curV: newPlane(cw, ch, 8),
+	}, nil
+}
+
+// Decode decompresses one access unit into a frame.
+func (d *Decoder) Decode(data []byte) (*video.Frame, error) {
+	r := &bitReader{buf: data}
+	ft, err := r.readBits(1)
+	if err != nil {
+		return nil, err
+	}
+	isKey := ft == 0
+	qpBits, err := r.readBits(6)
+	if err != nil {
+		return nil, err
+	}
+	qp := int(qpBits)
+	if !isKey && !d.haveRef {
+		return nil, fmt.Errorf("codec: P-frame received before any keyframe")
+	}
+
+	mbW := d.curY.w / 16
+	mbH := d.curY.h / 16
+	for my := 0; my < mbH; my++ {
+		pmvx, pmvy := 0, 0
+		for mx := 0; mx < mbW; mx++ {
+			if isKey {
+				if err := d.decodeIntraMB(r, mx, my, qp); err != nil {
+					return nil, err
+				}
+			} else {
+				pmvx, pmvy, err = d.decodeInterMB(r, mx, my, qp, pmvx, pmvy)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	f := video.NewFrame(d.cfg.Width, d.cfg.Height)
+	d.curY.storeTo(f.Y, f.W, f.H)
+	d.curU.storeTo(f.U, f.ChromaW(), f.ChromaH())
+	d.curV.storeTo(f.V, f.ChromaW(), f.ChromaH())
+
+	d.refY, d.curY = d.curY, d.refY
+	d.refU, d.curU = d.curU, d.refU
+	d.refV, d.curV = d.curV, d.refV
+	d.haveRef = true
+	return f, nil
+}
+
+func (d *Decoder) decodeIntraMB(r *bitReader, mx, my, qp int) error {
+	var levels [64]int32
+	for by := 0; by < 2; by++ {
+		for bx := 0; bx < 2; bx++ {
+			if err := decodeBlock(r, &levels); err != nil {
+				return err
+			}
+			reconstructIntra(d.curY, mx*16+bx*8, my*16+by*8, &levels, qp)
+		}
+	}
+	for _, p := range [2]*plane{d.curU, d.curV} {
+		if err := decodeBlock(r, &levels); err != nil {
+			return err
+		}
+		reconstructIntra(p, mx*8, my*8, &levels, qp)
+	}
+	return nil
+}
+
+func (d *Decoder) decodeInterMB(r *bitReader, mx, my, qp, pmvx, pmvy int) (int, int, error) {
+	skip, err := r.readBits(1)
+	if err != nil {
+		return 0, 0, err
+	}
+	cx, cy := mx*16, my*16
+	if skip == 1 {
+		copyMB(d.curY, d.refY, cx, cy, 16, 0, 0)
+		copyMB(d.curU, d.refU, mx*8, my*8, 8, 0, 0)
+		copyMB(d.curV, d.refV, mx*8, my*8, 8, 0, 0)
+		return 0, 0, nil
+	}
+	dmvx, err := r.readSE()
+	if err != nil {
+		return 0, 0, err
+	}
+	dmvy, err := r.readSE()
+	if err != nil {
+		return 0, 0, err
+	}
+	mvx, mvy := pmvx+int(dmvx), pmvy+int(dmvy)
+
+	var levels [64]int32
+	for by := 0; by < 2; by++ {
+		for bx := 0; bx < 2; bx++ {
+			if err := decodeBlock(r, &levels); err != nil {
+				return 0, 0, err
+			}
+			reconstructInter(d.curY, d.refY, cx+bx*8, cy+by*8, mvx, mvy, &levels, qp)
+		}
+	}
+	cmvx, cmvy := mvx/2, mvy/2
+	for _, pp := range [2]struct{ cur, ref *plane }{{d.curU, d.refU}, {d.curV, d.refV}} {
+		if err := decodeBlock(r, &levels); err != nil {
+			return 0, 0, err
+		}
+		reconstructInter(pp.cur, pp.ref, mx*8, my*8, cmvx, cmvy, &levels, qp)
+	}
+	return mvx, mvy, nil
+}
+
+// decodeBlock reads one entropy-coded block into zigzag-ordered levels.
+func decodeBlock(r *bitReader, levels *[64]int32) error {
+	for i := range levels {
+		levels[i] = 0
+	}
+	coded, err := r.readBits(1)
+	if err != nil {
+		return err
+	}
+	if coded == 0 {
+		return nil
+	}
+	dc, err := r.readSE()
+	if err != nil {
+		return err
+	}
+	levels[0] = dc
+	nAC, err := r.readUE()
+	if err != nil {
+		return err
+	}
+	if nAC > 63 {
+		return fmt.Errorf("codec: invalid AC coefficient count %d", nAC)
+	}
+	pos := 1
+	for i := uint32(0); i < nAC; i++ {
+		run, err := r.readUE()
+		if err != nil {
+			return err
+		}
+		lvl, err := r.readSE()
+		if err != nil {
+			return err
+		}
+		pos += int(run)
+		if pos >= 64 {
+			return fmt.Errorf("codec: coefficient position %d out of range", pos)
+		}
+		if lvl == 0 {
+			return fmt.Errorf("codec: zero level in run-level pair")
+		}
+		levels[pos] = lvl
+		pos++
+	}
+	return nil
+}

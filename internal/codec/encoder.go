@@ -1,0 +1,415 @@
+package codec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/video"
+)
+
+// Preset selects a codec flavor. The two presets mirror the codecs the
+// Visual Road paper supports: the HEVC preset searches a wider motion
+// range and quantizes one step finer, trading encode time for better
+// rate/distortion — the qualitative relationship between real H.264 and
+// HEVC encoders.
+type Preset struct {
+	Name        string
+	ID          uint8
+	SearchRange int // full-pel motion search range (± pixels)
+	QPBias      int // added to the operating QP (negative = finer)
+}
+
+// The available codec presets.
+var (
+	PresetH264 = Preset{Name: "h264", ID: 1, SearchRange: 8, QPBias: 0}
+	PresetHEVC = Preset{Name: "hevc", ID: 2, SearchRange: 16, QPBias: -2}
+)
+
+// PresetByID returns the preset with the given wire ID.
+func PresetByID(id uint8) (Preset, error) {
+	switch id {
+	case PresetH264.ID:
+		return PresetH264, nil
+	case PresetHEVC.ID:
+		return PresetHEVC, nil
+	}
+	return Preset{}, fmt.Errorf("codec: unknown preset id %d", id)
+}
+
+// PresetByName returns the preset with the given name ("h264" or "hevc").
+func PresetByName(name string) (Preset, error) {
+	switch name {
+	case PresetH264.Name:
+		return PresetH264, nil
+	case PresetHEVC.Name:
+		return PresetHEVC, nil
+	}
+	return Preset{}, fmt.Errorf("codec: unknown preset %q", name)
+}
+
+// Config parameterizes an encoder or decoder instance.
+type Config struct {
+	Width, Height int
+	FPS           int
+	Preset        Preset
+	// QP is the constant quantization parameter used when BitrateKbps
+	// is zero. Lower is higher quality; 0–51.
+	QP int
+	// BitrateKbps, when nonzero, enables the rate controller, which
+	// adjusts QP per frame to track the target bitrate.
+	BitrateKbps int
+	// GOP is the keyframe interval in frames (default 30).
+	GOP int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.GOP <= 0 {
+		out.GOP = 30
+	}
+	if out.FPS <= 0 {
+		out.FPS = 30
+	}
+	if out.Preset.ID == 0 {
+		out.Preset = PresetH264
+	}
+	if out.QP == 0 && out.BitrateKbps == 0 {
+		out.QP = 24
+	}
+	return out
+}
+
+// Validate reports whether the configuration is usable.
+func (c *Config) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("codec: invalid dimensions %dx%d", c.Width, c.Height)
+	}
+	if c.QP < qpMin || c.QP > qpMax {
+		return fmt.Errorf("codec: QP %d outside [%d, %d]", c.QP, qpMin, qpMax)
+	}
+	return nil
+}
+
+// EncodedFrame is one compressed access unit.
+type EncodedFrame struct {
+	Data     []byte
+	Keyframe bool
+}
+
+// Encoder compresses a frame sequence. It is not safe for concurrent use.
+type Encoder struct {
+	cfg Config
+
+	// Reconstructed reference planes (what the decoder will see).
+	refY, refU, refV *plane
+	curY, curU, curV *plane
+
+	frameIdx int
+	rc       rateControl
+}
+
+// NewEncoder returns an encoder for the given configuration.
+func NewEncoder(cfg Config) (*Encoder, error) {
+	c := cfg.withDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	cw, ch := (c.Width+1)/2, (c.Height+1)/2
+	e := &Encoder{
+		cfg:  c,
+		refY: newPlane(c.Width, c.Height, 16),
+		refU: newPlane(cw, ch, 8),
+		refV: newPlane(cw, ch, 8),
+		curY: newPlane(c.Width, c.Height, 16),
+		curU: newPlane(cw, ch, 8),
+		curV: newPlane(cw, ch, 8),
+	}
+	e.rc = newRateControl(c)
+	return e, nil
+}
+
+// Config returns the encoder's effective configuration.
+func (e *Encoder) Config() Config { return e.cfg }
+
+// Encode compresses the next frame and returns its access unit. The
+// frame dimensions must match the configuration.
+func (e *Encoder) Encode(f *video.Frame) (EncodedFrame, error) {
+	if f.W != e.cfg.Width || f.H != e.cfg.Height {
+		return EncodedFrame{}, fmt.Errorf("codec: frame is %dx%d, encoder configured for %dx%d",
+			f.W, f.H, e.cfg.Width, e.cfg.Height)
+	}
+	isKey := e.frameIdx%e.cfg.GOP == 0
+	qp := e.rc.frameQP(isKey) + e.cfg.Preset.QPBias
+	if qp < qpMin {
+		qp = qpMin
+	}
+	if qp > qpMax {
+		qp = qpMax
+	}
+
+	e.curY.loadFrom(f.Y, f.W, f.H)
+	e.curU.loadFrom(f.U, f.ChromaW(), f.ChromaH())
+	e.curV.loadFrom(f.V, f.ChromaW(), f.ChromaH())
+
+	w := &bitWriter{}
+	if isKey {
+		w.writeBits(0, 1)
+	} else {
+		w.writeBits(1, 1)
+	}
+	w.writeBits(uint32(qp), 6)
+
+	mbW := e.curY.w / 16
+	mbH := e.curY.h / 16
+	var pmvx, pmvy int // predicted MV: previous macroblock's vector
+	for my := 0; my < mbH; my++ {
+		pmvx, pmvy = 0, 0
+		for mx := 0; mx < mbW; mx++ {
+			if isKey {
+				e.encodeIntraMB(w, mx, my, qp)
+			} else {
+				pmvx, pmvy = e.encodeInterMB(w, mx, my, qp, pmvx, pmvy)
+			}
+		}
+	}
+
+	data := w.bytes()
+	e.rc.update(len(data) * 8)
+	e.frameIdx++
+	// The reconstructed current planes become the reference.
+	e.refY, e.curY = e.curY, e.refY
+	e.refU, e.curU = e.curU, e.refU
+	e.refV, e.curV = e.curV, e.refV
+	return EncodedFrame{Data: data, Keyframe: isKey}, nil
+}
+
+// encodeIntraMB codes macroblock (mx, my) without prediction: the four
+// 8×8 luma blocks and one 8×8 block per chroma plane are transformed
+// directly (samples biased by -128 so the DC is small).
+func (e *Encoder) encodeIntraMB(w *bitWriter, mx, my, qp int) {
+	var res [64]int32
+	var levels [64]int32
+	// Luma: 4 blocks.
+	for by := 0; by < 2; by++ {
+		for bx := 0; bx < 2; bx++ {
+			x0, y0 := mx*16+bx*8, my*16+by*8
+			extractIntra(e.curY, x0, y0, &res)
+			codeBlock(w, &res, qp, &levels)
+			reconstructIntra(e.curY, x0, y0, &levels, qp)
+		}
+	}
+	// Chroma.
+	for _, p := range [2]*plane{e.curU, e.curV} {
+		x0, y0 := mx*8, my*8
+		extractIntra(p, x0, y0, &res)
+		codeBlock(w, &res, qp, &levels)
+		reconstructIntra(p, x0, y0, &levels, qp)
+	}
+}
+
+// encodeInterMB codes macroblock (mx, my) with motion compensation from
+// the reference frame. Returns the coded motion vector for use as the
+// next macroblock's predictor.
+func (e *Encoder) encodeInterMB(w *bitWriter, mx, my, qp int, pmvx, pmvy int) (int, int) {
+	cx, cy := mx*16, my*16
+	mvx, mvy, sad := motionSearch(e.curY, e.refY, cx, cy, e.cfg.Preset.SearchRange, pmvx, pmvy)
+
+	// Skip decision: zero vector and near-zero residual energy.
+	if mvx == 0 && mvy == 0 && sad < 16*16/2 {
+		// Cheap check on chroma before committing to skip.
+		cs := sadBlock(e.curU, e.refU, mx*8, my*8, 0, 0, 8, 1<<30) +
+			sadBlock(e.curV, e.refV, mx*8, my*8, 0, 0, 8, 1<<30)
+		if cs < 8*8/2 {
+			w.writeBits(1, 1) // skip flag
+			copyMB(e.curY, e.refY, cx, cy, 16, 0, 0)
+			copyMB(e.curU, e.refU, mx*8, my*8, 8, 0, 0)
+			copyMB(e.curV, e.refV, mx*8, my*8, 8, 0, 0)
+			return 0, 0
+		}
+	}
+	w.writeBits(0, 1) // not skipped
+	w.writeSE(int32(mvx - pmvx))
+	w.writeSE(int32(mvy - pmvy))
+
+	var res [64]int32
+	var levels [64]int32
+	// Luma residual blocks.
+	for by := 0; by < 2; by++ {
+		for bx := 0; bx < 2; bx++ {
+			x0, y0 := cx+bx*8, cy+by*8
+			extractInter(e.curY, e.refY, x0, y0, mvx, mvy, &res)
+			codeBlock(w, &res, qp, &levels)
+			reconstructInter(e.curY, e.refY, x0, y0, mvx, mvy, &levels, qp)
+		}
+	}
+	// Chroma residual blocks (half-resolution vector).
+	cmvx, cmvy := mvx/2, mvy/2
+	for _, pp := range [2]struct{ cur, ref *plane }{{e.curU, e.refU}, {e.curV, e.refV}} {
+		x0, y0 := mx*8, my*8
+		extractInter(pp.cur, pp.ref, x0, y0, cmvx, cmvy, &res)
+		codeBlock(w, &res, qp, &levels)
+		reconstructInter(pp.cur, pp.ref, x0, y0, cmvx, cmvy, &levels, qp)
+	}
+	return mvx, mvy
+}
+
+// extractIntra loads the 8×8 block at (x0, y0) biased by -128.
+func extractIntra(p *plane, x0, y0 int, res *[64]int32) {
+	for y := 0; y < 8; y++ {
+		row := p.pix[(y0+y)*p.w+x0:]
+		for x := 0; x < 8; x++ {
+			res[y*8+x] = int32(row[x]) - 128
+		}
+	}
+}
+
+// reconstructIntra writes the dequantized intra block back into the
+// plane so it can serve as reference data.
+func reconstructIntra(p *plane, x0, y0 int, levels *[64]int32, qp int) {
+	var res [64]int32
+	dequantizeBlock(levels, qp, &res)
+	for y := 0; y < 8; y++ {
+		row := p.pix[(y0+y)*p.w+x0:]
+		for x := 0; x < 8; x++ {
+			row[x] = clampSample(res[y*8+x] + 128)
+		}
+	}
+}
+
+// extractInter loads the motion-compensated residual for the 8×8 block
+// at (x0, y0) with motion vector (mvx, mvy).
+func extractInter(cur, ref *plane, x0, y0, mvx, mvy int, res *[64]int32) {
+	for y := 0; y < 8; y++ {
+		row := cur.pix[(y0+y)*cur.w+x0:]
+		for x := 0; x < 8; x++ {
+			res[y*8+x] = int32(row[x]) - int32(ref.at(x0+x+mvx, y0+y+mvy))
+		}
+	}
+}
+
+// reconstructInter writes prediction + dequantized residual back into
+// the current plane.
+func reconstructInter(cur, ref *plane, x0, y0, mvx, mvy int, levels *[64]int32, qp int) {
+	var res [64]int32
+	dequantizeBlock(levels, qp, &res)
+	for y := 0; y < 8; y++ {
+		row := cur.pix[(y0+y)*cur.w+x0:]
+		for x := 0; x < 8; x++ {
+			row[x] = clampSample(res[y*8+x] + int32(ref.at(x0+x+mvx, y0+y+mvy)))
+		}
+	}
+}
+
+// copyMB copies a bs×bs block from ref to cur at (x0, y0) displaced by
+// (mvx, mvy) in the reference.
+func copyMB(cur, ref *plane, x0, y0, bs, mvx, mvy int) {
+	for y := 0; y < bs; y++ {
+		row := cur.pix[(y0+y)*cur.w+x0:]
+		for x := 0; x < bs; x++ {
+			row[x] = ref.at(x0+x+mvx, y0+y+mvy)
+		}
+	}
+}
+
+// codeBlock quantizes res and entropy-codes the levels: a coded flag,
+// then the DC level (SE), the count of nonzero AC levels (UE), and for
+// each a (zero-run, level) pair.
+func codeBlock(w *bitWriter, res *[64]int32, qp int, levels *[64]int32) {
+	nz := quantizeBlock(res, qp, levels)
+	if !nz {
+		w.writeBits(0, 1)
+		for i := range levels {
+			levels[i] = 0
+		}
+		return
+	}
+	w.writeBits(1, 1)
+	w.writeSE(levels[0])
+	nAC := 0
+	for i := 1; i < 64; i++ {
+		if levels[i] != 0 {
+			nAC++
+		}
+	}
+	w.writeUE(uint32(nAC))
+	run := 0
+	for i := 1; i < 64; i++ {
+		if levels[i] == 0 {
+			run++
+			continue
+		}
+		w.writeUE(uint32(run))
+		w.writeSE(levels[i])
+		run = 0
+	}
+}
+
+func clampSample(v int32) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+// EncodeVideo compresses an entire in-memory video with the given
+// configuration (dimensions are taken from the video when unset).
+func EncodeVideo(v *video.Video, cfg Config) (*Encoded, error) {
+	if len(v.Frames) == 0 {
+		return nil, errors.New("codec: cannot encode empty video")
+	}
+	if cfg.Width == 0 || cfg.Height == 0 {
+		cfg.Width, cfg.Height = v.Resolution()
+	}
+	if cfg.FPS == 0 {
+		cfg.FPS = v.FPS
+	}
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Encoded{Config: enc.Config()}
+	for _, f := range v.Frames {
+		ef, err := enc.Encode(f)
+		if err != nil {
+			return nil, err
+		}
+		out.Frames = append(out.Frames, ef)
+	}
+	return out, nil
+}
+
+// Encoded is a compressed frame sequence together with the configuration
+// needed to decode it.
+type Encoded struct {
+	Config Config
+	Frames []EncodedFrame
+}
+
+// Size returns the total compressed payload size in bytes.
+func (e *Encoded) Size() int {
+	n := 0
+	for _, f := range e.Frames {
+		n += len(f.Data)
+	}
+	return n
+}
+
+// Decode decompresses the sequence back to raw frames.
+func (e *Encoded) Decode() (*video.Video, error) {
+	dec, err := NewDecoder(e.Config)
+	if err != nil {
+		return nil, err
+	}
+	out := video.NewVideo(e.Config.FPS)
+	for i, f := range e.Frames {
+		fr, err := dec.Decode(f.Data)
+		if err != nil {
+			return nil, fmt.Errorf("codec: frame %d: %w", i, err)
+		}
+		out.Append(fr)
+	}
+	return out, nil
+}

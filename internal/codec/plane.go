@@ -1,0 +1,123 @@
+package codec
+
+// plane is a padded sample plane. Width and height are rounded up to a
+// multiple of the macroblock size so the encoder can operate on whole
+// blocks; the visible region (the original frame dimensions) is stored
+// separately and restored when converting back to a frame.
+type plane struct {
+	w, h int // padded dimensions
+	pix  []byte
+}
+
+func newPlane(w, h, align int) *plane {
+	pw := (w + align - 1) / align * align
+	ph := (h + align - 1) / align * align
+	return &plane{w: pw, h: ph, pix: make([]byte, pw*ph)}
+}
+
+// loadFrom copies src (sw×sh) into the plane, replicating the right and
+// bottom edges into the padding so motion search and transforms see
+// continuous content.
+func (p *plane) loadFrom(src []byte, sw, sh int) {
+	for y := 0; y < p.h; y++ {
+		sy := y
+		if sy >= sh {
+			sy = sh - 1
+		}
+		row := src[sy*sw : sy*sw+sw]
+		dst := p.pix[y*p.w : y*p.w+p.w]
+		copy(dst, row)
+		for x := sw; x < p.w; x++ {
+			dst[x] = row[sw-1]
+		}
+	}
+}
+
+// storeTo copies the visible (sw×sh) region of the plane into dst.
+func (p *plane) storeTo(dst []byte, sw, sh int) {
+	for y := 0; y < sh; y++ {
+		copy(dst[y*sw:y*sw+sw], p.pix[y*p.w:y*p.w+sw])
+	}
+}
+
+// at returns the sample at (x, y) with edge clamping, allowing motion
+// vectors to reference samples just outside the padded plane.
+func (p *plane) at(x, y int) byte {
+	if x < 0 {
+		x = 0
+	} else if x >= p.w {
+		x = p.w - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= p.h {
+		y = p.h - 1
+	}
+	return p.pix[y*p.w+x]
+}
+
+// sadBlock computes the sum of absolute differences between the bs×bs
+// block of cur at (cx, cy) and the block of ref at (cx+mvx, cy+mvy).
+// earlyOut aborts once the running sum exceeds the given bound.
+func sadBlock(cur, ref *plane, cx, cy, mvx, mvy, bs int, earlyOut int) int {
+	sum := 0
+	for y := 0; y < bs; y++ {
+		curRow := cur.pix[(cy+y)*cur.w+cx:]
+		ry := cy + y + mvy
+		inY := ry >= 0 && ry < ref.h
+		for x := 0; x < bs; x++ {
+			var r byte
+			rx := cx + x + mvx
+			if inY && rx >= 0 && rx < ref.w {
+				r = ref.pix[ry*ref.w+rx]
+			} else {
+				r = ref.at(rx, ry)
+			}
+			d := int(curRow[x]) - int(r)
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		if sum > earlyOut {
+			return sum
+		}
+	}
+	return sum
+}
+
+// motionSearch finds the full-pel motion vector within ±searchRange that
+// minimizes the SAD for the 16×16 luma block at (cx, cy) in cur against
+// ref, using a three-step-style logarithmic search seeded at (0, 0) and
+// at the predicted vector (px, py).
+func motionSearch(cur, ref *plane, cx, cy, searchRange, px, py int) (mvx, mvy, sad int) {
+	best := sadBlock(cur, ref, cx, cy, 0, 0, 16, 1<<30)
+	bx, by := 0, 0
+	if px != 0 || py != 0 {
+		if s := sadBlock(cur, ref, cx, cy, px, py, 16, best); s < best {
+			best, bx, by = s, px, py
+		}
+	}
+	step := searchRange / 2
+	if step < 1 {
+		step = 1
+	}
+	for step >= 1 {
+		improved := true
+		for improved {
+			improved = false
+			for _, d := range [8][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}, {-1, -1}, {-1, 1}, {1, -1}, {1, 1}} {
+				nx, ny := bx+d[0]*step, by+d[1]*step
+				if nx < -searchRange || nx > searchRange || ny < -searchRange || ny > searchRange {
+					continue
+				}
+				if s := sadBlock(cur, ref, cx, cy, nx, ny, 16, best); s < best {
+					best, bx, by = s, nx, ny
+					improved = true
+				}
+			}
+		}
+		step /= 2
+	}
+	return bx, by, best
+}

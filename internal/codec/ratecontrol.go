@@ -1,0 +1,95 @@
+package codec
+
+import "math"
+
+// rateControl adapts the per-frame quantization parameter toward a
+// target bitrate. It is a simple proportional controller over a virtual
+// buffer: the encoder deposits the frame's actual bits and withdraws the
+// per-frame budget; sustained surplus raises QP, sustained deficit
+// lowers it. With BitrateKbps == 0 the controller degenerates to
+// constant QP.
+type rateControl struct {
+	constantQP     int
+	targetBits     float64 // per frame
+	buffer         float64 // bits of surplus (+) or headroom (-)
+	qp             int
+	rateControlled bool
+}
+
+func newRateControl(cfg Config) rateControl {
+	rc := rateControl{constantQP: cfg.QP, qp: cfg.QP}
+	if cfg.BitrateKbps > 0 {
+		rc.rateControlled = true
+		rc.targetBits = float64(cfg.BitrateKbps*1000) / float64(cfg.FPS)
+		rc.qp = initialQP(rc.targetBits, cfg.Width, cfg.Height)
+	}
+	return rc
+}
+
+// initialQP estimates a starting quantizer from the target bits per
+// pixel, so short clips land near the target before the controller has
+// feedback to work with. The model assumes structured video spends
+// about 0.6 bpp at QP 10 and halves its rate every 6 QP (the step-size
+// doubling of qStep).
+func initialQP(targetBitsPerFrame float64, w, h int) int {
+	bpp := targetBitsPerFrame / float64(w*h)
+	if bpp <= 0 {
+		return 28
+	}
+	// Solve 0.6 * 2^((10-qp)/6) = bpp for qp.
+	qp := 10 + int(6*math.Log2(0.6/bpp)+0.5)
+	if qp < qpMin {
+		qp = qpMin
+	}
+	if qp > qpMax {
+		qp = qpMax
+	}
+	return qp
+}
+
+// frameQP returns the QP to use for the next frame. Keyframes are coded
+// slightly finer since they seed the whole GOP's prediction quality.
+func (rc *rateControl) frameQP(isKey bool) int {
+	qp := rc.qp
+	if !rc.rateControlled {
+		qp = rc.constantQP
+	}
+	if isKey && qp > qpMin+2 {
+		qp -= 2
+	}
+	if qp < qpMin {
+		qp = qpMin
+	}
+	if qp > qpMax {
+		qp = qpMax
+	}
+	return qp
+}
+
+// update deposits the frame's actual bit count and adapts QP.
+func (rc *rateControl) update(bits int) {
+	if !rc.rateControlled {
+		return
+	}
+	rc.buffer += float64(bits) - rc.targetBits
+	// Allow roughly half a second of slack before reacting.
+	slack := rc.targetBits * 8
+	switch {
+	case rc.buffer > slack:
+		rc.qp += 2
+		rc.buffer = slack
+	case rc.buffer > slack/4:
+		rc.qp++
+	case rc.buffer < -slack:
+		rc.qp -= 2
+		rc.buffer = -slack
+	case rc.buffer < -slack/4:
+		rc.qp--
+	}
+	if rc.qp < qpMin {
+		rc.qp = qpMin
+	}
+	if rc.qp > qpMax {
+		rc.qp = qpMax
+	}
+}

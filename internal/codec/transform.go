@@ -1,0 +1,141 @@
+package codec
+
+import "math"
+
+// The transform stage uses an 8×8 type-II DCT with orthonormal scaling,
+// computed in float64 with explicit rounding at quantization time. The
+// basis is precomputed once; forward and inverse transforms are exact
+// inverses up to quantization.
+
+const blockSize = 8
+
+// dctBasis[k][n] = c(k) * cos((2n+1)kπ/16), c(0)=sqrt(1/8), c(k>0)=sqrt(2/8).
+var dctBasis [blockSize][blockSize]float64
+
+func init() {
+	for k := 0; k < blockSize; k++ {
+		c := math.Sqrt(2.0 / blockSize)
+		if k == 0 {
+			c = math.Sqrt(1.0 / blockSize)
+		}
+		for n := 0; n < blockSize; n++ {
+			dctBasis[k][n] = c * math.Cos(float64(2*n+1)*float64(k)*math.Pi/(2*blockSize))
+		}
+	}
+}
+
+// fdct8 computes the forward 2D DCT of the 8×8 block src (row-major
+// residual samples) into dst.
+func fdct8(src *[64]int32, dst *[64]float64) {
+	var tmp [64]float64
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for k := 0; k < 8; k++ {
+			var s float64
+			for n := 0; n < 8; n++ {
+				s += float64(src[y*8+n]) * dctBasis[k][n]
+			}
+			tmp[y*8+k] = s
+		}
+	}
+	// Columns.
+	for x := 0; x < 8; x++ {
+		for k := 0; k < 8; k++ {
+			var s float64
+			for n := 0; n < 8; n++ {
+				s += tmp[n*8+x] * dctBasis[k][n]
+			}
+			dst[k*8+x] = s
+		}
+	}
+}
+
+// idct8 computes the inverse 2D DCT of the 8×8 coefficient block src
+// into integer samples dst (rounded to nearest).
+func idct8(src *[64]float64, dst *[64]int32) {
+	var tmp [64]float64
+	// Columns.
+	for x := 0; x < 8; x++ {
+		for n := 0; n < 8; n++ {
+			var s float64
+			for k := 0; k < 8; k++ {
+				s += src[k*8+x] * dctBasis[k][n]
+			}
+			tmp[n*8+x] = s
+		}
+	}
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for n := 0; n < 8; n++ {
+			var s float64
+			for k := 0; k < 8; k++ {
+				s += tmp[y*8+k] * dctBasis[k][n]
+			}
+			dst[y*8+n] = int32(math.Round(s))
+		}
+	}
+}
+
+// zigzag is the standard JPEG/H.26x zigzag scan order for 8×8 blocks.
+var zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// qStep maps a quantization parameter in [qpMin, qpMax] to a scalar
+// quantizer step size, doubling every 6 QP as in H.264.
+func qStep(qp int) float64 {
+	return 0.625 * math.Pow(2, float64(qp)/6)
+}
+
+const (
+	qpMin = 0
+	qpMax = 51
+)
+
+// quantizeBlock transforms and quantizes one residual block. Frequency
+// position 0 (DC) uses plain rounding; AC positions use a dead-zone to
+// suppress low-energy coefficients. The quantized levels are written in
+// zigzag order. Returns true if any level is nonzero.
+func quantizeBlock(res *[64]int32, qp int, levels *[64]int32) bool {
+	var coefs [64]float64
+	fdct8(res, &coefs)
+	step := qStep(qp)
+	nz := false
+	for i := 0; i < 64; i++ {
+		c := coefs[zigzag[i]]
+		var l int32
+		if i == 0 {
+			l = int32(math.Round(c / step))
+		} else {
+			// Dead-zone quantizer: bias magnitudes toward zero.
+			if c >= 0 {
+				l = int32((c + step/3) / step)
+			} else {
+				l = -int32((-c + step/3) / step)
+			}
+		}
+		levels[i] = l
+		if l != 0 {
+			nz = true
+		}
+	}
+	return nz
+}
+
+// dequantizeBlock inverts quantizeBlock: reconstructs coefficients from
+// zigzag-ordered levels and applies the inverse transform.
+func dequantizeBlock(levels *[64]int32, qp int, res *[64]int32) {
+	var coefs [64]float64
+	step := qStep(qp)
+	for i := 0; i < 64; i++ {
+		coefs[zigzag[i]] = float64(levels[i]) * step
+	}
+	idct8(&coefs, res)
+}

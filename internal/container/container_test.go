@@ -1,0 +1,213 @@
+package container
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/video"
+)
+
+func testEncoded(t *testing.T, frames int) *codec.Encoded {
+	t.Helper()
+	v := video.NewVideo(15)
+	for i := 0; i < frames; i++ {
+		f := video.NewFrame(32, 32)
+		for j := range f.Y {
+			f.Y[j] = byte((j + i*7) % 200)
+		}
+		v.Append(f)
+	}
+	enc, err := codec.EncodeVideo(v, codec.Config{QP: 20, GOP: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func TestMuxDemuxRoundTrip(t *testing.T) {
+	enc := testEncoded(t, 6)
+	vtt := []byte("WEBVTT\n\n00:00:00.000 --> 00:00:01.000\nHI\n")
+	var buf bytes.Buffer
+	if err := Mux(&buf, enc, vtt); err != nil {
+		t.Fatal(err)
+	}
+	got, gotVTT, err := Demux(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotVTT, vtt) {
+		t.Errorf("captions = %q, want %q", gotVTT, vtt)
+	}
+	if len(got.Frames) != len(enc.Frames) {
+		t.Fatalf("demuxed %d frames, want %d", len(got.Frames), len(enc.Frames))
+	}
+	for i := range got.Frames {
+		if !bytes.Equal(got.Frames[i].Data, enc.Frames[i].Data) {
+			t.Fatalf("frame %d payload differs", i)
+		}
+		if got.Frames[i].Keyframe != enc.Frames[i].Keyframe {
+			t.Fatalf("frame %d keyframe flag differs", i)
+		}
+	}
+	if got.Config.Width != 32 || got.Config.Height != 32 || got.Config.FPS != 15 {
+		t.Errorf("config = %+v", got.Config)
+	}
+	// The decoded video must round-trip through the container.
+	dec, err := got.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Frames) != 6 {
+		t.Errorf("decoded %d frames", len(dec.Frames))
+	}
+}
+
+func TestMuxWithoutCaptions(t *testing.T) {
+	enc := testEncoded(t, 2)
+	var buf bytes.Buffer
+	if err := Mux(&buf, enc, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, vtt, err := Demux(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vtt != nil {
+		t.Errorf("expected no captions, got %q", vtt)
+	}
+}
+
+func TestParseRejectsBadMagic(t *testing.T) {
+	if _, err := Parse(bytes.NewReader([]byte("XXXX\x00\x00\x00\x04abcd"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestParseRejectsTruncatedBox(t *testing.T) {
+	enc := testEncoded(t, 2)
+	var buf bytes.Buffer
+	if err := Mux(&buf, enc, nil); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Parse(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Error("truncated container should fail")
+	}
+}
+
+func TestParseRejectsUnsupportedVersion(t *testing.T) {
+	var buf bytes.Buffer
+	cw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cw
+	data := buf.Bytes()
+	// Bump the version field (last byte of the header payload).
+	data[len(data)-1] = 99
+	if _, err := Parse(bytes.NewReader(data)); err == nil {
+		t.Error("unsupported version should fail")
+	}
+}
+
+func TestWriterRejectsSampleForUnknownTrack(t *testing.T) {
+	var buf bytes.Buffer
+	cw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.WriteSample(Sample{Track: 0, Data: []byte("x")}); err == nil {
+		t.Error("sample without declared track should fail")
+	}
+}
+
+func TestWriterRejectsTrackAfterSamples(t *testing.T) {
+	var buf bytes.Buffer
+	cw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cw.AddTrack(Track{Kind: TrackText, MIME: "text/vtt"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.WriteSample(Sample{Track: 0, Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cw.AddTrack(Track{Kind: TrackText, MIME: "text/vtt"}); err == nil {
+		t.Error("adding a track after samples should fail")
+	}
+}
+
+func TestWriterRejectsUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	cw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cw.AddTrack(Track{Kind: "wat?"}); err == nil {
+		t.Error("unknown track kind should fail")
+	}
+}
+
+func TestIndexValidated(t *testing.T) {
+	enc := testEncoded(t, 3)
+	var buf bytes.Buffer
+	if err := Mux(&buf, enc, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Samples) != 3 {
+		t.Errorf("parsed %d samples, want 3", len(f.Samples))
+	}
+}
+
+func TestTicks90k(t *testing.T) {
+	if got := Ticks90k(30, 30); got != 90000 {
+		t.Errorf("Ticks90k(30, 30) = %d, want 90000", got)
+	}
+	if got := Ticks90k(0, 15); got != 0 {
+		t.Errorf("Ticks90k(0, 15) = %d", got)
+	}
+}
+
+func TestTrackLookups(t *testing.T) {
+	f := &File{Tracks: []Track{
+		{Kind: TrackText, MIME: "text/vtt"},
+		{Kind: TrackVideo},
+	}}
+	if f.VideoTrack() != 1 {
+		t.Errorf("VideoTrack = %d", f.VideoTrack())
+	}
+	if f.TextTrack() != 0 {
+		t.Errorf("TextTrack = %d", f.TextTrack())
+	}
+	empty := &File{}
+	if empty.VideoTrack() != -1 || empty.TextTrack() != -1 {
+		t.Error("lookups on empty file should be -1")
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	enc := testEncoded(t, 2)
+	path := t.TempDir() + "/test.vrmf"
+	if err := WriteFile(path, enc, []byte("WEBVTT\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, vtt, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Frames) != 2 || string(vtt) != "WEBVTT\n" {
+		t.Errorf("ReadFile = %d frames, %q", len(got.Frames), vtt)
+	}
+}

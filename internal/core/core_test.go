@@ -1,0 +1,219 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/queries"
+)
+
+func TestPresetsMatchTable2(t *testing.T) {
+	want := map[string][4]float64{
+		"1k-short": {2, 960, 540, 15 * 60},
+		"1k-long":  {4, 960, 540, 60 * 60},
+		"2k-short": {2, 1920, 1080, 15 * 60},
+		"2k-long":  {4, 1920, 1080, 60 * 60},
+		"4k-short": {2, 3840, 2160, 15 * 60},
+		"4k-long":  {4, 3840, 2160, 60 * 60},
+	}
+	if len(Presets) != len(want) {
+		t.Fatalf("%d presets, want %d", len(Presets), len(want))
+	}
+	for _, p := range Presets {
+		w, ok := want[p.Name]
+		if !ok {
+			t.Errorf("unexpected preset %s", p.Name)
+			continue
+		}
+		if float64(p.Params.Scale) != w[0] || float64(p.Params.Width) != w[1] ||
+			float64(p.Params.Height) != w[2] || p.Params.Duration != w[3] {
+			t.Errorf("preset %s = %+v", p.Name, p.Params)
+		}
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	if _, err := PresetByName("1k-short"); err != nil {
+		t.Error(err)
+	}
+	if _, err := PresetByName("8k-epic"); err == nil {
+		t.Error("unknown preset should fail")
+	}
+}
+
+func TestTable1Static(t *testing.T) {
+	if len(Table1) != 7 {
+		t.Errorf("Table 1 has %d rows, paper lists 7", len(Table1))
+	}
+	if Table1[0].Name != "Optasia" || Table1[6].Name != "Scanner" {
+		t.Error("Table 1 order should match the paper")
+	}
+}
+
+func TestModelResolution(t *testing.T) {
+	for _, name := range []string{"1k", "2k", "4k"} {
+		w, h, err := ModelResolution(name)
+		if err != nil || w <= 0 || h <= 0 {
+			t.Errorf("ModelResolution(%s) = %d, %d, %v", name, w, h, err)
+		}
+	}
+	if _, _, err := ModelResolution("8k"); err == nil {
+		t.Error("unknown resolution should fail")
+	}
+	// Scaling relationships mirror the paper's (2x linear per step).
+	w1, _, _ := ModelResolution("1k")
+	w2, _, _ := ModelResolution("2k")
+	w4, _, _ := ModelResolution("4k")
+	if w2 != 2*w1 || w4 != 2*w2 {
+		t.Errorf("resolutions not in 1:2:4 ratio: %d, %d, %d", w1, w2, w4)
+	}
+}
+
+func TestLinesOfCodeShape(t *testing.T) {
+	rows := LinesOfCode()
+	if len(rows) != 3*len(queries.AllQueries) {
+		t.Fatalf("%d LOC rows", len(rows))
+	}
+	// NoScope supports only Q1/Q2(c) and with very few lines; the other
+	// engines support everything.
+	for _, r := range rows {
+		switch r.System {
+		case "noscopelike":
+			if r.Supported != (r.Query == queries.Q1 || r.Query == queries.Q2c) {
+				t.Errorf("noscope support for %s = %v", r.Query, r.Supported)
+			}
+		default:
+			if !r.Supported {
+				t.Errorf("%s should support %s", r.System, r.Query)
+			}
+			if r.QueryLOC <= 0 {
+				t.Errorf("%s %s has no counted source", r.System, r.Query)
+			}
+		}
+	}
+	// Figure 7's headline: NoScope's Q2(c) invocation is much smaller
+	// than Scanner's or LightDB's.
+	var noscope, scanner int
+	for _, r := range rows {
+		if r.Query == queries.Q2c {
+			switch r.System {
+			case "noscopelike":
+				noscope = r.QueryLOC
+			case "scannerlike":
+				scanner = r.QueryLOC
+			}
+		}
+	}
+	if noscope >= scanner {
+		t.Errorf("NoScope Q2(c) LOC %d should be below Scanner's %d", noscope, scanner)
+	}
+}
+
+func TestOverheadMapRendersAllTiles(t *testing.T) {
+	out, err := OverheadMap(2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "B") {
+		t.Error("map lacks roads or buildings")
+	}
+	if !strings.Contains(out, "T") || !strings.Contains(out, "P") {
+		t.Error("map lacks camera markers")
+	}
+	if !strings.Contains(out, "TOWN0") {
+		t.Error("map lacks tile labels")
+	}
+}
+
+func TestGeneratorScaleSweepGrowsWithScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generation sweep")
+	}
+	points, err := GeneratorScaleSweep([]int{1, 2}, []string{"1k"}, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points", len(points))
+	}
+	if points[1].Elapsed <= points[0].Elapsed {
+		t.Errorf("L=2 (%v) should cost more than L=1 (%v)", points[1].Elapsed, points[0].Elapsed)
+	}
+	if points[1].Bytes <= points[0].Bytes {
+		t.Error("larger city should produce more data")
+	}
+}
+
+func TestGeneratorNodeSweepSpeedsUp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generation sweep")
+	}
+	points, err := GeneratorNodeSweep(2, []int{1, 4}, 0.4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 nodes should beat 1 node on a 2-tile city (2 tiles in parallel).
+	if points[1].Elapsed >= points[0].Elapsed {
+		t.Errorf("4 nodes (%v) not faster than 1 (%v)", points[1].Elapsed, points[0].Elapsed)
+	}
+}
+
+func TestDetectionQualityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality experiment")
+	}
+	res, err := DetectionQuality(QualityConfig{Frames: 160, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.APVisualRoad < 0.5 || res.APVisualRoad > 0.95 {
+		t.Errorf("Visual Road AP %.2f far from the paper's 0.72", res.APVisualRoad)
+	}
+	if res.APRecordedProxy <= res.APVisualRoad-0.02 {
+		t.Errorf("recorded AP %.2f should be at or above Visual Road %.2f (paper: 75%% vs 72%%)",
+			res.APRecordedProxy, res.APVisualRoad)
+	}
+}
+
+func TestCompareSystemsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison experiment")
+	}
+	res, err := CompareSystems(CompareConfig{
+		Scale: 1, Duration: 0.5, Seed: 3,
+		Queries:           []queries.QueryID{queries.Q1, queries.Q2c},
+		InstancesPerScale: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NoScope must win Q2(c) — its architectural specialty.
+	ns, _ := res.Cell("noscopelike", queries.Q2c)
+	sc, _ := res.Cell("scannerlike", queries.Q2c)
+	if !ns.Supported || !sc.Supported {
+		t.Fatal("Q2(c) should be supported by both")
+	}
+	if ns.Elapsed >= sc.Elapsed {
+		t.Errorf("noscope Q2(c) %v not faster than scanner %v", ns.Elapsed, sc.Elapsed)
+	}
+}
+
+func TestWriteVsStreamingSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("modes experiment")
+	}
+	res, err := WriteVsStreaming(CompareConfig{
+		Scale: 1, Duration: 0.5, Seed: 3, InstancesPerScale: 2,
+	}, []queries.QueryID{queries.Q1, queries.Q2a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("%d systems measured, want 2", len(res))
+	}
+	for _, r := range res {
+		if r.Write <= 0 || r.Streaming <= 0 {
+			t.Errorf("%s: zero durations", r.System)
+		}
+	}
+}

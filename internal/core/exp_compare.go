@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/queries"
+	"repro/internal/vcd"
+	"repro/internal/vcg"
+	"repro/internal/vcity"
+	"repro/internal/vdbms"
+	"repro/internal/vdbms/lightdblike"
+	"repro/internal/vdbms/noscopelike"
+	"repro/internal/vdbms/scannerlike"
+	"repro/internal/vfs"
+)
+
+// CompareConfig parameterizes the system-comparison experiments
+// (Figures 5 and 6). The zero value is filled with model-scale defaults.
+type CompareConfig struct {
+	Scale             int
+	Width, Height     int
+	Duration          float64
+	FPS               int
+	Seed              uint64
+	Queries           []queries.QueryID
+	InstancesPerScale int
+	Validate          bool
+	// ScannerMemoryBudget tunes the Scanner-like engine's
+	// materialization pool; smaller budgets thrash earlier (used by the
+	// Figure 6 scale sweep and the materialization ablation). The
+	// default scales the paper's 32 GB machine down to model scale.
+	ScannerMemoryBudget int64
+	// ScannerHardLimit is the allocation size at which the Scanner-like
+	// engine fails outright (Q4's fate at every paper-scale draw).
+	ScannerHardLimit int64
+}
+
+func (c CompareConfig) withDefaults() CompareConfig {
+	if c.Scale <= 0 {
+		c.Scale = 4
+	}
+	if c.Width <= 0 || c.Height <= 0 {
+		c.Width, c.Height = 240, 136 // model-scale 1k
+	}
+	if c.Duration <= 0 {
+		c.Duration = 1.0
+	}
+	if c.FPS <= 0 {
+		c.FPS = 15
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Queries) == 0 {
+		c.Queries = queries.AllQueries
+	}
+	if c.InstancesPerScale <= 0 {
+		c.InstancesPerScale = 4
+	}
+	if c.ScannerMemoryBudget <= 0 {
+		c.ScannerMemoryBudget = 16 << 20
+	}
+	if c.ScannerHardLimit <= 0 {
+		c.ScannerHardLimit = 24 << 20
+	}
+	return c
+}
+
+// NewSystems instantiates the three comparison engines with the
+// experiment's configuration.
+func NewSystems(scannerBudget, scannerHardLimit int64) []vdbms.System {
+	return []vdbms.System{
+		scannerlike.New(scannerlike.Options{
+			MemoryBudgetBytes: scannerBudget,
+			HardLimitBytes:    scannerHardLimit,
+		}),
+		lightdblike.New(lightdblike.Options{}),
+		noscopelike.NewDefault(),
+	}
+}
+
+// shutdowner is implemented by engines holding job-level resources.
+type shutdowner interface{ Shutdown() }
+
+// QueryCell is one (system, query) measurement.
+type QueryCell struct {
+	System         string
+	Query          queries.QueryID
+	Supported      bool
+	Elapsed        time.Duration
+	Frames         int
+	Completed      int
+	BatchSize      int
+	ResourceErrors int
+	BatchSplits    int
+	ValidationPass float64
+}
+
+// ComparisonResult is the full grid of Figure 5.
+type ComparisonResult struct {
+	Config CompareConfig
+	Cells  []QueryCell
+}
+
+// Cell returns the measurement for (system, query).
+func (r *ComparisonResult) Cell(system string, q queries.QueryID) (QueryCell, bool) {
+	for _, c := range r.Cells {
+		if c.System == system && c.Query == q {
+			return c, true
+		}
+	}
+	return QueryCell{}, false
+}
+
+// GenerateDataset builds a model-scale dataset for the comparison
+// config in an in-memory store and loads it.
+func GenerateDataset(cfg CompareConfig) (*vcd.Dataset, error) {
+	cfg = cfg.withDefaults()
+	store := vfs.NewMemory()
+	_, err := vcg.Generate(vcity.Hyperparams{
+		Scale: cfg.Scale, Width: cfg.Width, Height: cfg.Height,
+		Duration: cfg.Duration, FPS: cfg.FPS, Seed: cfg.Seed,
+	}, vcg.Options{Captions: true, QP: 22}, store)
+	if err != nil {
+		return nil, err
+	}
+	return vcd.LoadDataset(store, detect.ProfileSynthetic)
+}
+
+// CompareSystems reproduces Figure 5: each benchmark query executed on
+// each system over one dataset, reporting total runtime per batch.
+func CompareSystems(cfg CompareConfig) (*ComparisonResult, error) {
+	cfg = cfg.withDefaults()
+	ds, err := GenerateDataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return CompareSystemsOn(ds, cfg)
+}
+
+// CompareSystemsOn runs the comparison against a pre-built dataset.
+func CompareSystemsOn(ds *vcd.Dataset, cfg CompareConfig) (*ComparisonResult, error) {
+	cfg = cfg.withDefaults()
+	result := &ComparisonResult{Config: cfg}
+	for _, sys := range NewSystems(cfg.ScannerMemoryBudget, cfg.ScannerHardLimit) {
+		report, err := vcd.Run(ds, sys, vcd.Options{
+			Queries:           cfg.Queries,
+			InstancesPerScale: cfg.InstancesPerScale,
+			Seed:              cfg.Seed,
+			Mode:              vcd.StreamingMode,
+			Validate:          cfg.Validate,
+			ValidateFraction:  0.25,
+			MaxUpsamplePixels: 1 << 22,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: comparing %s: %w", sys.Name(), err)
+		}
+		if sd, ok := sys.(shutdowner); ok {
+			sd.Shutdown()
+		}
+		for _, qr := range report.Queries {
+			cell := QueryCell{
+				System:         sys.Name(),
+				Query:          qr.Query,
+				Supported:      !qr.Unsupported,
+				Elapsed:        qr.Elapsed,
+				Frames:         qr.Frames,
+				Completed:      qr.Completed,
+				BatchSize:      qr.BatchSize,
+				ResourceErrors: qr.ResourceErrors,
+				BatchSplits:    qr.BatchSplits,
+				ValidationPass: qr.Validation.PassRate(),
+			}
+			result.Cells = append(result.Cells, cell)
+		}
+	}
+	return result, nil
+}
+
+// ScalePoint is one point of the Figure 6 sweep.
+type ScalePoint struct {
+	Scale  int
+	Result *ComparisonResult
+}
+
+// ScaleSweep reproduces Figure 6: the comparison repeated at increasing
+// scale factors.
+func ScaleSweep(cfg CompareConfig, scales []int) ([]ScalePoint, error) {
+	cfg = cfg.withDefaults()
+	var out []ScalePoint
+	for _, L := range scales {
+		c := cfg
+		c.Scale = L
+		r, err := CompareSystems(c)
+		if err != nil {
+			return nil, fmt.Errorf("core: scale %d: %w", L, err)
+		}
+		out = append(out, ScalePoint{Scale: L, Result: r})
+	}
+	return out, nil
+}
+
+// LOCRow is one bar group of Figure 7.
+type LOCRow struct {
+	Query     queries.QueryID
+	System    string
+	QueryLOC  int
+	Extension int
+	Supported bool
+}
+
+// LinesOfCode reproduces Figure 7: the per-system lines of code needed
+// to express each query, counted from the engines' adapter sources by
+// the same methodology as the paper (non-empty lines of auto-formatted
+// minimal code).
+func LinesOfCode() []LOCRow {
+	var rows []LOCRow
+	for _, sys := range NewSystems(0, 0) {
+		for _, q := range queries.AllQueries {
+			row := LOCRow{Query: q, System: sys.Name(), Supported: sys.Supports(q)}
+			if row.Supported {
+				row.QueryLOC, row.Extension = sys.QueryLOC(q)
+			}
+			rows = append(rows, row)
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Query != rows[j].Query {
+			return queryOrder(rows[i].Query) < queryOrder(rows[j].Query)
+		}
+		return rows[i].System < rows[j].System
+	})
+	return rows
+}
+
+func queryOrder(q queries.QueryID) int {
+	for i, id := range queries.AllQueries {
+		if id == q {
+			return i
+		}
+	}
+	return len(queries.AllQueries)
+}

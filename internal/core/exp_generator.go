@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/vcg"
+	"repro/internal/vcity"
+	"repro/internal/vfs"
+)
+
+// GenPoint is one measurement of the generator experiments.
+type GenPoint struct {
+	Scale      int
+	Resolution string
+	Width      int
+	Height     int
+	Nodes      int
+	Elapsed    time.Duration
+	Bytes      int
+}
+
+// GeneratorScaleSweep reproduces Figure 8: single-node VCG generation
+// time with increasing scale factor at each named resolution (1k, 2k,
+// 4k — model-scale dimensions). Duration is the per-camera video length
+// in seconds.
+func GeneratorScaleSweep(scales []int, resolutions []string, duration float64, seed uint64) ([]GenPoint, error) {
+	var out []GenPoint
+	for _, res := range resolutions {
+		w, h, err := ModelResolution(res)
+		if err != nil {
+			return nil, err
+		}
+		for _, L := range scales {
+			store := vfs.NewMemory()
+			r, err := vcg.Generate(vcity.Hyperparams{
+				Scale: L, Width: w, Height: h, Duration: duration, FPS: 15, Seed: seed,
+			}, vcg.Options{Nodes: 1, QP: 24}, store)
+			if err != nil {
+				return nil, fmt.Errorf("core: generating L=%d %s: %w", L, res, err)
+			}
+			out = append(out, GenPoint{
+				Scale: L, Resolution: res, Width: w, Height: h, Nodes: 1,
+				Elapsed: r.Elapsed, Bytes: store.Size(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// GeneratorNodeSweep reproduces Figure 9: distributed VCG generation
+// time with increasing node count at fixed scale and resolution.
+func GeneratorNodeSweep(scale int, nodes []int, duration float64, seed uint64) ([]GenPoint, error) {
+	w, h, err := ModelResolution("1k")
+	if err != nil {
+		return nil, err
+	}
+	var out []GenPoint
+	for _, n := range nodes {
+		store := vfs.NewMemory()
+		r, err := vcg.Generate(vcity.Hyperparams{
+			Scale: scale, Width: w, Height: h, Duration: duration, FPS: 15, Seed: seed,
+		}, vcg.Options{Nodes: n, QP: 24}, store)
+		if err != nil {
+			return nil, fmt.Errorf("core: generating with %d nodes: %w", n, err)
+		}
+		out = append(out, GenPoint{
+			Scale: scale, Resolution: "1k", Width: w, Height: h, Nodes: n,
+			Elapsed: r.ClusterElapsed(), Bytes: store.Size(),
+		})
+	}
+	return out, nil
+}

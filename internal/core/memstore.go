@@ -1,0 +1,7 @@
+package core
+
+import "repro/internal/vfs"
+
+// newMemStore returns the in-memory store experiments stage transient
+// datasets in.
+func newMemStore() *vfs.Memory { return vfs.NewMemory() }

@@ -1,0 +1,223 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/vcity"
+	"repro/internal/video"
+)
+
+func timeIt(fn func(), n int) time.Duration {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		fn()
+	}
+	return time.Since(start)
+}
+
+func bigObs(n int) []vcity.Observation {
+	out := make([]vcity.Observation, n)
+	for i := range out {
+		out[i] = vcity.Observation{
+			Object: vcity.SceneObject{Class: vcity.ClassVehicle, ID: i},
+			Box: geom.Rect{
+				MinX: float64(10 + i*40), MinY: 20,
+				MaxX: float64(10+i*40) + 60, MaxY: 80,
+			},
+			Depth:      20,
+			Visibility: 1,
+		}
+	}
+	return out
+}
+
+func TestDetectDeterministic(t *testing.T) {
+	d := NewYOLO(ProfileSynthetic, 7)
+	d.CostPasses = 0
+	f := video.NewFrame(320, 180)
+	f.Index = 3
+	obs := bigObs(4)
+	a := d.Detect(f, "cam1", obs)
+	b := d.Detect(f, "cam1", obs)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("detection %d differs", i)
+		}
+	}
+}
+
+func TestDetectVariesByFrameAndCamera(t *testing.T) {
+	d := NewYOLO(ProfileSynthetic, 7)
+	d.CostPasses = 0
+	obs := bigObs(6)
+	f1 := video.NewFrame(320, 180)
+	f1.Index = 1
+	f2 := video.NewFrame(320, 180)
+	f2.Index = 2
+	a := d.Detect(f1, "cam1", obs)
+	b := d.Detect(f2, "cam1", obs)
+	c := d.Detect(f1, "cam2", obs)
+	if detectionsEqual(a, b) && detectionsEqual(a, c) {
+		t.Error("noise should vary across frames and cameras")
+	}
+}
+
+func detectionsEqual(a, b []metrics.Detection) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDetectIndependentOfProcessingOrder(t *testing.T) {
+	// Detections must depend only on (seed, camera, frame index), so an
+	// engine that skips frames (NoScope cascade) still validates.
+	d := NewYOLO(ProfileSynthetic, 7)
+	d.CostPasses = 0
+	obs := bigObs(5)
+	f5 := video.NewFrame(320, 180)
+	f5.Index = 5
+	direct := d.Detect(f5, "cam", obs)
+	// Process other frames first.
+	for i := 0; i < 5; i++ {
+		fi := video.NewFrame(320, 180)
+		fi.Index = i
+		d.Detect(fi, "cam", obs)
+	}
+	after := d.Detect(f5, "cam", obs)
+	if !detectionsEqual(direct, after) {
+		t.Error("detections depend on processing history")
+	}
+}
+
+func TestLargeVisibleObjectsMostlyDetected(t *testing.T) {
+	d := NewYOLO(ProfileSynthetic, 3)
+	d.CostPasses = 0
+	obs := bigObs(4) // each 60×60 = 3600 px² > SmallAreaPx
+	hits := 0
+	trials := 100
+	for i := 0; i < trials; i++ {
+		f := video.NewFrame(320, 180)
+		f.Index = i
+		dets := d.Detect(f, "cam", obs)
+		for _, det := range dets {
+			if det.Confidence > 0.5 {
+				hits++
+			}
+		}
+	}
+	rate := float64(hits) / float64(trials*len(obs))
+	if rate < 0.7 {
+		t.Errorf("large-object detection rate %.2f, want > 0.7", rate)
+	}
+}
+
+func TestOccludedObjectsDropped(t *testing.T) {
+	d := NewYOLO(ProfileSynthetic, 3)
+	d.CostPasses = 0
+	obs := bigObs(1)
+	obs[0].Visibility = 0.2 // below OcclusionMissBelow
+	for i := 0; i < 50; i++ {
+		f := video.NewFrame(320, 180)
+		f.Index = i
+		for _, det := range d.Detect(f, "cam", obs) {
+			if geom.IoU(det.Box, obs[0].Box) > 0.3 {
+				t.Fatal("occluded object detected")
+			}
+		}
+	}
+}
+
+func TestTinyObjectsMostlyMissed(t *testing.T) {
+	d := NewYOLO(ProfileSynthetic, 3)
+	d.CostPasses = 0
+	obs := []vcity.Observation{{
+		Object:     vcity.SceneObject{Class: vcity.ClassPedestrian},
+		Box:        geom.Rect{MinX: 10, MinY: 10, MaxX: 14, MaxY: 18}, // 32 px²
+		Visibility: 1,
+	}}
+	hits := 0
+	for i := 0; i < 100; i++ {
+		f := video.NewFrame(320, 180)
+		f.Index = i
+		for _, det := range d.Detect(f, "cam", obs) {
+			if geom.IoU(det.Box, obs[0].Box) > 0.3 {
+				hits++
+			}
+		}
+	}
+	if hits > 30 {
+		t.Errorf("tiny object detected %d/100 times — small-object misses not modeled", hits)
+	}
+}
+
+func TestCostKernelDominatesRuntime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	f := video.NewFrame(320, 180)
+	obs := bigObs(4)
+	withCost := NewYOLO(ProfileSynthetic, 1)
+	noCost := NewYOLO(ProfileSynthetic, 1)
+	noCost.CostPasses = 0
+	tCost := timeIt(func() { withCost.Detect(f, "c", obs) }, 5)
+	tFree := timeIt(func() { noCost.Detect(f, "c", obs) }, 5)
+	if tCost < tFree*5 {
+		t.Errorf("cost kernel too cheap: with=%v without=%v", tCost, tFree)
+	}
+}
+
+func TestConfidenceBounds(t *testing.T) {
+	d := NewYOLO(ProfileSynthetic, 9)
+	d.CostPasses = 0
+	for i := 0; i < 50; i++ {
+		f := video.NewFrame(320, 180)
+		f.Index = i
+		for _, det := range d.Detect(f, "cam", bigObs(6)) {
+			if det.Confidence <= 0 || det.Confidence >= 1 {
+				t.Fatalf("confidence %v out of (0, 1)", det.Confidence)
+			}
+			if det.Box.Empty() {
+				t.Fatal("empty detection box")
+			}
+		}
+	}
+}
+
+func TestFalsePositivesOccur(t *testing.T) {
+	d := NewYOLO(ProfileSynthetic, 9)
+	d.CostPasses = 0
+	fp := 0
+	for i := 0; i < 200; i++ {
+		f := video.NewFrame(320, 180)
+		f.Index = i
+		fp += len(d.Detect(f, "cam", nil)) // no ground truth: all detections are FPs
+	}
+	if fp == 0 {
+		t.Error("no false positives in 200 frames — FP model inactive")
+	}
+	mean := float64(fp) / 200
+	if mean > 1.5 {
+		t.Errorf("false positive rate %.2f per frame too high", mean)
+	}
+}
+
+func TestProfilesDiffer(t *testing.T) {
+	if ProfileSynthetic == ProfileRecorded {
+		t.Error("profiles should be distinct calibrations")
+	}
+	if ProfileRecorded.MissBase >= ProfileSynthetic.MissBase {
+		t.Error("recorded profile should miss less (paper: higher AP on UA-DETRAC)")
+	}
+}

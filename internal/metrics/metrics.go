@@ -1,0 +1,253 @@
+// Package metrics implements the measurement vocabulary of the Visual
+// Road driver: PSNR frame validation (the paper adopts a ≥ 40 dB
+// near-lossless threshold), bounding-box IoU / average precision for
+// semantic validation and quality studies, and descriptive statistics
+// for benchmark reporting.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/video"
+)
+
+// PSNRThreshold is the validation cutoff (dB) used by the VCD: values
+// at or above it are considered near-lossless.
+const PSNRThreshold = 40.0
+
+// MSE returns the mean squared error between two equally-sized frames,
+// computed over all three planes.
+func MSE(a, b *video.Frame) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("metrics: frame size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	var se float64
+	n := 0
+	for _, pl := range [][2][]byte{{a.Y, b.Y}, {a.U, b.U}, {a.V, b.V}} {
+		for i := range pl[0] {
+			d := float64(pl[0][i]) - float64(pl[1][i])
+			se += d * d
+		}
+		n += len(pl[0])
+	}
+	return se / float64(n), nil
+}
+
+// PSNR returns the peak signal-to-noise ratio between two frames in dB.
+// Identical frames return +Inf.
+func PSNR(a, b *video.Frame) (float64, error) {
+	mse, err := MSE(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(255*255/mse), nil
+}
+
+// VideoPSNR returns the mean PSNR across corresponding frames of two
+// videos, which must have equal length and resolution. Infinite
+// per-frame values (identical frames) are treated as 100 dB, a common
+// convention when aggregating.
+func VideoPSNR(a, b *video.Video) (float64, error) {
+	if len(a.Frames) != len(b.Frames) {
+		return 0, fmt.Errorf("metrics: video length mismatch %d vs %d", len(a.Frames), len(b.Frames))
+	}
+	if len(a.Frames) == 0 {
+		return 0, fmt.Errorf("metrics: empty videos")
+	}
+	var sum float64
+	for i := range a.Frames {
+		p, err := PSNR(a.Frames[i], b.Frames[i])
+		if err != nil {
+			return 0, fmt.Errorf("metrics: frame %d: %w", i, err)
+		}
+		if math.IsInf(p, 1) {
+			p = 100
+		}
+		sum += p
+	}
+	return sum / float64(len(a.Frames)), nil
+}
+
+// Detection is a scored bounding box with a class label, as produced by
+// detectors and consumed by AP computation.
+type Detection struct {
+	Box        geom.Rect
+	Class      string
+	Confidence float64
+}
+
+// GroundTruthBox is a reference box for AP computation.
+type GroundTruthBox struct {
+	Box   geom.Rect
+	Class string
+}
+
+// AveragePrecision computes AP at the given IoU threshold for one class
+// across a set of images: detections[i] and truths[i] belong to image i.
+// It follows the PASCAL VOC continuous (area-under-PR-curve) protocol:
+// detections are sorted by confidence, each matches at most one unmatched
+// ground truth with IoU ≥ threshold, and AP integrates precision over
+// recall.
+func AveragePrecision(detections [][]Detection, truths [][]GroundTruthBox, class string, iouThresh float64) float64 {
+	type scored struct {
+		img  int
+		conf float64
+		box  geom.Rect
+	}
+	var all []scored
+	totalTruth := 0
+	for i := range truths {
+		for _, t := range truths[i] {
+			if t.Class == class {
+				totalTruth++
+			}
+		}
+	}
+	if totalTruth == 0 {
+		return 0
+	}
+	for i := range detections {
+		for _, d := range detections[i] {
+			if d.Class == class {
+				all = append(all, scored{img: i, conf: d.Confidence, box: d.Box})
+			}
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].conf > all[j].conf })
+
+	matched := make([]map[int]bool, len(truths))
+	for i := range matched {
+		matched[i] = make(map[int]bool)
+	}
+	tp := make([]int, len(all))
+	for k, d := range all {
+		bestIoU, bestIdx := 0.0, -1
+		for ti, t := range truths[d.img] {
+			if t.Class != class || matched[d.img][ti] {
+				continue
+			}
+			if iou := geom.IoU(d.box, t.Box); iou > bestIoU {
+				bestIoU, bestIdx = iou, ti
+			}
+		}
+		if bestIdx >= 0 && bestIoU >= iouThresh {
+			matched[d.img][bestIdx] = true
+			tp[k] = 1
+		}
+	}
+	// Precision-recall curve.
+	var ap, cumTP float64
+	prevRecall := 0.0
+	for k := range all {
+		cumTP += float64(tp[k])
+		recall := cumTP / float64(totalTruth)
+		precision := cumTP / float64(k+1)
+		ap += precision * (recall - prevRecall)
+		prevRecall = recall
+	}
+	return ap
+}
+
+// Stats holds descriptive statistics for a sample of measurements, as
+// the benchmark requires evaluators to report per query batch.
+type Stats struct {
+	N              int
+	Mean, Min, Max float64
+	StdDev         float64
+	P50, P95       float64
+}
+
+// Describe computes descriptive statistics of the sample.
+func Describe(sample []float64) Stats {
+	if len(sample) == 0 {
+		return Stats{}
+	}
+	s := Stats{N: len(sample), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, v := range sample {
+		sum += v
+		s.Min = math.Min(s.Min, v)
+		s.Max = math.Max(s.Max, v)
+	}
+	s.Mean = sum / float64(len(sample))
+	var varSum float64
+	for _, v := range sample {
+		d := v - s.Mean
+		varSum += d * d
+	}
+	s.StdDev = math.Sqrt(varSum / float64(len(sample)))
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	s.P50 = percentile(sorted, 0.50)
+	s.P95 = percentile(sorted, 0.95)
+	return s
+}
+
+// percentile returns the p-quantile of a sorted sample using nearest-
+// rank interpolation.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := p * float64(len(sorted)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo] + (sorted[hi]-sorted[lo])*frac
+}
+
+// F1Score computes the F1 of detections against ground truth at the
+// given IoU threshold across a set of images, using the same one-match-
+// per-truth protocol as AveragePrecision. The paper suggests evaluators
+// "publish the F1 scores of their query results" when algorithm
+// selection becomes a concern.
+func F1Score(detections [][]Detection, truths [][]GroundTruthBox, class string, iouThresh float64) float64 {
+	tp, fp, fn := 0, 0, 0
+	for i := range truths {
+		matched := map[int]bool{}
+		var dets []Detection
+		if i < len(detections) {
+			dets = detections[i]
+		}
+		for _, d := range dets {
+			if d.Class != class {
+				continue
+			}
+			bestIoU, bestIdx := 0.0, -1
+			for ti, t := range truths[i] {
+				if t.Class != class || matched[ti] {
+					continue
+				}
+				if iou := geom.IoU(d.Box, t.Box); iou > bestIoU {
+					bestIoU, bestIdx = iou, ti
+				}
+			}
+			if bestIdx >= 0 && bestIoU >= iouThresh {
+				matched[bestIdx] = true
+				tp++
+			} else {
+				fp++
+			}
+		}
+		for ti, t := range truths[i] {
+			if t.Class == class && !matched[ti] {
+				fn++
+			}
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	precision := float64(tp) / float64(tp+fp)
+	recall := float64(tp) / float64(tp+fn)
+	return 2 * precision * recall / (precision + recall)
+}

@@ -1,0 +1,270 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/video"
+)
+
+func TestPSNRIdentical(t *testing.T) {
+	f := video.NewFrame(16, 16)
+	p, err := PSNR(f, f.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p, 1) {
+		t.Errorf("PSNR of identical frames = %v, want +Inf", p)
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	a := video.NewFrame(16, 16)
+	b := a.Clone()
+	// Uniform error of 1 in every luma+chroma sample → MSE 1.
+	for i := range b.Y {
+		b.Y[i]++
+	}
+	for i := range b.U {
+		b.U[i]++
+		b.V[i]++
+	}
+	p, err := PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * math.Log10(255*255)
+	if math.Abs(p-want) > 1e-9 {
+		t.Errorf("PSNR = %v, want %v", p, want)
+	}
+}
+
+func TestPSNRSizeMismatch(t *testing.T) {
+	if _, err := PSNR(video.NewFrame(4, 4), video.NewFrame(8, 8)); err == nil {
+		t.Error("size mismatch should fail")
+	}
+}
+
+func TestVideoPSNRLengthMismatch(t *testing.T) {
+	a := video.NewVideo(15)
+	a.Append(video.NewFrame(4, 4))
+	b := video.NewVideo(15)
+	if _, err := VideoPSNR(a, b); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestVideoPSNRAggregates(t *testing.T) {
+	a := video.NewVideo(15)
+	b := video.NewVideo(15)
+	for i := 0; i < 3; i++ {
+		a.Append(video.NewFrame(8, 8))
+		b.Append(video.NewFrame(8, 8))
+	}
+	p, err := VideoPSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 100 {
+		t.Errorf("identical videos PSNR = %v, want 100 (capped convention)", p)
+	}
+}
+
+func TestPSNRThresholdIs40(t *testing.T) {
+	if PSNRThreshold != 40 {
+		t.Errorf("threshold = %v, paper uses 40 dB", PSNRThreshold)
+	}
+}
+
+func TestAveragePrecisionPerfect(t *testing.T) {
+	dets := [][]Detection{{
+		{Box: geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, Class: "Vehicle", Confidence: 0.9},
+	}}
+	truths := [][]GroundTruthBox{{
+		{Box: geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, Class: "Vehicle"},
+	}}
+	if ap := AveragePrecision(dets, truths, "Vehicle", 0.5); ap != 1 {
+		t.Errorf("perfect AP = %v, want 1", ap)
+	}
+}
+
+func TestAveragePrecisionMiss(t *testing.T) {
+	dets := [][]Detection{{}}
+	truths := [][]GroundTruthBox{{
+		{Box: geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, Class: "Vehicle"},
+	}}
+	if ap := AveragePrecision(dets, truths, "Vehicle", 0.5); ap != 0 {
+		t.Errorf("all-miss AP = %v, want 0", ap)
+	}
+}
+
+func TestAveragePrecisionFalsePositivesLowerPrecision(t *testing.T) {
+	gt := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	clean := [][]Detection{{
+		{Box: gt, Class: "Vehicle", Confidence: 0.9},
+	}}
+	noisy := [][]Detection{{
+		{Box: gt, Class: "Vehicle", Confidence: 0.9},
+		{Box: geom.Rect{MinX: 50, MinY: 50, MaxX: 60, MaxY: 60}, Class: "Vehicle", Confidence: 0.95},
+	}}
+	truths := [][]GroundTruthBox{{{Box: gt, Class: "Vehicle"}}}
+	apClean := AveragePrecision(clean, truths, "Vehicle", 0.5)
+	apNoisy := AveragePrecision(noisy, truths, "Vehicle", 0.5)
+	if apNoisy >= apClean {
+		t.Errorf("high-confidence FP should lower AP: %v vs %v", apNoisy, apClean)
+	}
+}
+
+func TestAveragePrecisionOneMatchPerTruth(t *testing.T) {
+	// A duplicate detection of an already-matched truth counts as a
+	// false positive, lowering the precision of later true positives.
+	gt1 := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	gt2 := geom.Rect{MinX: 30, MinY: 30, MaxX: 40, MaxY: 40}
+	dets := [][]Detection{{
+		{Box: gt1, Class: "Vehicle", Confidence: 0.9},
+		{Box: gt1, Class: "Vehicle", Confidence: 0.85}, // duplicate: FP
+		{Box: gt2, Class: "Vehicle", Confidence: 0.8},
+	}}
+	truths := [][]GroundTruthBox{{
+		{Box: gt1, Class: "Vehicle"},
+		{Box: gt2, Class: "Vehicle"},
+	}}
+	ap := AveragePrecision(dets, truths, "Vehicle", 0.5)
+	// Expected: 0.5·1 + 0.5·(2/3) = 5/6.
+	if math.Abs(ap-5.0/6) > 1e-9 {
+		t.Errorf("AP = %v, want 5/6", ap)
+	}
+}
+
+func TestAveragePrecisionClassFiltering(t *testing.T) {
+	dets := [][]Detection{{
+		{Box: geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, Class: "Pedestrian", Confidence: 0.9},
+	}}
+	truths := [][]GroundTruthBox{{
+		{Box: geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, Class: "Vehicle"},
+	}}
+	if ap := AveragePrecision(dets, truths, "Vehicle", 0.5); ap != 0 {
+		t.Errorf("cross-class match should not count: %v", ap)
+	}
+}
+
+func TestAveragePrecisionNoTruth(t *testing.T) {
+	if ap := AveragePrecision(nil, [][]GroundTruthBox{{}}, "Vehicle", 0.5); ap != 0 {
+		t.Errorf("AP with no ground truth = %v, want 0", ap)
+	}
+}
+
+func TestAveragePrecisionBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		// Random boxes and detections: AP always in [0, 1].
+		rng := newTestRNG(seed)
+		var dets [][]Detection
+		var truths [][]GroundTruthBox
+		for img := 0; img < 3; img++ {
+			var d []Detection
+			var g []GroundTruthBox
+			for i := 0; i < rng.intn(5); i++ {
+				d = append(d, Detection{Box: rng.rect(), Class: "Vehicle", Confidence: rng.f()})
+			}
+			for i := 0; i < rng.intn(5); i++ {
+				g = append(g, GroundTruthBox{Box: rng.rect(), Class: "Vehicle"})
+			}
+			dets = append(dets, d)
+			truths = append(truths, g)
+		}
+		ap := AveragePrecision(dets, truths, "Vehicle", 0.5)
+		return ap >= 0 && ap <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+type testRNG struct{ s uint64 }
+
+func newTestRNG(seed int64) *testRNG { return &testRNG{s: uint64(seed)*2 + 1} }
+func (r *testRNG) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+func (r *testRNG) f() float64     { return float64(r.next()%1000) / 1000 }
+func (r *testRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+func (r *testRNG) rect() geom.Rect {
+	x, y := r.f()*90, r.f()*90
+	return geom.Rect{MinX: x, MinY: y, MaxX: x + 5 + r.f()*20, MaxY: y + 5 + r.f()*20}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Describe = %+v", s)
+	}
+	if s.P50 != 3 {
+		t.Errorf("P50 = %v, want 3", s.P50)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("StdDev = %v, want sqrt(2)", s.StdDev)
+	}
+}
+
+func TestDescribeEmpty(t *testing.T) {
+	s := Describe(nil)
+	if s.N != 0 {
+		t.Errorf("empty Describe = %+v", s)
+	}
+}
+
+func TestDescribeSingleton(t *testing.T) {
+	s := Describe([]float64{7})
+	if s.Mean != 7 || s.P50 != 7 || s.P95 != 7 || s.StdDev != 0 {
+		t.Errorf("singleton Describe = %+v", s)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	s := Describe([]float64{0, 10})
+	if s.P50 != 5 {
+		t.Errorf("P50 of {0,10} = %v, want 5", s.P50)
+	}
+}
+
+func TestF1Perfect(t *testing.T) {
+	dets := [][]Detection{{
+		{Box: geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, Class: "Vehicle", Confidence: 0.9},
+	}}
+	truths := [][]GroundTruthBox{{
+		{Box: geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, Class: "Vehicle"},
+	}}
+	if f1 := F1Score(dets, truths, "Vehicle", 0.5); f1 != 1 {
+		t.Errorf("F1 = %v, want 1", f1)
+	}
+}
+
+func TestF1BalancesPrecisionRecall(t *testing.T) {
+	gt := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	// One TP, one FP, one FN: precision 0.5, recall 0.5 → F1 0.5.
+	dets := [][]Detection{{
+		{Box: gt, Class: "Vehicle", Confidence: 0.9},
+		{Box: geom.Rect{MinX: 50, MinY: 50, MaxX: 60, MaxY: 60}, Class: "Vehicle", Confidence: 0.8},
+	}}
+	truths := [][]GroundTruthBox{{
+		{Box: gt, Class: "Vehicle"},
+		{Box: geom.Rect{MinX: 80, MinY: 80, MaxX: 90, MaxY: 90}, Class: "Vehicle"},
+	}}
+	if f1 := F1Score(dets, truths, "Vehicle", 0.5); math.Abs(f1-0.5) > 1e-9 {
+		t.Errorf("F1 = %v, want 0.5", f1)
+	}
+}
+
+func TestF1NoDetections(t *testing.T) {
+	truths := [][]GroundTruthBox{{
+		{Box: geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, Class: "Vehicle"},
+	}}
+	if f1 := F1Score(nil, truths, "Vehicle", 0.5); f1 != 0 {
+		t.Errorf("F1 with no detections = %v", f1)
+	}
+}

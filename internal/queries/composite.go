@@ -1,0 +1,280 @@
+package queries
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/alpr"
+	"repro/internal/codec"
+	"repro/internal/geom"
+	"repro/internal/render"
+	"repro/internal/vcity"
+	"repro/internal/video"
+)
+
+// RunQ7 is the object detection composite: for each requested object
+// class, the detection boxes (Q2(c)) are overlaid onto the input
+// (Q6(a)) and the background is removed (Q2(d)):
+//
+//	V^o = Q2d(Q6a(V, Q2c(V, A, {o})))
+func RunQ7(v *video.Video, p Params, env *Env) (map[string]*video.Video, error) {
+	if len(p.Classes) == 0 {
+		return nil, fmt.Errorf("queries: Q7 requires at least one object class")
+	}
+	if p.M == 0 {
+		p.M = 8
+	}
+	if p.Epsilon == 0 {
+		p.Epsilon = 0.1
+	}
+	out := make(map[string]*video.Video, len(p.Classes))
+	for _, class := range p.Classes {
+		cp := p
+		cp.Classes = []vcity.ObjectClass{class}
+		cp.Algorithm = "yolov2"
+		boxes, err := RunQ2c(v, cp, env)
+		if err != nil {
+			return nil, fmt.Errorf("queries: Q7 class %s: %w", class, err)
+		}
+		merged, err := RunQ6a(v, boxes)
+		if err != nil {
+			return nil, fmt.Errorf("queries: Q7 class %s: %w", class, err)
+		}
+		masked, err := RunQ2d(merged, Params{M: cp.M, Epsilon: cp.Epsilon})
+		if err != nil {
+			return nil, fmt.Errorf("queries: Q7 class %s: %w", class, err)
+		}
+		out[class.String()] = masked
+	}
+	return out, nil
+}
+
+// TrackingSegment is one vehicle tracking segment (VTS): a contiguous
+// frame range of one camera during which the target vehicle's plate is
+// identifiable.
+type TrackingSegment struct {
+	Camera     *vcity.Camera
+	FirstFrame int
+	LastFrame  int // inclusive
+	EntryTime  float64
+}
+
+// FindVTS scans one camera's video for tracking segments of the vehicle
+// with the given plate, using the ALPR recognizer on the frame pixels
+// (with the simulation's geometric identifiability gating; see package
+// alpr). Segments shorter than minFrames are dropped.
+func FindVTS(v *video.Video, env *Env, rec *alpr.Recognizer, plate string, minFrames int) []TrackingSegment {
+	tile := env.City.TileOf(env.Camera)
+	var target *vcity.Vehicle
+	for _, veh := range tile.Vehicles {
+		if veh.Plate == plate {
+			target = veh
+			break
+		}
+	}
+	if target == nil {
+		return nil
+	}
+	var segs []TrackingSegment
+	inSeg := false
+	var cur TrackingSegment
+	for i, f := range v.Frames {
+		t := env.FrameTime(i, v.FPS)
+		ok := rec.Match(f, tile, env.Camera, t, target, plate)
+		switch {
+		case ok && !inSeg:
+			inSeg = true
+			cur = TrackingSegment{Camera: env.Camera, FirstFrame: i, LastFrame: i, EntryTime: t}
+		case ok:
+			cur.LastFrame = i
+		case inSeg:
+			inSeg = false
+			if cur.LastFrame-cur.FirstFrame+1 >= minFrames {
+				segs = append(segs, cur)
+			}
+		}
+	}
+	if inSeg && cur.LastFrame-cur.FirstFrame+1 >= minFrames {
+		segs = append(segs, cur)
+	}
+	return segs
+}
+
+// RunQ8 is the vehicle tracking composite: given the traffic camera
+// videos and a license plate, it finds all vehicle tracking segments,
+// orders them by entry time, overlays a tracking box on each segment,
+// and concatenates them into a single tracking video.
+//
+// videos[i] must be the capture of cams[i]; envs[i] the matching
+// environment. All videos must share one resolution and frame rate.
+func RunQ8(videos []*video.Video, envs []*Env, rec *alpr.Recognizer, plate string) (*video.Video, []TrackingSegment, error) {
+	if len(videos) == 0 || len(videos) != len(envs) {
+		return nil, nil, fmt.Errorf("queries: Q8 requires matching videos and environments")
+	}
+	var all []struct {
+		seg TrackingSegment
+		vi  int
+	}
+	for i, v := range videos {
+		for _, s := range FindVTS(v, envs[i], rec, plate, 2) {
+			all = append(all, struct {
+				seg TrackingSegment
+				vi  int
+			}{s, i})
+		}
+	}
+	// Order by entry time (stable: scan order breaks ties).
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].seg.EntryTime < all[j-1].seg.EntryTime; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	out := video.NewVideo(videos[0].FPS)
+	var segs []TrackingSegment
+	boxColor := video.Color{R: 255, G: 220, B: 40}
+	for _, e := range all {
+		v, env := videos[e.vi], envs[e.vi]
+		tile := env.City.TileOf(env.Camera)
+		var target *vcity.Vehicle
+		for _, veh := range tile.Vehicles {
+			if veh.Plate == plate {
+				target = veh
+				break
+			}
+		}
+		for fi := e.seg.FirstFrame; fi <= e.seg.LastFrame; fi++ {
+			g := v.Frames[fi].Clone()
+			// Overlay the tracked vehicle's box (the Q6(a) overlay step).
+			t := env.FrameTime(fi, v.FPS)
+			for _, obs := range tile.GroundTruth(env.Camera, t, g.W, g.H) {
+				if obs.Object.Class == vcity.ClassVehicle && obs.Object.Plate == plate {
+					render.DrawRect(g, obs.Box, 2, boxColor)
+					render.DrawText(g, int(obs.Box.MinX), int(obs.Box.MinY)-10, 1, plate, boxColor)
+				}
+			}
+			out.Append(g)
+		}
+		segs = append(segs, e.seg)
+		_ = target
+	}
+	return out, segs, nil
+}
+
+// RunQ9 stitches the four 120°-FOV sub-camera videos of a panoramic
+// camera into a single equirectangularly-projected 360° video. The
+// output has a 2:1 aspect ratio with height equal to the input width.
+// For each output pixel, the direction on the unit sphere is computed,
+// the best-aligned sub-camera chosen, and the source sampled
+// bilinearly.
+func RunQ9(subVideos []*video.Video, subCams []*vcity.Camera) (*video.Video, error) {
+	if len(subVideos) != 4 || len(subCams) != 4 {
+		return nil, fmt.Errorf("queries: Q9 requires exactly 4 sub-camera videos, got %d", len(subVideos))
+	}
+	w, h := subVideos[0].Resolution()
+	for i := 1; i < 4; i++ {
+		w2, h2 := subVideos[i].Resolution()
+		if w2 != w || h2 != h {
+			return nil, fmt.Errorf("queries: Q9 sub-video %d resolution %dx%d != %dx%d", i, w2, h2, w, h)
+		}
+		if len(subVideos[i].Frames) != len(subVideos[0].Frames) {
+			return nil, fmt.Errorf("queries: Q9 sub-video %d length mismatch", i)
+		}
+	}
+	outH := w
+	outW := 2 * outH
+	baseYaw := subCams[0].Yaw
+
+	// Precompute per-camera bases and focal lengths.
+	type camBasis struct {
+		fwd, right, up geom.Vec3
+		focal          float64
+	}
+	bases := make([]camBasis, 4)
+	for i, c := range subCams {
+		f, r, u := c.Basis()
+		bases[i] = camBasis{f, r, u, float64(w) / 2 / math.Tan(geom.Deg(c.FOVDeg)/2)}
+	}
+
+	out := video.NewVideo(subVideos[0].FPS)
+	n := len(subVideos[0].Frames)
+	for fi := 0; fi < n; fi++ {
+		dst := video.NewFrame(outW, outH)
+		dst.Index = fi
+		srcs := [4]*video.Frame{
+			subVideos[0].Frames[fi], subVideos[1].Frames[fi],
+			subVideos[2].Frames[fi], subVideos[3].Frames[fi],
+		}
+		for py := 0; py < outH; py++ {
+			lat := math.Pi/2 - (float64(py)+0.5)/float64(outH)*math.Pi
+			cl, sl := math.Cos(lat), math.Sin(lat)
+			for px := 0; px < outW; px++ {
+				lon := (float64(px)+0.5)/float64(outW)*2*math.Pi - math.Pi
+				dir := geom.Vec3{
+					X: cl * math.Cos(lon+baseYaw),
+					Y: cl * math.Sin(lon+baseYaw),
+					Z: sl,
+				}
+				// Choose the sub-camera most aligned with the ray.
+				best, bestDot := 0, -2.0
+				for i := range bases {
+					if d := bases[i].fwd.Dot(dir); d > bestDot {
+						bestDot, best = d, i
+					}
+				}
+				b := &bases[best]
+				z := dir.Dot(b.fwd)
+				if z <= 1e-6 {
+					continue // pole region outside all FOVs stays black
+				}
+				sx := float64(w)/2 + b.focal*dir.Dot(b.right)/z
+				sy := float64(h)/2 - b.focal*dir.Dot(b.up)/z
+				if sx < 0 || sx >= float64(w) || sy < 0 || sy >= float64(h) {
+					continue
+				}
+				Y, U, V := bilinearSample(srcs[best], sx, sy)
+				dst.Set(px, py, Y, U, V)
+			}
+		}
+		out.Append(dst)
+	}
+	return out, nil
+}
+
+// bilinearSample samples a frame at continuous coordinates, bilinear on
+// luma and nearest on chroma.
+func bilinearSample(f *video.Frame, x, y float64) (Y, U, V byte) {
+	x0 := int(x)
+	y0 := int(y)
+	x1 := geom.ClampInt(x0+1, 0, f.W-1)
+	y1 := geom.ClampInt(y0+1, 0, f.H-1)
+	x0 = geom.ClampInt(x0, 0, f.W-1)
+	y0 = geom.ClampInt(y0, 0, f.H-1)
+	fx, fy := x-float64(x0), y-float64(y0)
+	v00 := float64(f.Y[y0*f.W+x0])
+	v01 := float64(f.Y[y0*f.W+x1])
+	v10 := float64(f.Y[y1*f.W+x0])
+	v11 := float64(f.Y[y1*f.W+x1])
+	top := v00 + (v01-v00)*fx
+	bot := v10 + (v11-v10)*fx
+	ci := y0/2*f.ChromaW() + x0/2
+	return byte(top + (bot-top)*fy + 0.5), f.U[ci], f.V[ci]
+}
+
+// RunQ10 is the tile-based streaming composite: the 360° input is
+// decomposed into nine equal tiles (Q3), each encoded at its assigned
+// bitrate (high-importance tiles at b_h, the rest at b_l), recombined,
+// and downsampled to the client resolution (Q5).
+func RunQ10(v *video.Video, p Params, preset codec.Preset) (*video.Video, error) {
+	if err := (&p).Validate(Q10, widthOf(v), heightOf(v), v.Duration()); err != nil {
+		return nil, err
+	}
+	w, h := v.Resolution()
+	dx := (w + 2) / 3
+	dy := (h + 2) / 3
+	q3p := Params{DX: dx, DY: dy, Bitrates: p.TileBitrates}
+	tiled, err := RunQ3(v, q3p, preset)
+	if err != nil {
+		return nil, fmt.Errorf("queries: Q10 tiling: %w", err)
+	}
+	return Sample(tiled, p.ClientW, p.ClientH), nil
+}

@@ -1,0 +1,321 @@
+package queries
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/codec"
+	"repro/internal/detect"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/render"
+	"repro/internal/vcity"
+	"repro/internal/video"
+)
+
+// Env carries the context a query execution needs beyond its input
+// video: the generating city (for ground truth), the camera the input
+// was captured by, and the ML substrates. StartTime is the simulation
+// time of the input's first frame.
+type Env struct {
+	City      *vcity.City
+	Camera    *vcity.Camera
+	Detector  *detect.Detector
+	StartTime float64
+}
+
+// FrameTime returns the simulation time of frame i of a video at fps.
+func (e *Env) FrameTime(i, fps int) float64 {
+	return e.StartTime + float64(i)/float64(fps)
+}
+
+// ClassColor returns the constant color c_j the benchmark assigns to an
+// object class for box rendering.
+func ClassColor(c vcity.ObjectClass) video.Color {
+	if c == vcity.ClassVehicle {
+		return video.Color{R: 220, G: 40, B: 40}
+	}
+	return video.Color{R: 40, G: 200, B: 60}
+}
+
+// RunQ1 crops the input spatially to the rectangle (x1, y1)–(x2, y2)
+// and temporally to [t1, t2), where times are relative to the start of
+// the video.
+func RunQ1(v *video.Video, p Params) (*video.Video, error) {
+	if err := (&p).Validate(Q1, widthOf(v), heightOf(v), v.Duration()); err != nil {
+		return nil, err
+	}
+	f1 := int(p.T1 * float64(v.FPS))
+	f2 := int(math.Ceil(p.T2 * float64(v.FPS)))
+	if f2 > len(v.Frames) {
+		f2 = len(v.Frames)
+	}
+	out := video.NewVideo(v.FPS)
+	for i := f1; i < f2; i++ {
+		out.Append(v.Frames[i].Crop(p.X1, p.Y1, p.X2, p.Y2))
+	}
+	if len(out.Frames) == 0 {
+		return nil, fmt.Errorf("queries: Q1 temporal range [%g, %g) selects no frames", p.T1, p.T2)
+	}
+	return out, nil
+}
+
+// RunQ2a converts the input to grayscale by dropping chroma: the pixel
+// function maps (y, u, v) to (y, 0, 0) — neutral chroma in our
+// studio-range representation.
+func RunQ2a(v *video.Video) *video.Video {
+	return FMap(v, func(f *video.Frame) *video.Frame { return f.Grayscale() })
+}
+
+// RunQ2b applies a d×d Gaussian blur to every frame using the separable
+// formulation (two 1D passes), which is mathematically identical to the
+// full kernel.
+func RunQ2b(v *video.Video, p Params) (*video.Video, error) {
+	if err := (&p).Validate(Q2b, widthOf(v), heightOf(v), v.Duration()); err != nil {
+		return nil, err
+	}
+	k := gaussianKernel(p.D)
+	return FMap(v, func(f *video.Frame) *video.Frame { return blurFrame(f, k) }), nil
+}
+
+// gaussianKernel builds a normalized 1D Gaussian of length d with
+// σ = d/4 (a conventional choice keeping ~95% of mass inside).
+func gaussianKernel(d int) []float64 {
+	sigma := float64(d) / 4
+	k := make([]float64, d)
+	sum := 0.0
+	mid := float64(d-1) / 2
+	for i := range k {
+		x := float64(i) - mid
+		k[i] = math.Exp(-x * x / (2 * sigma * sigma))
+		sum += k[i]
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	return k
+}
+
+func blurFrame(f *video.Frame, k []float64) *video.Frame {
+	out := video.NewFrame(f.W, f.H)
+	out.Index = f.Index
+	blurPlane(out.Y, f.Y, f.W, f.H, k)
+	blurPlane(out.U, f.U, f.ChromaW(), f.ChromaH(), k)
+	blurPlane(out.V, f.V, f.ChromaW(), f.ChromaH(), k)
+	return out
+}
+
+func blurPlane(dst, src []byte, w, h int, k []float64) {
+	tmp := make([]float64, w*h)
+	r := len(k) / 2
+	// Horizontal pass.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var s float64
+			for i, kv := range k {
+				sx := geom.ClampInt(x+i-r, 0, w-1)
+				s += kv * float64(src[y*w+sx])
+			}
+			tmp[y*w+x] = s
+		}
+	}
+	// Vertical pass.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var s float64
+			for i, kv := range k {
+				sy := geom.ClampInt(y+i-r, 0, h-1)
+				s += kv * tmp[sy*w+x]
+			}
+			dst[y*w+x] = byte(geom.Clamp(s, 0, 255) + 0.5)
+		}
+	}
+}
+
+// RunQ2c produces the bounding-box video: for every frame, the detector
+// is applied and an output frame is produced whose pixels are the class
+// color c_j inside each detected box of a requested class and the null
+// color ω elsewhere.
+func RunQ2c(v *video.Video, p Params, env *Env) (*video.Video, error) {
+	if err := (&p).Validate(Q2c, widthOf(v), heightOf(v), v.Duration()); err != nil {
+		return nil, err
+	}
+	if env == nil || env.Detector == nil || env.Camera == nil || env.City == nil {
+		return nil, fmt.Errorf("queries: Q2(c) requires an execution environment with a detector")
+	}
+	want := make(map[string]bool, len(p.Classes))
+	for _, c := range p.Classes {
+		want[c.String()] = true
+	}
+	tile := env.City.TileOf(env.Camera)
+	out := video.NewVideo(v.FPS)
+	for i, f := range v.Frames {
+		t := env.FrameTime(i, v.FPS)
+		obs := tile.GroundTruth(env.Camera, t, f.W, f.H)
+		dets := env.Detector.Detect(f, env.Camera.ID, obs)
+		bf := video.NewFrame(f.W, f.H) // initialized to ω (black)
+		bf.Index = i
+		for _, d := range dets {
+			if !want[d.Class] {
+				continue
+			}
+			cls := vcity.ClassVehicle
+			if d.Class == vcity.ClassPedestrian.String() {
+				cls = vcity.ClassPedestrian
+			}
+			render.FillRect(bf, d.Box, ClassColor(cls))
+		}
+		out.Append(bf)
+	}
+	return out, nil
+}
+
+// DetectionsQ2c returns the raw detections per frame (the serialized
+// form of the bounding box video the VCD also exposes for Q6(a)).
+func DetectionsQ2c(v *video.Video, p Params, env *Env) ([][]metrics.Detection, error) {
+	if err := (&p).Validate(Q2c, widthOf(v), heightOf(v), v.Duration()); err != nil {
+		return nil, err
+	}
+	tile := env.City.TileOf(env.Camera)
+	want := make(map[string]bool, len(p.Classes))
+	for _, c := range p.Classes {
+		want[c.String()] = true
+	}
+	out := make([][]metrics.Detection, len(v.Frames))
+	for i, f := range v.Frames {
+		t := env.FrameTime(i, v.FPS)
+		obs := tile.GroundTruth(env.Camera, t, f.W, f.H)
+		for _, d := range env.Detector.Detect(f, env.Camera.ID, obs) {
+			if want[d.Class] {
+				out[i] = append(out[i], d)
+			}
+		}
+	}
+	return out, nil
+}
+
+// RunQ2d performs background masking: each frame is compared against
+// the mean of its m-frame window; pixels whose relative difference
+// |(p_v - p_b) / p_v| is below ε are replaced with ω.
+func RunQ2d(v *video.Video, p Params) (*video.Video, error) {
+	if err := (&p).Validate(Q2d, widthOf(v), heightOf(v), v.Duration()); err != nil {
+		return nil, err
+	}
+	windows := Window(v, p.M)
+	out := video.NewVideo(v.FPS)
+	for i, f := range v.Frames {
+		b := AggregateMean(windows[i])
+		masked := JoinPFrame(f, b, func(pv, pb Pixel) Pixel {
+			if maskBelow(pv, pb, p.Epsilon) {
+				return Omega
+			}
+			return pv
+		})
+		out.Append(masked)
+	}
+	return out, nil
+}
+
+// maskBelow implements the Q2(d) threshold test on luma: true when the
+// pixel's relative deviation from the background is below ε.
+func maskBelow(pv, pb Pixel, eps float64) bool {
+	den := float64(pv.Y)
+	if den == 0 {
+		den = 1
+	}
+	return math.Abs(float64(pv.Y)-float64(pb.Y))/den < eps
+}
+
+// RunQ3 partitions frames into (dx, dy) regions, re-encodes each region
+// at its assigned bitrate via the encoder subquery, and recombines the
+// result.
+func RunQ3(v *video.Video, p Params, preset codec.Preset) (*video.Video, error) {
+	if err := (&p).Validate(Q3, widthOf(v), heightOf(v), v.Duration()); err != nil {
+		return nil, err
+	}
+	regions, err := Partition(v, p.DX, p.DY)
+	if err != nil {
+		return nil, err
+	}
+	kbps := make([]int, len(p.Bitrates))
+	for i, b := range p.Bitrates {
+		kbps[i] = b / 1000
+		if kbps[i] < 1 {
+			kbps[i] = 1
+		}
+	}
+	re, err := Subquery(regions, kbps, preset)
+	if err != nil {
+		return nil, err
+	}
+	w, h := v.Resolution()
+	return Recombine(re, w, h, v.FPS)
+}
+
+// RunQ4 upsamples every frame to (αRx, βRy) with bilinear interpolation.
+func RunQ4(v *video.Video, p Params) (*video.Video, error) {
+	if err := (&p).Validate(Q4, widthOf(v), heightOf(v), v.Duration()); err != nil {
+		return nil, err
+	}
+	w, h := v.Resolution()
+	return Interpolate(v, w*p.Alpha, h*p.Beta), nil
+}
+
+// RunQ5 downsamples every frame to (Rx/α, Ry/β).
+func RunQ5(v *video.Video, p Params) (*video.Video, error) {
+	if err := (&p).Validate(Q5, widthOf(v), heightOf(v), v.Duration()); err != nil {
+		return nil, err
+	}
+	w, h := v.Resolution()
+	nw, nh := w/p.Alpha, h/p.Beta
+	if nw < 1 {
+		nw = 1
+	}
+	if nh < 1 {
+		nh = 1
+	}
+	return Sample(v, nw, nh), nil
+}
+
+// RunQ6a overlays a bounding-box video B onto the input via the
+// ω-coalesce projection (Equation 1).
+func RunQ6a(v, boxes *video.Video) (*video.Video, error) {
+	return JoinP(v, boxes, OmegaCoalesce)
+}
+
+// RunQ6b overlays the WebVTT captions onto the input. Cue line and
+// position settings place each caption as percentages of the frame;
+// unset (auto) settings render bottom-center per the WebVTT defaults.
+func RunQ6b(v *video.Video, p Params) (*video.Video, error) {
+	if err := (&p).Validate(Q6b, widthOf(v), heightOf(v), v.Duration()); err != nil {
+		return nil, err
+	}
+	out := video.NewVideo(v.FPS)
+	textColor := video.Color{R: 250, G: 250, B: 250}
+	for i, f := range v.Frames {
+		t := float64(i) / float64(v.FPS)
+		g := f.Clone()
+		for _, cue := range p.Captions.ActiveAt(t) {
+			scale := f.H / 180
+			if scale < 1 {
+				scale = 1
+			}
+			tw := render.TextWidth(cue.Text, scale)
+			th := render.TextHeight(scale)
+			x := (f.W - tw) / 2
+			y := f.H - 2*th
+			if cue.Position >= 0 {
+				x = int(cue.Position/100*float64(f.W)) - tw/2
+			}
+			if cue.Line >= 0 {
+				y = int(cue.Line / 100 * float64(f.H-th))
+			}
+			render.DrawText(g, x, y, scale, cue.Text, textColor)
+		}
+		out.Append(g)
+	}
+	return out, nil
+}
+
+func widthOf(v *video.Video) int  { w, _ := v.Resolution(); return w }
+func heightOf(v *video.Video) int { _, h := v.Resolution(); return h }

@@ -1,0 +1,90 @@
+// Package render implements the software rasterizer that converts
+// Visual City scene geometry into YUV frames: a pinhole camera model,
+// per-pixel ground-plane ray casting for roads and terrain, painter's-
+// algorithm box rasterization for buildings and agents, weather and sun
+// shading, license-plate glyph texturing, and the 2D drawing helpers
+// (text, rectangles) used by the reference query implementations.
+package render
+
+// The font is a 5×7 bitmap per glyph, one uint64 whose low 35 bits hold
+// the rows top-to-bottom, MSB-left within each 5-bit row. It covers the
+// characters needed for license plates, captions, and diagnostics.
+
+const (
+	// GlyphW and GlyphH are the dimensions of one font glyph in cells.
+	GlyphW = 5
+	GlyphH = 7
+)
+
+// glyph packs 7 rows of 5 bits.
+func glyph(rows ...uint64) uint64 {
+	var g uint64
+	for _, r := range rows {
+		g = g<<5 | (r & 0x1f)
+	}
+	return g
+}
+
+var font = map[rune]uint64{
+	'A': glyph(0b01110, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001),
+	'B': glyph(0b11110, 0b10001, 0b10001, 0b11110, 0b10001, 0b10001, 0b11110),
+	'C': glyph(0b01110, 0b10001, 0b10000, 0b10000, 0b10000, 0b10001, 0b01110),
+	'D': glyph(0b11110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b11110),
+	'E': glyph(0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b11111),
+	'F': glyph(0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b10000),
+	'G': glyph(0b01110, 0b10001, 0b10000, 0b10111, 0b10001, 0b10001, 0b01111),
+	'H': glyph(0b10001, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001),
+	'I': glyph(0b01110, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110),
+	'J': glyph(0b00111, 0b00010, 0b00010, 0b00010, 0b00010, 0b10010, 0b01100),
+	'K': glyph(0b10001, 0b10010, 0b10100, 0b11000, 0b10100, 0b10010, 0b10001),
+	'L': glyph(0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b11111),
+	'M': glyph(0b10001, 0b11011, 0b10101, 0b10101, 0b10001, 0b10001, 0b10001),
+	'N': glyph(0b10001, 0b11001, 0b10101, 0b10011, 0b10001, 0b10001, 0b10001),
+	'O': glyph(0b01110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110),
+	'P': glyph(0b11110, 0b10001, 0b10001, 0b11110, 0b10000, 0b10000, 0b10000),
+	'Q': glyph(0b01110, 0b10001, 0b10001, 0b10001, 0b10101, 0b10010, 0b01101),
+	'R': glyph(0b11110, 0b10001, 0b10001, 0b11110, 0b10100, 0b10010, 0b10001),
+	'S': glyph(0b01111, 0b10000, 0b10000, 0b01110, 0b00001, 0b00001, 0b11110),
+	'T': glyph(0b11111, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100),
+	'U': glyph(0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110),
+	'V': glyph(0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01010, 0b00100),
+	'W': glyph(0b10001, 0b10001, 0b10001, 0b10101, 0b10101, 0b10101, 0b01010),
+	'X': glyph(0b10001, 0b10001, 0b01010, 0b00100, 0b01010, 0b10001, 0b10001),
+	'Y': glyph(0b10001, 0b10001, 0b01010, 0b00100, 0b00100, 0b00100, 0b00100),
+	'Z': glyph(0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b10000, 0b11111),
+	'0': glyph(0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110),
+	'1': glyph(0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110),
+	'2': glyph(0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111),
+	'3': glyph(0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110),
+	'4': glyph(0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010),
+	'5': glyph(0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110),
+	'6': glyph(0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110),
+	'7': glyph(0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000),
+	'8': glyph(0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110),
+	'9': glyph(0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100),
+	' ': 0,
+	'-': glyph(0b00000, 0b00000, 0b00000, 0b11111, 0b00000, 0b00000, 0b00000),
+	'.': glyph(0b00000, 0b00000, 0b00000, 0b00000, 0b00000, 0b01100, 0b01100),
+	':': glyph(0b00000, 0b01100, 0b01100, 0b00000, 0b01100, 0b01100, 0b00000),
+	'!': glyph(0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b00000, 0b00100),
+	'?': glyph(0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b00000, 0b00100),
+	',': glyph(0b00000, 0b00000, 0b00000, 0b00000, 0b01100, 0b00100, 0b01000),
+	'/': glyph(0b00001, 0b00010, 0b00010, 0b00100, 0b01000, 0b01000, 0b10000),
+}
+
+// GlyphBit reports whether the font cell (cx, cy) of character ch is
+// set. Unknown characters render as a filled box so they are visible.
+func GlyphBit(ch rune, cx, cy int) bool {
+	if cx < 0 || cx >= GlyphW || cy < 0 || cy >= GlyphH {
+		return false
+	}
+	g, ok := font[ch]
+	if !ok {
+		if ch >= 'a' && ch <= 'z' {
+			return GlyphBit(ch-'a'+'A', cx, cy)
+		}
+		return true
+	}
+	bit := uint((GlyphH-1-cy)*GlyphW + (GlyphW - 1 - cx))
+	return g>>bit&1 == 1
+}

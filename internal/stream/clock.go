@@ -1,0 +1,62 @@
+// Package stream implements the online (real-time) video delivery modes
+// of the Visual Road driver: rate-throttled forward-only sources that
+// expose frames at the capture rate of the originating camera, an
+// in-process pipe transport (standing in for named pipes on a local
+// file system), and an RTP-style packet transport over loopback sockets
+// (standing in for RFC 3550 RTP). In online mode the VCD "blocks on
+// attempts to read video data beyond this rate".
+package stream
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so throttling behavior is unit-testable without
+// wall-clock sleeps.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// RealClock is the wall clock.
+type RealClock struct{}
+
+// Now returns the current wall time.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep pauses the goroutine.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// FakeClock is a manually-advanced clock for tests. Sleep advances the
+// clock immediately and records the requested durations.
+type FakeClock struct {
+	mu    sync.Mutex
+	now   time.Time
+	Slept []time.Duration
+}
+
+// NewFakeClock returns a fake clock starting at the given instant.
+func NewFakeClock(start time.Time) *FakeClock { return &FakeClock{now: start} }
+
+// Now returns the fake current time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances the clock by d without blocking and records d.
+func (c *FakeClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	c.Slept = append(c.Slept, d)
+}
+
+// Advance moves the clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}

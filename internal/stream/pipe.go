@@ -1,0 +1,117 @@
+package stream
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/video"
+)
+
+// Pipe is the in-process stand-in for the VCD's named-pipe transport:
+// a bounded, forward-only channel of encoded access units. The producer
+// paces writes at the capture rate; the consumer blocks when reading
+// ahead of production — the same backpressure contract as a named pipe
+// on a local filesystem.
+type Pipe struct {
+	ch     chan codec.EncodedFrame
+	once   sync.Once
+	closed chan struct{}
+}
+
+// NewPipe returns a pipe with the given buffer depth (in access units).
+func NewPipe(depth int) *Pipe {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Pipe{ch: make(chan codec.EncodedFrame, depth), closed: make(chan struct{})}
+}
+
+// Write enqueues one access unit, blocking if the pipe is full. Writing
+// to a closed pipe reports io.ErrClosedPipe.
+func (p *Pipe) Write(f codec.EncodedFrame) error {
+	select {
+	case <-p.closed:
+		return io.ErrClosedPipe
+	default:
+	}
+	select {
+	case p.ch <- f:
+		return nil
+	case <-p.closed:
+		return io.ErrClosedPipe
+	}
+}
+
+// CloseWrite signals end of stream to the reader.
+func (p *Pipe) CloseWrite() {
+	p.once.Do(func() { close(p.closed); close(p.ch) })
+}
+
+// Next dequeues the next access unit, blocking until one is available;
+// io.EOF after CloseWrite drains.
+func (p *Pipe) Next() (codec.EncodedFrame, error) {
+	f, ok := <-p.ch
+	if !ok {
+		return codec.EncodedFrame{}, io.EOF
+	}
+	return f, nil
+}
+
+// PumpVideo feeds an encoded video through the pipe at the capture rate
+// (no pacing when clock is nil), closing it afterwards. Run it in its
+// own goroutine.
+func PumpVideo(p *Pipe, enc *codec.Encoded, clock Clock) {
+	defer p.CloseWrite()
+	if clock != nil {
+		start := clock.Now()
+		for i, f := range enc.Frames {
+			due := start.Add(time.Duration(i) * time.Second / time.Duration(enc.Config.FPS))
+			if wait := due.Sub(clock.Now()); wait > 0 {
+				clock.Sleep(wait)
+			}
+			if p.Write(f) != nil {
+				return
+			}
+		}
+		return
+	}
+	for _, f := range enc.Frames {
+		if p.Write(f) != nil {
+			return
+		}
+	}
+}
+
+// DecodingReader adapts a pipe of access units into a decoded frame
+// Reader using the given codec configuration.
+type DecodingReader struct {
+	pipe *Pipe
+	dec  *codec.Decoder
+	idx  int
+}
+
+// NewDecodingReader returns a Reader decoding the pipe's access units.
+func NewDecodingReader(p *Pipe, cfg codec.Config) (*DecodingReader, error) {
+	dec, err := codec.NewDecoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DecodingReader{pipe: p, dec: dec}, nil
+}
+
+// Next decodes and returns the next frame; io.EOF at end of stream.
+func (r *DecodingReader) Next() (*video.Frame, error) {
+	au, err := r.pipe.Next()
+	if err != nil {
+		return nil, err
+	}
+	f, err := r.dec.Decode(au.Data)
+	if err != nil {
+		return nil, err
+	}
+	f.Index = r.idx
+	r.idx++
+	return f, nil
+}

@@ -1,0 +1,226 @@
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/codec"
+)
+
+// The RTP transport follows the shape of RFC 3550: fixed 12-byte
+// headers carrying version, marker, payload type, sequence number,
+// 90 kHz timestamp, and SSRC. Access units larger than the MTU are
+// fragmented across packets; the marker bit flags the final packet of
+// each access unit. Delivery runs over a loopback TCP connection with
+// length-prefixed packets (a common RTP-over-TCP framing), which keeps
+// the benchmark deterministic while exercising a real network path.
+
+const (
+	rtpVersion     = 2
+	rtpPayloadType = 96 // dynamic
+	rtpMTU         = 1400
+	rtpHeaderLen   = 12
+)
+
+// rtpPacket is one parsed RTP packet.
+type rtpPacket struct {
+	Marker    bool
+	Seq       uint16
+	Timestamp uint32
+	SSRC      uint32
+	Payload   []byte
+}
+
+func marshalRTP(p *rtpPacket) []byte {
+	buf := make([]byte, rtpHeaderLen+len(p.Payload))
+	buf[0] = rtpVersion << 6
+	pt := byte(rtpPayloadType)
+	if p.Marker {
+		pt |= 0x80
+	}
+	buf[1] = pt
+	binary.BigEndian.PutUint16(buf[2:], p.Seq)
+	binary.BigEndian.PutUint32(buf[4:], p.Timestamp)
+	binary.BigEndian.PutUint32(buf[8:], p.SSRC)
+	copy(buf[rtpHeaderLen:], p.Payload)
+	return buf
+}
+
+func parseRTP(buf []byte) (*rtpPacket, error) {
+	if len(buf) < rtpHeaderLen {
+		return nil, fmt.Errorf("stream: RTP packet too short (%d bytes)", len(buf))
+	}
+	if buf[0]>>6 != rtpVersion {
+		return nil, fmt.Errorf("stream: unsupported RTP version %d", buf[0]>>6)
+	}
+	return &rtpPacket{
+		Marker:    buf[1]&0x80 != 0,
+		Seq:       binary.BigEndian.Uint16(buf[2:]),
+		Timestamp: binary.BigEndian.Uint32(buf[4:]),
+		SSRC:      binary.BigEndian.Uint32(buf[8:]),
+		Payload:   buf[rtpHeaderLen:],
+	}, nil
+}
+
+// RTPSender streams encoded access units over a connection, paced at
+// the camera's capture rate when a clock is supplied (nil clock = no
+// pacing, for tests).
+type RTPSender struct {
+	conn  net.Conn
+	ssrc  uint32
+	seq   uint16
+	clock Clock
+	fps   int
+	start time.Time
+	sent  int
+}
+
+// NewRTPSender wraps conn for sending at fps. clock may be nil to
+// disable pacing.
+func NewRTPSender(conn net.Conn, ssrc uint32, fps int, clock Clock) *RTPSender {
+	return &RTPSender{conn: conn, ssrc: ssrc, fps: fps, clock: clock}
+}
+
+// SendAccessUnit fragments and transmits one encoded frame.
+func (s *RTPSender) SendAccessUnit(au []byte, frameIndex int) error {
+	if s.clock != nil {
+		if s.sent == 0 {
+			s.start = s.clock.Now()
+		}
+		due := s.start.Add(time.Duration(frameIndex) * time.Second / time.Duration(s.fps))
+		if wait := due.Sub(s.clock.Now()); wait > 0 {
+			s.clock.Sleep(wait)
+		}
+	}
+	ts := uint32(uint64(frameIndex) * 90000 / uint64(s.fps))
+	for off := 0; off < len(au) || off == 0; off += rtpMTU {
+		end := off + rtpMTU
+		if end > len(au) {
+			end = len(au)
+		}
+		pkt := &rtpPacket{
+			Marker:    end == len(au),
+			Seq:       s.seq,
+			Timestamp: ts,
+			SSRC:      s.ssrc,
+			Payload:   au[off:end],
+		}
+		s.seq++
+		if err := writeFramed(s.conn, marshalRTP(pkt)); err != nil {
+			return err
+		}
+		if end == len(au) {
+			break
+		}
+	}
+	s.sent++
+	return nil
+}
+
+// Close closes the underlying connection, signalling end of stream.
+func (s *RTPSender) Close() error { return s.conn.Close() }
+
+// RTPReceiver reassembles access units from a connection.
+type RTPReceiver struct {
+	conn    net.Conn
+	buf     []byte
+	lastSeq uint16
+	haveSeq bool
+}
+
+// NewRTPReceiver wraps conn for receiving.
+func NewRTPReceiver(conn net.Conn) *RTPReceiver { return &RTPReceiver{conn: conn} }
+
+// NextAccessUnit blocks until a whole access unit has been received.
+// io.EOF signals a cleanly closed stream.
+func (r *RTPReceiver) NextAccessUnit() ([]byte, error) {
+	for {
+		raw, err := readFramed(r.conn)
+		if err != nil {
+			if err == io.EOF && len(r.buf) == 0 {
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		pkt, err := parseRTP(raw)
+		if err != nil {
+			return nil, err
+		}
+		if r.haveSeq && pkt.Seq != r.lastSeq+1 {
+			return nil, fmt.Errorf("stream: RTP sequence gap: %d -> %d", r.lastSeq, pkt.Seq)
+		}
+		r.lastSeq, r.haveSeq = pkt.Seq, true
+		r.buf = append(r.buf, pkt.Payload...)
+		if pkt.Marker {
+			au := r.buf
+			r.buf = nil
+			return au, nil
+		}
+	}
+}
+
+// Close closes the underlying connection.
+func (r *RTPReceiver) Close() error { return r.conn.Close() }
+
+// writeFramed writes a 4-byte length prefix then the packet.
+func writeFramed(w io.Writer, pkt []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(pkt)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(pkt)
+	return err
+}
+
+// readFramed reads one length-prefixed packet.
+func readFramed(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > 1<<24 {
+		return nil, fmt.Errorf("stream: implausible packet size %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ServeRTP streams an encoded video over a loopback TCP listener and
+// returns the address to connect to. The server sends to the first
+// client, then closes. Errors after accept are reported on errc.
+func ServeRTP(enc *codec.Encoded, clock Clock) (addr string, errc <-chan error, err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	ch := make(chan error, 1)
+	go func() {
+		defer ln.Close()
+		conn, err := ln.Accept()
+		if err != nil {
+			ch <- err
+			return
+		}
+		sender := NewRTPSender(conn, 0x56525244, enc.Config.FPS, clock)
+		for i, f := range enc.Frames {
+			if err := sender.SendAccessUnit(f.Data, i); err != nil {
+				ch <- err
+				sender.Close()
+				return
+			}
+		}
+		ch <- sender.Close()
+	}()
+	return ln.Addr().String(), ch, nil
+}

@@ -1,0 +1,270 @@
+package stream
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/video"
+)
+
+func encodedFixture(t *testing.T, frames int) *codec.Encoded {
+	t.Helper()
+	v := video.NewVideo(15)
+	for i := 0; i < frames; i++ {
+		f := video.NewFrame(48, 32)
+		for j := range f.Y {
+			f.Y[j] = byte((j*3 + i*11) % 200)
+		}
+		v.Append(f)
+	}
+	enc, err := codec.EncodeVideo(v, codec.Config{QP: 20, GOP: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func TestThrottledReaderPacing(t *testing.T) {
+	v := video.NewVideo(10)
+	for i := 0; i < 5; i++ {
+		v.Append(video.NewFrame(4, 4))
+	}
+	clock := NewFakeClock(time.Unix(0, 0))
+	r := NewThrottledReader(v.Reader(), 10, clock)
+	frames, err := r.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 5 {
+		t.Fatalf("drained %d frames", len(frames))
+	}
+	// Frame i is due at i*100ms; with an instant consumer the reader
+	// must have slept ~100ms per subsequent frame.
+	var total time.Duration
+	for _, d := range clock.Slept {
+		total += d
+	}
+	// Frames 1..4 each cost one 100 ms interval; the EOF probe also
+	// waits for the would-be frame 5 (an online stream's length is
+	// unknown until the source ends).
+	if total < 350*time.Millisecond || total > 550*time.Millisecond {
+		t.Errorf("total sleep %v, want ~400-500ms for 5 frames at 10 fps", total)
+	}
+}
+
+func TestThrottledReaderNoSleepWhenConsumerSlow(t *testing.T) {
+	v := video.NewVideo(10)
+	for i := 0; i < 3; i++ {
+		v.Append(video.NewFrame(4, 4))
+	}
+	clock := NewFakeClock(time.Unix(0, 0))
+	r := NewThrottledReader(v.Reader(), 10, clock)
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	// The consumer dawdles past the next frame's due time.
+	clock.Advance(time.Second)
+	before := len(clock.Slept)
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if len(clock.Slept) != before {
+		t.Error("reader slept although the frame was already due")
+	}
+}
+
+func TestThrottledReaderEOF(t *testing.T) {
+	v := video.NewVideo(10)
+	clock := NewFakeClock(time.Unix(0, 0))
+	r := NewThrottledReader(v.Reader(), 10, clock)
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("empty stream Next = %v, want EOF", err)
+	}
+}
+
+func TestPipeBlocksAndDrains(t *testing.T) {
+	enc := encodedFixture(t, 6)
+	p := NewPipe(2)
+	go PumpVideo(p, enc, nil)
+	n := 0
+	for {
+		f, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f.Data) == 0 {
+			t.Fatal("empty access unit")
+		}
+		n++
+	}
+	if n != 6 {
+		t.Errorf("received %d access units, want 6", n)
+	}
+}
+
+func TestPipeWriteAfterClose(t *testing.T) {
+	p := NewPipe(1)
+	p.CloseWrite()
+	if err := p.Write(codec.EncodedFrame{Data: []byte{1}}); err != io.ErrClosedPipe {
+		t.Errorf("Write after close = %v, want ErrClosedPipe", err)
+	}
+}
+
+func TestDecodingReader(t *testing.T) {
+	enc := encodedFixture(t, 4)
+	p := NewPipe(4)
+	go PumpVideo(p, enc, nil)
+	r, err := NewDecodingReader(p, enc.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		f, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.W != 48 || f.H != 32 {
+			t.Fatalf("decoded frame %dx%d", f.W, f.H)
+		}
+		if f.Index != n {
+			t.Fatalf("frame index %d, want %d", f.Index, n)
+		}
+		n++
+	}
+	if n != 4 {
+		t.Errorf("decoded %d frames", n)
+	}
+}
+
+func TestRTPRoundTrip(t *testing.T) {
+	enc := encodedFixture(t, 5)
+	addr, errc, err := ServeRTP(enc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := NewRTPReceiver(conn)
+	var got [][]byte
+	for {
+		au, err := recv.NextAccessUnit()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, au)
+	}
+	recv.Close()
+	if err := <-errc; err != nil {
+		t.Fatalf("sender error: %v", err)
+	}
+	if len(got) != len(enc.Frames) {
+		t.Fatalf("received %d access units, want %d", len(got), len(enc.Frames))
+	}
+	for i := range got {
+		if string(got[i]) != string(enc.Frames[i].Data) {
+			t.Fatalf("access unit %d corrupted in transit", i)
+		}
+	}
+	// The received stream must decode.
+	dec, err := codec.NewDecoder(enc.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, au := range got {
+		if _, err := dec.Decode(au); err != nil {
+			t.Fatalf("decoding received AU %d: %v", i, err)
+		}
+	}
+}
+
+func TestRTPFragmentation(t *testing.T) {
+	// An AU bigger than the MTU must fragment and reassemble.
+	big := make([]byte, rtpMTU*3+100)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	c1, c2 := net.Pipe()
+	sender := NewRTPSender(c1, 1, 30, nil)
+	go func() {
+		sender.SendAccessUnit(big, 0)
+		sender.Close()
+	}()
+	recv := NewRTPReceiver(c2)
+	au, err := recv.NextAccessUnit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(au) != len(big) {
+		t.Fatalf("reassembled %d bytes, want %d", len(au), len(big))
+	}
+	for i := range au {
+		if au[i] != big[i] {
+			t.Fatalf("byte %d corrupted", i)
+		}
+	}
+}
+
+func TestRTPHeaderRoundTrip(t *testing.T) {
+	p := &rtpPacket{Marker: true, Seq: 12345, Timestamp: 90000, SSRC: 0xdeadbeef, Payload: []byte("hi")}
+	got, err := parseRTP(marshalRTP(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Marker != p.Marker || got.Seq != p.Seq || got.Timestamp != p.Timestamp ||
+		got.SSRC != p.SSRC || string(got.Payload) != "hi" {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestRTPRejectsShortPacket(t *testing.T) {
+	if _, err := parseRTP([]byte{1, 2, 3}); err == nil {
+		t.Error("short packet should fail")
+	}
+}
+
+func TestRTPSequenceGapDetected(t *testing.T) {
+	c1, c2 := net.Pipe()
+	go func() {
+		// Send seq 0 then seq 5 (gap).
+		writeFramed(c1, marshalRTP(&rtpPacket{Seq: 0, Marker: true, Payload: []byte("a")}))
+		writeFramed(c1, marshalRTP(&rtpPacket{Seq: 5, Marker: true, Payload: []byte("b")}))
+		c1.Close()
+	}()
+	recv := NewRTPReceiver(c2)
+	if _, err := recv.NextAccessUnit(); err != nil {
+		t.Fatalf("first AU: %v", err)
+	}
+	if _, err := recv.NextAccessUnit(); err == nil {
+		t.Error("sequence gap should be reported")
+	}
+}
+
+func TestFakeClockAdvance(t *testing.T) {
+	c := NewFakeClock(time.Unix(100, 0))
+	c.Advance(2 * time.Second)
+	if got := c.Now(); got != time.Unix(102, 0) {
+		t.Errorf("Now = %v", got)
+	}
+	c.Sleep(time.Second)
+	if got := c.Now(); got != time.Unix(103, 0) {
+		t.Errorf("after Sleep Now = %v", got)
+	}
+	if len(c.Slept) != 1 || c.Slept[0] != time.Second {
+		t.Errorf("Slept = %v", c.Slept)
+	}
+}

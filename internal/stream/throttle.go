@@ -1,0 +1,70 @@
+package stream
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/video"
+)
+
+// ThrottledReader exposes a frame sequence as a forward-only iterator
+// throttled to a simulated real-time rate: frame i becomes readable
+// only once i capture intervals have elapsed since the stream started.
+// Reads beyond the rate block (via Clock.Sleep), which is the online-
+// mode contract of the VCD. The total duration is intentionally not
+// exposed.
+type ThrottledReader struct {
+	src     video.Reader
+	fps     int
+	clock   Clock
+	started bool
+	start   time.Time
+	n       int
+}
+
+// NewThrottledReader wraps src, releasing frames at fps. A nil clock
+// uses the wall clock.
+func NewThrottledReader(src video.Reader, fps int, clock Clock) *ThrottledReader {
+	if clock == nil {
+		clock = RealClock{}
+	}
+	if fps <= 0 {
+		fps = 30
+	}
+	return &ThrottledReader{src: src, fps: fps, clock: clock}
+}
+
+// Next blocks until the next frame's capture time, then returns it.
+// io.EOF signals the end of the stream.
+func (r *ThrottledReader) Next() (*video.Frame, error) {
+	if !r.started {
+		r.started = true
+		r.start = r.clock.Now()
+	}
+	due := r.start.Add(time.Duration(r.n) * time.Second / time.Duration(r.fps))
+	if wait := due.Sub(r.clock.Now()); wait > 0 {
+		r.clock.Sleep(wait)
+	}
+	f, err := r.src.Next()
+	if err != nil {
+		return nil, err
+	}
+	r.n++
+	return f, nil
+}
+
+// Drain reads the stream to completion and returns the frames (useful
+// in tests with a fake clock).
+func (r *ThrottledReader) Drain() ([]*video.Frame, error) {
+	var out []*video.Frame
+	for {
+		f, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, f)
+	}
+}

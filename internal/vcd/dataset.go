@@ -1,0 +1,159 @@
+package vcd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/container"
+	"repro/internal/detect"
+	"repro/internal/queries"
+	"repro/internal/vcg"
+	"repro/internal/vcity"
+	"repro/internal/vdbms"
+	"repro/internal/vfs"
+	"repro/internal/vtt"
+)
+
+// Dataset is a generated Visual Road dataset as staged for benchmarking:
+// the manifest, the regenerated city (needed for ground truth — cities
+// are pure functions of the hyperparameters, so regeneration is exact
+// and cheap), and lazily demuxed inputs.
+type Dataset struct {
+	Manifest vcg.Manifest
+	City     *vcity.City
+	Store    vfs.Store
+
+	detectorNoise detect.NoiseModel
+	detectorSeed  uint64
+
+	mu     sync.Mutex
+	inputs map[string]*vdbms.Input
+	boxes  map[string]*vdbms.BoxesInput
+}
+
+// LoadDataset opens a dataset from a store written by the VCG. The
+// detector noise profile selects the simulated model's calibration.
+func LoadDataset(store vfs.Store, noise detect.NoiseModel) (*Dataset, error) {
+	data, err := vfs.ReadAll(store, "manifest.json")
+	if err != nil {
+		return nil, fmt.Errorf("vcd: reading manifest: %w", err)
+	}
+	var man vcg.Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("vcd: parsing manifest: %w", err)
+	}
+	filter, err := vcg.BuildTileFilter(man.WeatherFilter, man.DensityFilter)
+	if err != nil {
+		return nil, err
+	}
+	city, err := vcity.Generate(vcity.Hyperparams{
+		Scale: man.Scale, Width: man.Width, Height: man.Height,
+		Duration: man.Duration, FPS: man.FPS, Seed: man.Seed,
+		TileFilter: filter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Manifest:      man,
+		City:          city,
+		Store:         store,
+		detectorNoise: noise,
+		detectorSeed:  man.Seed ^ 0xde7ec7,
+		inputs:        make(map[string]*vdbms.Input),
+	}, nil
+}
+
+// Input stages the named camera's video (demuxing it on first use) and
+// returns it with its execution environment.
+func (d *Dataset) Input(cameraID string) (*vdbms.Input, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if in, ok := d.inputs[cameraID]; ok {
+		return in, nil
+	}
+	data, err := vfs.ReadAll(d.Store, vcg.VideoName(cameraID))
+	if err != nil {
+		return nil, fmt.Errorf("vcd: staging %s: %w", cameraID, err)
+	}
+	enc, captions, err := container.Demux(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("vcd: demuxing %s: %w", cameraID, err)
+	}
+	cam, ok := d.City.CameraByID(cameraID)
+	if !ok {
+		return nil, fmt.Errorf("vcd: manifest video %s has no camera in the city", cameraID)
+	}
+	in := &vdbms.Input{
+		Name:     cameraID,
+		Encoded:  enc,
+		Captions: captions,
+		Env: &queries.Env{
+			City:     d.City,
+			Camera:   cam,
+			Detector: detect.NewYOLO(d.detectorNoise, d.detectorSeed),
+		},
+	}
+	d.inputs[cameraID] = in
+	return in, nil
+}
+
+// TrafficCameraIDs returns the dataset's traffic camera IDs in stable
+// order.
+func (d *Dataset) TrafficCameraIDs() []string {
+	var out []string
+	for _, v := range d.Manifest.Videos {
+		if v.Kind == vcity.TrafficCamera.String() {
+			out = append(out, v.CameraID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PanoGroups returns the panoramic groups: each entry is the four
+// sub-camera IDs of one panoramic camera, sub-index order.
+func (d *Dataset) PanoGroups() [][]string {
+	groups := map[string][]string{}
+	for _, v := range d.Manifest.Videos {
+		if v.Kind != vcity.PanoramicSubCamera.String() {
+			continue
+		}
+		key := v.CameraID[:strings.LastIndex(v.CameraID, "-sub")]
+		groups[key] = append(groups[key], v.CameraID)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]string, 0, len(keys))
+	for _, k := range keys {
+		ids := groups[k]
+		sort.Strings(ids)
+		out = append(out, ids)
+	}
+	return out
+}
+
+// TilePlates returns the license plates of all vehicles in the given
+// tile — the candidate pool for Q8 parameter sampling.
+func (d *Dataset) TilePlates(tile int) []string {
+	var out []string
+	for _, v := range d.City.Tiles[tile].Vehicles {
+		out = append(out, v.Plate)
+	}
+	return out
+}
+
+// CaptionsOf parses the embedded WebVTT track of an input.
+func CaptionsOf(in *vdbms.Input) (*vtt.Document, error) {
+	if len(in.Captions) == 0 {
+		return nil, fmt.Errorf("vcd: input %s has no caption track", in.Name)
+	}
+	return vtt.Parse(in.Captions)
+}

@@ -1,0 +1,309 @@
+package vcd
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/container"
+	"repro/internal/queries"
+	"repro/internal/vdbms"
+	"repro/internal/vfs"
+	"repro/internal/video"
+)
+
+// ResultMode selects what happens to query outputs, per Section 3.2 of
+// the paper.
+type ResultMode int
+
+// Result modes.
+const (
+	// WriteMode persists each result to the result store; persistence
+	// time is included in the measured batch time.
+	WriteMode ResultMode = iota
+	// StreamingMode discards results, avoiding the write overhead; the
+	// evaluator must verify correctness separately.
+	StreamingMode
+)
+
+// Options configure a benchmark run.
+type Options struct {
+	// Queries to execute, in benchmark order. Defaults to all.
+	Queries []queries.QueryID
+	// InstancesPerScale is the batch multiplier: batch size = this × L
+	// (the paper uses 4).
+	InstancesPerScale int
+	// Seed drives parameter sampling and input selection.
+	Seed uint64
+	// Mode is the result handling mode.
+	Mode ResultMode
+	// ResultStore receives written results in WriteMode (required for
+	// that mode).
+	ResultStore vfs.Store
+	// Validate enables result validation against the reference
+	// implementation / scene geometry.
+	Validate bool
+	// ValidateFraction validates only the given fraction of instances
+	// (1.0 = all, the default when Validate is set).
+	ValidateFraction float64
+	// MaxUpsamplePixels caps Q4 parameter draws (model-scale guard);
+	// zero means the full paper domain.
+	MaxUpsamplePixels int
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Queries) == 0 {
+		o.Queries = queries.AllQueries
+	}
+	if o.InstancesPerScale <= 0 {
+		o.InstancesPerScale = 4
+	}
+	if o.Validate && o.ValidateFraction <= 0 {
+		o.ValidateFraction = 1
+	}
+	return o
+}
+
+// InstanceResult records one executed query instance.
+type InstanceResult struct {
+	Elapsed    time.Duration
+	Frames     int
+	Err        error
+	Validation *InstanceValidation
+}
+
+// QueryReport aggregates a query batch.
+type QueryReport struct {
+	Query       queries.QueryID
+	System      string
+	BatchSize   int
+	Completed   int
+	Unsupported bool
+	// ResourceErrors counts instances that failed with ErrResource
+	// (e.g. Scanner-like Q4).
+	ResourceErrors int
+	// BatchSplits counts extra sub-batches forced by the engine's
+	// batch limit (LightDB-like Q3/Q4 past 40 videos).
+	BatchSplits int
+	Elapsed     time.Duration
+	Frames      int
+	Instances   []InstanceResult
+	Validation  ValidationSummary
+}
+
+// FPS returns the processed frame throughput of the batch.
+func (r *QueryReport) FPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Frames) / r.Elapsed.Seconds()
+}
+
+// RunReport is the full benchmark result for one system.
+type RunReport struct {
+	System  string
+	Scale   int
+	Mode    ResultMode
+	Queries []QueryReport
+	Elapsed time.Duration
+}
+
+// QueryReport returns the report for q, if present.
+func (r *RunReport) QueryReport(q queries.QueryID) (*QueryReport, bool) {
+	for i := range r.Queries {
+		if r.Queries[i].Query == q {
+			return &r.Queries[i], true
+		}
+	}
+	return nil, false
+}
+
+// Run executes the benchmark: for each query, a batch of
+// InstancesPerScale × L instances is created (uniform random parameters
+// and inputs), submitted to the system, measured, and optionally
+// validated. Batches are submitted in benchmark query order.
+func Run(ds *Dataset, sys vdbms.System, opt Options) (*RunReport, error) {
+	opt = opt.withDefaults()
+	if opt.Mode == WriteMode && opt.ResultStore == nil {
+		return nil, errors.New("vcd: WriteMode requires a result store")
+	}
+	report := &RunReport{System: sys.Name(), Scale: ds.Manifest.Scale, Mode: opt.Mode}
+	start := time.Now()
+	for _, q := range opt.Queries {
+		qr, err := runQueryBatch(ds, sys, q, opt)
+		if err != nil {
+			return nil, fmt.Errorf("vcd: %s on %s: %w", q, sys.Name(), err)
+		}
+		report.Queries = append(report.Queries, *qr)
+		// Systems "may optionally quiesce or restart upon completing a
+		// batch" (§3.2): let the engine drop batch-scoped state so one
+		// query's caches do not subsidize the next.
+		if quiescer, ok := sys.(interface{ Shutdown() }); ok {
+			quiescer.Shutdown()
+		}
+	}
+	report.Elapsed = time.Since(start)
+	return report, nil
+}
+
+// runQueryBatch builds and executes one query batch.
+func runQueryBatch(ds *Dataset, sys vdbms.System, q queries.QueryID, opt Options) (*QueryReport, error) {
+	qr := &QueryReport{Query: q, System: sys.Name()}
+	if !sys.Supports(q) {
+		qr.Unsupported = true
+		return qr, nil
+	}
+	batch := opt.InstancesPerScale * ds.Manifest.Scale
+	insts, err := BuildBatch(ds, q, batch, opt)
+	if err != nil {
+		return nil, err
+	}
+	qr.BatchSize = len(insts)
+
+	// Honor the engine's batch limit by splitting, as the paper's
+	// authors did for LightDB on Q3/Q4.
+	limit := 0
+	if bl, ok := sys.(vdbms.BatchLimiter); ok {
+		limit = bl.MaxBatchSize(q)
+	}
+	groups := [][]*vdbms.QueryInstance{insts}
+	if limit > 0 && len(insts) > limit {
+		groups = nil
+		for i := 0; i < len(insts); i += limit {
+			end := i + limit
+			if end > len(insts) {
+				end = len(insts)
+			}
+			groups = append(groups, insts[i:end])
+		}
+		qr.BatchSplits = len(groups) - 1
+	}
+
+	validator := newValidator(ds, opt)
+	batchStart := time.Now()
+	instIdx := 0
+	for _, group := range groups {
+		for _, inst := range group {
+			res := executeInstance(ds, sys, inst, opt, instIdx)
+			instIdx++
+			var resErr *vdbms.ErrResource
+			if errors.As(res.Err, &resErr) {
+				qr.ResourceErrors++
+			} else if res.Err == nil {
+				qr.Completed++
+				qr.Frames += res.Frames
+			}
+			qr.Instances = append(qr.Instances, res)
+		}
+	}
+	qr.Elapsed = time.Since(batchStart)
+
+	if opt.Validate {
+		// Validation runs outside the measured window, as the VCD's
+		// verification is not part of system execution time.
+		for i := range qr.Instances {
+			res := &qr.Instances[i]
+			if res.Err != nil || res.Validation == nil {
+				continue
+			}
+			validator.validate(insts[i], res.Validation)
+		}
+		qr.Validation = validator.summary(qr.Instances)
+	}
+	return qr, nil
+}
+
+// executeInstance runs one instance through the system, capturing
+// outputs for validation and handling the result mode.
+func executeInstance(ds *Dataset, sys vdbms.System, inst *vdbms.QueryInstance, opt Options, idx int) InstanceResult {
+	var res InstanceResult
+	var capture *InstanceValidation
+	wantValidate := opt.Validate && sampleForValidation(opt, idx)
+	if wantValidate {
+		capture = &InstanceValidation{Outputs: map[string]*video.Video{}}
+	}
+	sink := vdbms.SinkFunc(func(key string, v *video.Video) error {
+		res.Frames += len(v.Frames)
+		if capture != nil {
+			capture.Outputs[key] = v
+		}
+		// Per §3.2 the result of a query is an H264- or HEVC-encoded
+		// video in both modes; streaming mode merely discards it
+		// instead of persisting it. Encoding is therefore always part
+		// of the measured execution.
+		payload, err := encodeResult(v)
+		if err != nil {
+			return err
+		}
+		if opt.Mode == WriteMode {
+			return opt.ResultStore.Write(resultName(inst.Query, idx, key), payload)
+		}
+		return nil
+	})
+	start := time.Now()
+	res.Err = sys.Execute(inst, sink)
+	res.Elapsed = time.Since(start)
+	res.Validation = capture
+	return res
+}
+
+// sampleForValidation deterministically picks which instances are
+// validated under ValidateFraction.
+func sampleForValidation(opt Options, idx int) bool {
+	if opt.ValidateFraction >= 1 {
+		return true
+	}
+	// Validate every k-th instance.
+	k := int(1 / opt.ValidateFraction)
+	if k < 1 {
+		k = 1
+	}
+	return idx%k == 0
+}
+
+// encodeResult compresses a result video into a muxed container
+// payload — the encoded form every query result takes in both result
+// modes.
+func encodeResult(v *video.Video) ([]byte, error) {
+	if len(v.Frames) == 0 {
+		return nil, nil
+	}
+	w, h := v.Resolution()
+	enc, err := codec.EncodeVideo(v, codec.Config{
+		Width: w, Height: h, FPS: v.FPS, QP: 18,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("vcd: encoding result: %w", err)
+	}
+	var buf resultBuffer
+	if err := container.Mux(&buf, enc, nil); err != nil {
+		return nil, err
+	}
+	return buf.data, nil
+}
+
+func resultName(q queries.QueryID, idx int, key string) string {
+	return fmt.Sprintf("result-%s-%03d-%s.vrmf", sanitize(string(q)), idx, sanitize(key))
+}
+
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+type resultBuffer struct{ data []byte }
+
+func (b *resultBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}

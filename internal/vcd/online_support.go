@@ -1,0 +1,22 @@
+package vcd
+
+import (
+	"net"
+
+	"repro/internal/codec"
+	"repro/internal/stream"
+)
+
+// newOnlineDecoder builds a fresh decoder for an online session.
+func newOnlineDecoder(cfg codec.Config) (*codec.Decoder, error) {
+	return codec.NewDecoder(cfg)
+}
+
+// dialRTP connects to an RTP-over-TCP endpoint.
+func dialRTP(addr string) (*stream.RTPReceiver, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return stream.NewRTPReceiver(conn), nil
+}

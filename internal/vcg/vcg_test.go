@@ -1,0 +1,216 @@
+package vcg
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/container"
+	"repro/internal/vcity"
+	"repro/internal/vfs"
+)
+
+func tinyParams(seed uint64) vcity.Hyperparams {
+	return vcity.Hyperparams{Scale: 1, Width: 96, Height: 64, Duration: 0.5, FPS: 16, Seed: seed}
+}
+
+func TestGenerateProducesAllCameraVideos(t *testing.T) {
+	store := vfs.NewMemory()
+	res, err := Generate(tinyParams(1), Options{Captions: true}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 tile × (4 traffic + 4 panoramic subs) = 8 videos.
+	if len(res.Manifest.Videos) != 8 {
+		t.Fatalf("manifest lists %d videos, want 8", len(res.Manifest.Videos))
+	}
+	names, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 videos + manifest.json.
+	if len(names) != 9 {
+		t.Errorf("store holds %d objects, want 9: %v", len(names), names)
+	}
+	for _, v := range res.Manifest.Videos {
+		if v.Frames != 8 {
+			t.Errorf("video %s has %d frames, want 8 (0.5s at 16fps)", v.Name, v.Frames)
+		}
+		if v.Bytes <= 0 {
+			t.Errorf("video %s has no payload", v.Name)
+		}
+	}
+}
+
+func TestGenerateDeterministicBytes(t *testing.T) {
+	s1, s2 := vfs.NewMemory(), vfs.NewMemory()
+	if _, err := Generate(tinyParams(7), Options{Captions: true}, s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(tinyParams(7), Options{Captions: true}, s2); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := s1.List()
+	for _, name := range names {
+		a, _ := vfs.ReadAll(s1, name)
+		b, _ := vfs.ReadAll(s2, name)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("object %s differs between identical generations", name)
+		}
+	}
+}
+
+func TestDistributedMatchesSingleNode(t *testing.T) {
+	p := vcity.Hyperparams{Scale: 2, Width: 96, Height: 64, Duration: 0.5, FPS: 16, Seed: 3}
+	s1, s4 := vfs.NewMemory(), vfs.NewMemory()
+	if _, err := Generate(p, Options{Nodes: 1}, s1); err != nil {
+		t.Fatal(err)
+	}
+	res4, err := Generate(p, Options{Nodes: 4}, s4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, _ := s1.List()
+	for _, name := range names {
+		if name == "manifest.json" {
+			continue // video order within the manifest may differ in timing fields
+		}
+		a, _ := vfs.ReadAll(s1, name)
+		b, _ := vfs.ReadAll(s4, name)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("distributed generation changed %s", name)
+		}
+	}
+	if len(res4.NodeTimes) != 4 {
+		t.Errorf("%d node times recorded", len(res4.NodeTimes))
+	}
+}
+
+func TestCaptionsEmbedded(t *testing.T) {
+	store := vfs.NewMemory()
+	res, err := Generate(tinyParams(5), Options{Captions: true}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := vfs.ReadAll(store, res.Manifest.Videos[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vttData, err := container.Demux(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vttData) == 0 {
+		t.Fatal("no caption track embedded")
+	}
+	if !bytes.HasPrefix(vttData, []byte("WEBVTT")) {
+		t.Errorf("caption track is not WebVTT: %q", vttData[:10])
+	}
+}
+
+func TestNoCaptionsWhenDisabled(t *testing.T) {
+	store := vfs.NewMemory()
+	res, err := Generate(tinyParams(5), Options{}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := vfs.ReadAll(store, res.Manifest.Videos[0].Name)
+	_, vttData, err := container.Demux(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vttData != nil {
+		t.Error("captions embedded although disabled")
+	}
+}
+
+func TestGenerateCaptionsNonOverlapping(t *testing.T) {
+	doc := GenerateCaptions("camX", 30, 9)
+	if len(doc.Cues) == 0 {
+		t.Fatal("no cues generated for 30s")
+	}
+	for i := 1; i < len(doc.Cues); i++ {
+		if doc.Cues[i].Start < doc.Cues[i-1].End {
+			t.Errorf("cues %d and %d overlap", i-1, i)
+		}
+	}
+	for _, c := range doc.Cues {
+		if c.End > 30+1e-9 {
+			t.Errorf("cue ends at %v past the video duration", c.End)
+		}
+		if c.Line < 0 || c.Position < 0 {
+			t.Error("generated cues should have explicit line/position")
+		}
+	}
+}
+
+func TestRecordedProfileChangesPixels(t *testing.T) {
+	p := tinyParams(11)
+	s1, s2 := vfs.NewMemory(), vfs.NewMemory()
+	if _, err := Generate(p, Options{Profile: ProfileSynthetic}, s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(p, Options{Profile: ProfileRecorded}, s2); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := s1.List()
+	differs := false
+	for _, name := range names {
+		if name == "manifest.json" {
+			continue
+		}
+		a, _ := vfs.ReadAll(s1, name)
+		b, _ := vfs.ReadAll(s2, name)
+		if !bytes.Equal(a, b) {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Error("recorded profile produced identical bytes to synthetic")
+	}
+}
+
+func TestRecordedProfileLargerPayload(t *testing.T) {
+	// Sensor noise compresses worse, so the recorded corpus should be
+	// at least as large as the clean render.
+	p := tinyParams(13)
+	s1, s2 := vfs.NewMemory(), vfs.NewMemory()
+	Generate(p, Options{Profile: ProfileSynthetic}, s1)
+	Generate(p, Options{Profile: ProfileRecorded}, s2)
+	if s2.Size() <= s1.Size() {
+		t.Errorf("recorded corpus %d bytes <= synthetic %d — noise should cost bits",
+			s2.Size(), s1.Size())
+	}
+}
+
+func TestVideoName(t *testing.T) {
+	if got := VideoName("tile0-traffic1"); got != "tile0-traffic1.vrmf" {
+		t.Errorf("VideoName = %q", got)
+	}
+}
+
+func TestWeatherFilterRecordedInManifest(t *testing.T) {
+	store := vfs.NewMemory()
+	res, err := Generate(tinyParams(21), Options{WeatherFilter: "dry", DensityFilter: "RushHour"}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Manifest.WeatherFilter != "dry" || res.Manifest.DensityFilter != "RushHour" {
+		t.Errorf("manifest filters = %q/%q", res.Manifest.WeatherFilter, res.Manifest.DensityFilter)
+	}
+	for _, tile := range res.City.Tiles {
+		spec := tile.Layout.Spec
+		if spec.Weather.Precip != vcity.Dry || spec.Density.Name != "RushHour" {
+			t.Errorf("tile %d violates filter: %s", tile.Index, spec)
+		}
+	}
+}
+
+func TestBuildTileFilterErrors(t *testing.T) {
+	if _, err := BuildTileFilter("snowstorm", "any"); err == nil {
+		t.Error("unknown weather filter should fail")
+	}
+	if f, err := BuildTileFilter("", ""); err != nil || f != nil {
+		t.Error("empty filters should be nil predicate")
+	}
+}

@@ -1,0 +1,182 @@
+package vcity
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/video"
+)
+
+// ObjectClass is the category of a dynamic scene object. Pedestrian and
+// Vehicle are the classes the benchmark's detection queries draw from.
+type ObjectClass int
+
+// The object classes.
+const (
+	ClassVehicle ObjectClass = iota
+	ClassPedestrian
+)
+
+// String names the class as used in query parameters.
+func (c ObjectClass) String() string {
+	if c == ClassVehicle {
+		return "Vehicle"
+	}
+	return "Pedestrian"
+}
+
+// Vehicle is a simulated automobile. Its trajectory is a loop around an
+// assigned city block, so its position is a pure function of time. Every
+// vehicle has a unique front-facing license plate of six alphanumeric
+// digits, as the paper's vehicle tracking query (Q8) requires.
+type Vehicle struct {
+	ID      int
+	Plate   string
+	Color   video.Color
+	Block   Block
+	loop    geom.Rect // driving loop rectangle
+	offset  float64   // starting perimeter position (meters)
+	speed   float64   // m/s
+	ccw     bool
+	Length  float64
+	WidthM  float64
+	HeightM float64
+}
+
+// Pedestrian is a simulated walker looping around a block's sidewalk.
+type Pedestrian struct {
+	ID      int
+	Color   video.Color
+	loop    geom.Rect
+	offset  float64
+	speed   float64
+	ccw     bool
+	HeightM float64
+}
+
+// plateAlphabet excludes easily-confused glyphs so the simulated ALPR's
+// template matching has distinct shapes to work with.
+const plateAlphabet = "ABCDEFGHJKLMNPRSTUVWXYZ0123456789"
+
+// randomPlate draws a six-character license plate.
+func randomPlate(rng *RNG) string {
+	b := make([]byte, 6)
+	for i := range b {
+		b[i] = plateAlphabet[rng.Intn(len(plateAlphabet))]
+	}
+	return string(b)
+}
+
+// vehiclePalette is the set of body colors vehicles spawn with.
+var vehiclePalette = []video.Color{
+	{R: 200, G: 30, B: 30},   // red
+	{R: 30, G: 60, B: 180},   // blue
+	{R: 230, G: 230, B: 235}, // white
+	{R: 40, G: 40, B: 45},    // black
+	{R: 150, G: 150, B: 155}, // silver
+	{R: 30, G: 120, B: 50},   // green
+	{R: 220, G: 170, B: 30},  // yellow
+}
+
+// spawnVehicles creates the tile's vehicles per its density config.
+func spawnVehicles(layout *TileLayout, rng *RNG) []*Vehicle {
+	n := layout.Spec.Density.Vehicles
+	out := make([]*Vehicle, 0, n)
+	for i := 0; i < n; i++ {
+		vr := rng.SplitN("vehicle", i)
+		b := layout.Blocks[vr.Intn(len(layout.Blocks))]
+		// The driving loop runs along the road centerline offset: the
+		// block rectangle expanded past the sidewalk into the road.
+		margin := sidewalkWidth + 2.0
+		loop := geom.Rect{
+			MinX: b.Min.X - margin, MinY: b.Min.Y - margin,
+			MaxX: b.Max.X + margin, MaxY: b.Max.Y + margin,
+		}
+		out = append(out, &Vehicle{
+			ID:      i,
+			Plate:   randomPlate(vr),
+			Color:   vehiclePalette[vr.Intn(len(vehiclePalette))],
+			Block:   b,
+			loop:    loop,
+			offset:  vr.Range(0, perimeter(loop)),
+			speed:   vr.Range(4, 14),
+			ccw:     vr.Bool(0.5),
+			Length:  vr.Range(4.0, 5.2),
+			WidthM:  vr.Range(1.7, 2.0),
+			HeightM: vr.Range(1.4, 1.9),
+		})
+	}
+	return out
+}
+
+// spawnPedestrians creates the tile's pedestrians per its density config.
+func spawnPedestrians(layout *TileLayout, rng *RNG) []*Pedestrian {
+	n := layout.Spec.Density.Pedestrians
+	out := make([]*Pedestrian, 0, n)
+	for i := 0; i < n; i++ {
+		pr := rng.SplitN("pedestrian", i)
+		b := layout.Blocks[pr.Intn(len(layout.Blocks))]
+		margin := sidewalkWidth / 2
+		loop := geom.Rect{
+			MinX: b.Min.X - margin, MinY: b.Min.Y - margin,
+			MaxX: b.Max.X + margin, MaxY: b.Max.Y + margin,
+		}
+		shade := byte(pr.Intn(180) + 40)
+		out = append(out, &Pedestrian{
+			ID:      i,
+			Color:   video.Color{R: shade, G: byte(pr.Intn(180) + 40), B: byte(pr.Intn(180) + 40)},
+			loop:    loop,
+			offset:  pr.Range(0, perimeter(loop)),
+			speed:   pr.Range(0.8, 1.8),
+			ccw:     pr.Bool(0.5),
+			HeightM: pr.Range(1.5, 1.95),
+		})
+	}
+	return out
+}
+
+// perimeter returns the circumference of a rectangle.
+func perimeter(r geom.Rect) float64 { return 2 * (r.W() + r.H()) }
+
+// pointOnLoop maps a perimeter distance p (meters, wrapped) on rect r to
+// a position and heading (radians; the direction of travel). Travel is
+// counterclockwise starting at the lower-left corner; cw flips it.
+func pointOnLoop(r geom.Rect, p float64, ccw bool) (pos geom.Vec2, heading float64) {
+	per := perimeter(r)
+	p = math.Mod(p, per)
+	if p < 0 {
+		p += per
+	}
+	if !ccw {
+		p = per - p
+	}
+	w, h := r.W(), r.H()
+	switch {
+	case p < w: // bottom edge, travelling +X
+		pos = geom.Vec2{X: r.MinX + p, Y: r.MinY}
+		heading = 0
+	case p < w+h: // right edge, travelling +Y
+		pos = geom.Vec2{X: r.MaxX, Y: r.MinY + (p - w)}
+		heading = math.Pi / 2
+	case p < 2*w+h: // top edge, travelling -X
+		pos = geom.Vec2{X: r.MaxX - (p - w - h), Y: r.MaxY}
+		heading = math.Pi
+	default: // left edge, travelling -Y
+		pos = geom.Vec2{X: r.MinX, Y: r.MaxY - (p - 2*w - h)}
+		heading = -math.Pi / 2
+	}
+	if !ccw {
+		heading = geom.WrapAngle(heading + math.Pi)
+	}
+	return pos, heading
+}
+
+// PositionAt returns the vehicle's ground position and heading at time t.
+func (v *Vehicle) PositionAt(t float64) (geom.Vec2, float64) {
+	return pointOnLoop(v.loop, v.offset+v.speed*t, v.ccw)
+}
+
+// PositionAt returns the pedestrian's position and heading at time t.
+func (p *Pedestrian) PositionAt(t float64) (geom.Vec2, float64) {
+	return pointOnLoop(p.loop, p.offset+p.speed*t, p.ccw)
+}

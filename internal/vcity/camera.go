@@ -1,0 +1,150 @@
+package vcity
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// CameraKind distinguishes the two camera types the benchmark places.
+type CameraKind int
+
+// The camera kinds.
+const (
+	TrafficCamera CameraKind = iota
+	// PanoramicSubCamera is one of the four 120°-FOV constituent
+	// cameras that make up a panoramic (360°) camera.
+	PanoramicSubCamera
+)
+
+// String names the kind.
+func (k CameraKind) String() string {
+	if k == TrafficCamera {
+		return "traffic"
+	}
+	return "panoramic-sub"
+}
+
+// Camera is a pinhole camera in a tile, described by position, yaw
+// (radians, around the up axis, 0 = +X/east), pitch (radians, positive
+// up), and a horizontal field of view.
+type Camera struct {
+	ID     string
+	Kind   CameraKind
+	Tile   int // index of the owning tile within the city
+	Pano   int // panoramic sub-index 0–3, or -1 for traffic cameras
+	Pos    geom.Vec3
+	Yaw    float64
+	Pitch  float64
+	FOVDeg float64
+}
+
+// Basis returns the camera's orthonormal basis: forward, right, and up
+// vectors in world space.
+func (c *Camera) Basis() (forward, right, up geom.Vec3) {
+	cp, sp := math.Cos(c.Pitch), math.Sin(c.Pitch)
+	cy, sy := math.Cos(c.Yaw), math.Sin(c.Yaw)
+	forward = geom.Vec3{X: cp * cy, Y: cp * sy, Z: sp}
+	right = geom.Vec3{X: sy, Y: -cy, Z: 0}
+	up = right.Cross(forward)
+	return forward, right, up
+}
+
+// Project maps a world point to continuous pixel coordinates for an
+// image of the given resolution. It returns the screen position, the
+// depth along the camera's forward axis, and whether the point is in
+// front of the near plane (0.1 m). Points outside the image bounds are
+// still reported (with ok=true) so callers can clip boxes correctly.
+func (c *Camera) Project(p geom.Vec3, w, h int) (sx, sy, depth float64, ok bool) {
+	f, r, u := c.Basis()
+	d := p.Sub(c.Pos)
+	z := d.Dot(f)
+	if z < 0.1 {
+		return 0, 0, z, false
+	}
+	focal := float64(w) / 2 / math.Tan(geom.Deg(c.FOVDeg)/2)
+	sx = float64(w)/2 + focal*d.Dot(r)/z
+	sy = float64(h)/2 - focal*d.Dot(u)/z
+	return sx, sy, z, true
+}
+
+// CameraConfig is the per-tile camera configuration C = {c_t, c_p}: the
+// number of traffic cameras and panoramic cameras. The Visual Road 1.0
+// prototype sets {4, 1}.
+type CameraConfig struct {
+	Traffic   int
+	Panoramic int
+}
+
+// DefaultCameraConfig matches the paper's prototype.
+var DefaultCameraConfig = CameraConfig{Traffic: 4, Panoramic: 1}
+
+// placeCameras positions the tile's cameras: traffic cameras randomly
+// oriented 10–20 m above a roadway, panoramic cameras 5–10 m above a
+// sidewalk, each composed of four sub-cameras with 120° fields of view
+// whose overlap covers 360°.
+func placeCameras(tileIdx int, layout *TileLayout, cfg CameraConfig, rng *RNG) []*Camera {
+	var cams []*Camera
+	for i := 0; i < cfg.Traffic; i++ {
+		cr := rng.SplitN("traffic-cam", i)
+		road := layout.Roads[cr.Intn(len(layout.Roads))]
+		pos2 := roadPoint(road, cr)
+		// Traffic cameras monitor traffic: they look along their
+		// roadway (either direction, with random jitter) rather than
+		// in arbitrary directions.
+		axis := 0.0
+		if !road.Horizontal() {
+			axis = math.Pi / 2
+		}
+		if cr.Bool(0.5) {
+			axis += math.Pi
+		}
+		cams = append(cams, &Camera{
+			ID:     fmt.Sprintf("tile%d-traffic%d", tileIdx, i),
+			Kind:   TrafficCamera,
+			Tile:   tileIdx,
+			Pano:   -1,
+			Pos:    geom.Vec3{X: pos2.X, Y: pos2.Y, Z: cr.Range(10, 20)},
+			Yaw:    geom.WrapAngle(axis + geom.Deg(cr.Range(-20, 20))),
+			Pitch:  -geom.Deg(cr.Range(15, 40)),
+			FOVDeg: cr.Range(60, 90),
+		})
+	}
+	for i := 0; i < cfg.Panoramic; i++ {
+		pr := rng.SplitN("pano-cam", i)
+		road := layout.Roads[pr.Intn(len(layout.Roads))]
+		pos2 := roadPoint(road, pr)
+		// Shift off the road onto the sidewalk.
+		if road.Horizontal() {
+			pos2.Y += road.Width/2 + sidewalkWidth/2
+		} else {
+			pos2.X += road.Width/2 + sidewalkWidth/2
+		}
+		pos := geom.Vec3{X: pos2.X, Y: pos2.Y, Z: pr.Range(5, 10)}
+		baseYaw := pr.Range(-math.Pi, math.Pi)
+		for s := 0; s < 4; s++ {
+			cams = append(cams, &Camera{
+				ID:     fmt.Sprintf("tile%d-pano%d-sub%d", tileIdx, i, s),
+				Kind:   PanoramicSubCamera,
+				Tile:   tileIdx,
+				Pano:   s,
+				Pos:    pos,
+				Yaw:    geom.WrapAngle(baseYaw + float64(s)*math.Pi/2),
+				Pitch:  0,
+				FOVDeg: 120,
+			})
+		}
+	}
+	return cams
+}
+
+// roadPoint picks a point on the road's centerline, away from the tile
+// edges so cameras have scene content in view.
+func roadPoint(road Road, rng *RNG) geom.Vec2 {
+	t := rng.Range(0.2, 0.8)
+	return geom.Vec2{
+		X: road.A.X + (road.B.X-road.A.X)*t,
+		Y: road.A.Y + (road.B.Y-road.A.Y)*t,
+	}
+}

@@ -1,0 +1,205 @@
+package vcity
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Observation is the ground truth for one object as seen by one camera
+// in one frame: its exact projected bounding box, depth, and the
+// fraction of the object unoccluded by buildings. Because it is derived
+// from scene geometry, no manual annotation is involved — this is the
+// paper's mechanism for validating detection queries ("the VCD queries
+// the simulation engine to determine if car i was visible to the camera
+// at the instant the frame was captured").
+type Observation struct {
+	Object     SceneObject
+	Box        geom.Rect // pixel bounding box, clipped to the image
+	Depth      float64   // meters from the camera
+	Visibility float64   // fraction of sample points not occluded
+}
+
+// GroundTruth computes the observations of all dynamic objects in the
+// camera's tile at simulation time t, for an image of resolution w×h.
+// Objects fully outside the frustum or with zero visible samples are
+// omitted.
+func (t *Tile) GroundTruth(cam *Camera, time float64, w, h int) []Observation {
+	objs := t.ObjectsAt(time)
+	out := make([]Observation, 0, 8)
+	img := geom.Rect{MinX: 0, MinY: 0, MaxX: float64(w), MaxY: float64(h)}
+	for _, o := range objs {
+		box, depth, ok := projectBox(cam, &o, w, h)
+		if !ok {
+			continue
+		}
+		clipped := box.Clip(img)
+		if clipped.Empty() {
+			continue
+		}
+		vis := t.visibility(cam, &o)
+		if vis <= 0 {
+			continue
+		}
+		out = append(out, Observation{Object: o, Box: clipped, Depth: depth, Visibility: vis})
+	}
+	return out
+}
+
+// projectBox projects the object's oriented box into the image and
+// returns its 2D bounding rectangle and mean depth. ok is false when
+// every corner lies behind the camera.
+func projectBox(cam *Camera, o *SceneObject, w, h int) (geom.Rect, float64, bool) {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	depthSum, n := 0.0, 0
+	for _, c := range o.Corners() {
+		sx, sy, d, ok := cam.Project(c, w, h)
+		if !ok {
+			continue
+		}
+		minX = math.Min(minX, sx)
+		minY = math.Min(minY, sy)
+		maxX = math.Max(maxX, sx)
+		maxY = math.Max(maxY, sy)
+		depthSum += d
+		n++
+	}
+	if n == 0 {
+		return geom.Rect{}, 0, false
+	}
+	return geom.Rect{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}, depthSum / float64(n), true
+}
+
+// visibility estimates the unoccluded fraction of the object by casting
+// rays from the camera to the box center and corners and testing them
+// against the tile's buildings.
+func (t *Tile) visibility(cam *Camera, o *SceneObject) float64 {
+	points := o.Corners()
+	samples := append(points[:], o.Center)
+	clear := 0
+	for _, p := range samples {
+		if !t.occludedRay(cam.Pos, p) {
+			clear++
+		}
+	}
+	return float64(clear) / float64(len(samples))
+}
+
+// occludedRay reports whether the segment from a to b intersects any
+// building volume.
+func (t *Tile) occludedRay(a, b geom.Vec3) bool {
+	for i := range t.Layout.Buildings {
+		bl := &t.Layout.Buildings[i]
+		if segmentHitsAABB(a, b,
+			geom.Vec3{X: bl.Min.X, Y: bl.Min.Y, Z: 0},
+			geom.Vec3{X: bl.Max.X, Y: bl.Max.Y, Z: bl.Height}) {
+			return true
+		}
+	}
+	return false
+}
+
+// segmentHitsAABB tests segment a→b against the axis-aligned box
+// [lo, hi] using the slab method. Touching exactly at the endpoint b
+// (the object surface) does not count as occlusion.
+func segmentHitsAABB(a, b, lo, hi geom.Vec3) bool {
+	d := b.Sub(a)
+	tmin, tmax := 0.0, 0.999
+	for axis := 0; axis < 3; axis++ {
+		var av, dv, lov, hiv float64
+		switch axis {
+		case 0:
+			av, dv, lov, hiv = a.X, d.X, lo.X, hi.X
+		case 1:
+			av, dv, lov, hiv = a.Y, d.Y, lo.Y, hi.Y
+		default:
+			av, dv, lov, hiv = a.Z, d.Z, lo.Z, hi.Z
+		}
+		if math.Abs(dv) < 1e-12 {
+			if av < lov || av > hiv {
+				return false
+			}
+			continue
+		}
+		t1 := (lov - av) / dv
+		t2 := (hiv - av) / dv
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		tmin = math.Max(tmin, t1)
+		tmax = math.Min(tmax, t2)
+		if tmin > tmax {
+			return false
+		}
+	}
+	return true
+}
+
+// PlateObservation is the ground truth for a license plate: the plate's
+// projected rectangle and whether it is identifiable (front face toward
+// the camera, unoccluded, and large enough to read).
+type PlateObservation struct {
+	Vehicle      *Vehicle
+	Box          geom.Rect
+	Identifiable bool
+}
+
+// minPlatePixelWidth is the smallest projected plate width (pixels) at
+// which the simulated ALPR can identify a plate.
+const minPlatePixelWidth = 6
+
+// PlateAt computes the plate observation for vehicle v as seen by cam at
+// time t. A plate is identifiable when the vehicle's front faces the
+// camera (within ±70°), the plate is unoccluded, and its projection is
+// at least minPlatePixelWidth wide.
+func (t *Tile) PlateAt(cam *Camera, time float64, v *Vehicle, w, h int) PlateObservation {
+	pos, heading := v.PositionAt(time)
+	// Plate center: front bumper, 0.5 m above ground.
+	front := geom.Vec2{X: math.Cos(heading), Y: math.Sin(heading)}
+	pc2 := pos.Add(front.Scale(v.Length / 2))
+	pc := geom.Vec3{X: pc2.X, Y: pc2.Y, Z: 0.5}
+
+	obs := PlateObservation{Vehicle: v}
+
+	// Facing test: the angle between the plate normal (vehicle forward)
+	// and the direction to the camera must be under 70°.
+	toCam := geom.Vec2{X: cam.Pos.X - pc2.X, Y: cam.Pos.Y - pc2.Y}.Norm()
+	if front.Dot(toCam) < math.Cos(geom.Deg(70)) {
+		return obs
+	}
+
+	// Project the plate corners (0.52 m × 0.11 m, facing forward).
+	side := geom.Vec2{X: -front.Y, Y: front.X}
+	halfW, halfH := 0.26, 0.055
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, sgn := range [2]float64{-1, 1} {
+		corner2 := pc2.Add(side.Scale(sgn * halfW))
+		for _, dz := range [2]float64{-halfH, halfH} {
+			sx, sy, _, ok := cam.Project(geom.Vec3{X: corner2.X, Y: corner2.Y, Z: pc.Z + dz}, w, h)
+			if !ok {
+				return obs
+			}
+			minX = math.Min(minX, sx)
+			minY = math.Min(minY, sy)
+			maxX = math.Max(maxX, sx)
+			maxY = math.Max(maxY, sy)
+		}
+	}
+	box := geom.Rect{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}
+	img := geom.Rect{MinX: 0, MinY: 0, MaxX: float64(w), MaxY: float64(h)}
+	clipped := box.Clip(img)
+	if clipped.Empty() {
+		return obs
+	}
+	obs.Box = clipped
+	if clipped.W() < minPlatePixelWidth {
+		return obs
+	}
+	if t.occludedRay(cam.Pos, pc) {
+		return obs
+	}
+	obs.Identifiable = true
+	return obs
+}

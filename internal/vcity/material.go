@@ -1,0 +1,57 @@
+package vcity
+
+import "math"
+
+// Material identifies what covers the ground at a point in a tile.
+type Material int
+
+// Ground materials.
+const (
+	MatGrass Material = iota
+	MatRoad
+	MatLaneMark
+	MatSidewalk
+	MatPlaza
+)
+
+// MaterialAt returns the ground material at tile-local coordinates
+// (x, y). Points outside the tile are grass.
+func (l *TileLayout) MaterialAt(x, y float64) Material {
+	if x < 0 || x >= TileSize || y < 0 || y >= TileSize {
+		return MatGrass
+	}
+	// Roads (and their lane markings) take precedence, then sidewalks.
+	onSidewalk := false
+	for i := range l.Roads {
+		r := &l.Roads[i]
+		var d, along float64
+		if r.Horizontal() {
+			d = math.Abs(y - r.A.Y)
+			along = x
+		} else {
+			d = math.Abs(x - r.A.X)
+			along = y
+		}
+		if d <= r.Width/2 {
+			// Dashed center line: 2 m dashes with 2 m gaps.
+			if d <= 0.15 && math.Mod(along, 4) < 2 {
+				return MatLaneMark
+			}
+			return MatRoad
+		}
+		if d <= r.Width/2+sidewalkWidth {
+			onSidewalk = true
+		}
+	}
+	if onSidewalk {
+		return MatSidewalk
+	}
+	// Inside blocks: plazas around buildings, grass elsewhere.
+	for i := range l.Buildings {
+		b := &l.Buildings[i]
+		if x >= b.Min.X-3 && x <= b.Max.X+3 && y >= b.Min.Y-3 && y <= b.Max.Y+3 {
+			return MatPlaza
+		}
+	}
+	return MatGrass
+}

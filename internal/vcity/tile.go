@@ -1,0 +1,208 @@
+package vcity
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/video"
+)
+
+// TileSize is the side length of a square tile in meters.
+const TileSize = 300.0
+
+// MapKind selects one of the two base maps a tile is constructed from,
+// mirroring the paper's TOWN01 and TOWN02 CARLA maps.
+type MapKind int
+
+// The available base maps.
+const (
+	Town01 MapKind = iota // dense 3×3 road grid, low-rise blocks
+	Town02                // 2×2 arterial grid, wider roads, taller buildings
+)
+
+// String returns the CARLA-style map name.
+func (m MapKind) String() string {
+	if m == Town01 {
+		return "TOWN01"
+	}
+	return "TOWN02"
+}
+
+// Precipitation levels for a weather configuration.
+type Precipitation int
+
+// Precipitation levels.
+const (
+	Dry Precipitation = iota
+	Drizzle
+	Rain
+)
+
+// Weather is one of the twelve tile weather configurations: a cloud
+// cover fraction, a precipitation level, and a sun altitude (degrees
+// above the horizon; low values yield sunset lighting).
+type Weather struct {
+	Name        string
+	CloudCover  float64 // [0, 1]
+	Precip      Precipitation
+	SunAltitude float64 // degrees
+}
+
+// WeatherConfigs is the pool of 12 weather configurations tiles draw
+// from (clear/cloudy/overcast × noon/sunset, plus rain variants).
+var WeatherConfigs = [12]Weather{
+	{Name: "ClearNoon", CloudCover: 0.05, Precip: Dry, SunAltitude: 70},
+	{Name: "ClearSunset", CloudCover: 0.10, Precip: Dry, SunAltitude: 12},
+	{Name: "PartlyCloudyNoon", CloudCover: 0.35, Precip: Dry, SunAltitude: 65},
+	{Name: "PartlyCloudySunset", CloudCover: 0.40, Precip: Dry, SunAltitude: 10},
+	{Name: "OvercastNoon", CloudCover: 0.80, Precip: Dry, SunAltitude: 60},
+	{Name: "OvercastSunset", CloudCover: 0.85, Precip: Dry, SunAltitude: 8},
+	{Name: "DrizzleNoon", CloudCover: 0.70, Precip: Drizzle, SunAltitude: 55},
+	{Name: "DrizzleSunset", CloudCover: 0.75, Precip: Drizzle, SunAltitude: 9},
+	{Name: "RainNoon", CloudCover: 0.90, Precip: Rain, SunAltitude: 50},
+	{Name: "RainSunset", CloudCover: 0.95, Precip: Rain, SunAltitude: 7},
+	{Name: "DenseCloudRain", CloudCover: 1.00, Precip: Rain, SunAltitude: 45},
+	{Name: "OvercastDawn", CloudCover: 0.90, Precip: Dry, SunAltitude: 5},
+}
+
+// Density is one of the three vehicle/pedestrian density configurations.
+type Density struct {
+	Name        string
+	Vehicles    int
+	Pedestrians int
+}
+
+// Densities is the pool of 3 density configurations. "RushHour" matches
+// the paper's 120 vehicles and 512 pedestrians.
+var Densities = [3]Density{
+	{Name: "Sparse", Vehicles: 20, Pedestrians: 64},
+	{Name: "Moderate", Vehicles: 60, Pedestrians: 200},
+	{Name: "RushHour", Vehicles: 120, Pedestrians: 512},
+}
+
+// TileSpec identifies one member of the tile pool. The pool has
+// len(maps) × len(weather) × len(densities) = 2 × 12 × 3 = 72 entries.
+type TileSpec struct {
+	Map     MapKind
+	Weather Weather
+	Density Density
+}
+
+// PoolSize is the number of distinct tiles in this version of the pool.
+const PoolSize = 72
+
+// TilePool enumerates the 72 tile specifications.
+func TilePool() []TileSpec {
+	pool := make([]TileSpec, 0, PoolSize)
+	for m := 0; m < 2; m++ {
+		for _, w := range WeatherConfigs {
+			for _, d := range Densities {
+				pool = append(pool, TileSpec{Map: MapKind(m), Weather: w, Density: d})
+			}
+		}
+	}
+	return pool
+}
+
+// String describes the spec, e.g. "TOWN01/RainNoon/RushHour".
+func (s TileSpec) String() string {
+	return fmt.Sprintf("%s/%s/%s", s.Map, s.Weather.Name, s.Density.Name)
+}
+
+// Road is one axis-aligned road segment: a centerline from A to B with
+// a total paved width. Sidewalks flank both sides.
+type Road struct {
+	A, B  geom.Vec2
+	Width float64
+}
+
+// Horizontal reports whether the road runs east–west.
+func (r Road) Horizontal() bool { return r.A.Y == r.B.Y }
+
+// Building is an axis-aligned box footprint with a height and a facade
+// color.
+type Building struct {
+	Min, Max geom.Vec2 // footprint corners
+	Height   float64
+	Facade   video.Color
+}
+
+// Block is the rectangular area enclosed by roads; pedestrians loop
+// around its sidewalk perimeter and vehicles around its road perimeter.
+type Block struct {
+	Min, Max geom.Vec2
+}
+
+// TileLayout is the static geometry of a tile: its roads, blocks, and
+// buildings. Layout is derived deterministically from the tile's
+// position in the city and the dataset seed.
+type TileLayout struct {
+	Spec      TileSpec
+	Roads     []Road
+	Blocks    []Block
+	Buildings []Building
+}
+
+// buildLayout constructs the road grid and buildings for a tile spec.
+func buildLayout(spec TileSpec, rng *RNG) *TileLayout {
+	l := &TileLayout{Spec: spec}
+	var lines []float64
+	var roadWidth float64
+	switch spec.Map {
+	case Town01:
+		lines = []float64{50, 150, 250}
+		roadWidth = 8
+	default: // Town02
+		lines = []float64{75, 225}
+		roadWidth = 12
+	}
+	for _, v := range lines {
+		l.Roads = append(l.Roads,
+			Road{A: geom.Vec2{X: v, Y: 0}, B: geom.Vec2{X: v, Y: TileSize}, Width: roadWidth},
+			Road{A: geom.Vec2{X: 0, Y: v}, B: geom.Vec2{X: TileSize, Y: v}, Width: roadWidth},
+		)
+	}
+	// Blocks are the cells of the grid (including border cells).
+	bounds := append([]float64{0}, lines...)
+	bounds = append(bounds, TileSize)
+	for i := 0; i+1 < len(bounds); i++ {
+		for j := 0; j+1 < len(bounds); j++ {
+			half := roadWidth/2 + sidewalkWidth
+			b := Block{
+				Min: geom.Vec2{X: bounds[i] + half, Y: bounds[j] + half},
+				Max: geom.Vec2{X: bounds[i+1] - half, Y: bounds[j+1] - half},
+			}
+			if b.Max.X-b.Min.X < 20 || b.Max.Y-b.Min.Y < 20 {
+				continue
+			}
+			l.Blocks = append(l.Blocks, b)
+		}
+	}
+	// Buildings: 1–3 per block, inset from the block edges.
+	minH, maxH := 8.0, 30.0
+	if spec.Map == Town02 {
+		minH, maxH = 15.0, 60.0
+	}
+	for bi, b := range l.Blocks {
+		brng := rng.SplitN("buildings", bi)
+		n := 1 + brng.Intn(3)
+		for k := 0; k < n; k++ {
+			w := brng.Range(15, (b.Max.X-b.Min.X)/2)
+			d := brng.Range(15, (b.Max.Y-b.Min.Y)/2)
+			x := brng.Range(b.Min.X+2, b.Max.X-w-2)
+			y := brng.Range(b.Min.Y+2, b.Max.Y-d-2)
+			shade := byte(brng.Intn(100) + 100)
+			tint := byte(brng.Intn(40))
+			l.Buildings = append(l.Buildings, Building{
+				Min:    geom.Vec2{X: x, Y: y},
+				Max:    geom.Vec2{X: x + w, Y: y + d},
+				Height: brng.Range(minH, maxH),
+				Facade: video.Color{R: shade, G: shade - tint/2, B: shade - tint},
+			})
+		}
+	}
+	return l
+}
+
+// sidewalkWidth is the width of the sidewalk strip along each road edge.
+const sidewalkWidth = 2.5

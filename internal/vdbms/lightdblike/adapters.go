@@ -1,0 +1,381 @@
+package lightdblike
+
+// Per-query adapter code for the LightDB-like engine. The paper's
+// Figure 7 counts exactly this code; QueryLOC measures these functions
+// from embedded source (see loc.go). Benchmark queries are defined in
+// pixel coordinates, so most adapters first map pixels into the
+// engine's angular coordinate system and back (see angles.go).
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/alpr"
+	"repro/internal/codec"
+	"repro/internal/metrics"
+	"repro/internal/queries"
+	"repro/internal/render"
+	"repro/internal/vcity"
+	"repro/internal/vdbms"
+	"repro/internal/video"
+)
+
+func (e *Engine) runQ1(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
+	in := inst.Inputs[0]
+	p := inst.Params
+	cfg := in.Encoded.Config
+	// Express the pixel crop as an angular Select, then map back.
+	sel := pixelRectToAngles(in.Camera(), p.X1, p.Y1, p.X2, p.Y2, cfg.Width, cfg.Height)
+	x1, y1, x2, y2 := anglesToPixelRect(in.Camera(), sel, cfg.Width, cfg.Height)
+	f1 := int(p.T1 * float64(cfg.FPS))
+	f2 := int(math.Ceil(p.T2 * float64(cfg.FPS)))
+	out, err := e.streamMap(in, func(i int, f *video.Frame) (*video.Frame, error) {
+		if i < f1 || i >= f2 {
+			return nil, nil // lazily skipped
+		}
+		return f.Crop(x1, y1, x2, y2), nil
+	})
+	if err != nil {
+		return err
+	}
+	return sink.Emit("out", out)
+}
+
+func (e *Engine) runQ2a(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
+	out, err := e.streamMap(inst.Inputs[0], func(i int, f *video.Frame) (*video.Frame, error) {
+		return f.Grayscale(), nil
+	})
+	if err != nil {
+		return err
+	}
+	return sink.Emit("out", out)
+}
+
+func (e *Engine) runQ2b(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
+	blur := gaussianUDF(inst.Params.D)
+	out, err := e.streamMap(inst.Inputs[0], func(i int, f *video.Frame) (*video.Frame, error) {
+		return blur(f), nil
+	})
+	if err != nil {
+		return err
+	}
+	return sink.Emit("out", out)
+}
+
+func (e *Engine) runQ2c(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
+	in := inst.Inputs[0]
+	env := in.Env
+	tile := env.City.TileOf(env.Camera)
+	want := map[string]bool{}
+	for _, c := range inst.Params.Classes {
+		want[c.String()] = true
+	}
+	out, err := e.streamMap(in, func(i int, f *video.Frame) (*video.Frame, error) {
+		t := env.FrameTime(i, in.Encoded.Config.FPS)
+		obs := tile.GroundTruth(env.Camera, t, f.W, f.H)
+		bf := video.NewFrame(f.W, f.H)
+		bf.Index = i
+		for _, d := range env.Detector.Detect(f, env.Camera.ID, obs) {
+			if !want[d.Class] {
+				continue
+			}
+			cls := vcity.ClassVehicle
+			if d.Class == vcity.ClassPedestrian.String() {
+				cls = vcity.ClassPedestrian
+			}
+			render.FillRect(bf, d.Box, queries.ClassColor(cls))
+		}
+		return bf, nil
+	})
+	if err != nil {
+		return err
+	}
+	return sink.Emit("out", out)
+}
+
+// runQ2d streams with a bounded ring buffer of m frames: the background
+// reference is computed over the lookahead window without materializing
+// the input.
+func (e *Engine) runQ2d(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
+	in := inst.Inputs[0]
+	p := inst.Params
+	dec, err := newStreamDecoder(in)
+	if err != nil {
+		return err
+	}
+	out := video.NewVideo(in.Encoded.Config.FPS)
+	var ring []*video.Frame
+	emit := func(cur *video.Frame, window []*video.Frame) {
+		bg := queries.AggregateMean(window)
+		masked := queries.JoinPFrame(cur, bg, func(pv, pb queries.Pixel) queries.Pixel {
+			den := float64(pv.Y)
+			if den == 0 {
+				den = 1
+			}
+			if math.Abs(float64(pv.Y)-float64(pb.Y))/den < p.Epsilon {
+				return queries.Omega
+			}
+			return pv
+		})
+		out.Append(masked)
+	}
+	for {
+		f, ok, err := dec.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		ring = append(ring, f)
+		if len(ring) == p.M {
+			emit(ring[0], ring)
+			ring = ring[1:]
+		}
+	}
+	// Drain: remaining frames use shrinking windows, matching the
+	// reference semantics at the end of the video.
+	for len(ring) > 0 {
+		emit(ring[0], ring)
+		ring = ring[1:]
+	}
+	return sink.Emit("out", out)
+}
+
+func (e *Engine) runQ3(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
+	in := inst.Inputs[0]
+	full, err := e.streamMap(in, func(i int, f *video.Frame) (*video.Frame, error) { return f, nil })
+	if err != nil {
+		return err
+	}
+	out, err := queries.RunQ3(full, inst.Params, in.Encoded.Config.Preset)
+	if err != nil {
+		return err
+	}
+	return sink.Emit("out", out)
+}
+
+func (e *Engine) runQ4(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
+	in := inst.Inputs[0]
+	p := inst.Params
+	// Angular upsampling: the FOV is unchanged; only sampling density
+	// increases, so the adapter maps (α, β) through the angle model.
+	out, err := e.streamMap(in, func(i int, f *video.Frame) (*video.Frame, error) {
+		return f.BilinearResize(f.W*p.Alpha, f.H*p.Beta), nil
+	})
+	if err != nil {
+		return err
+	}
+	return sink.Emit("out", out)
+}
+
+func (e *Engine) runQ5(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
+	p := inst.Params
+	out, err := e.streamMap(inst.Inputs[0], func(i int, f *video.Frame) (*video.Frame, error) {
+		nw, nh := f.W/p.Alpha, f.H/p.Beta
+		if nw < 1 {
+			nw = 1
+		}
+		if nh < 1 {
+			nh = 1
+		}
+		return f.Downsample(nw, nh), nil
+	})
+	if err != nil {
+		return err
+	}
+	return sink.Emit("out", out)
+}
+
+// runQ6a consumes the VCD's serialized bounding-box records (the
+// second interchange format of §4.1.1), rasterizing each frame's boxes
+// on the fly while streaming the input — no decode of a second video
+// and no model inference. Without a staged boxes input the engine
+// falls back to running the detector itself.
+func (e *Engine) runQ6a(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
+	in := inst.Inputs[0]
+	var perFrame [][]metrics.Detection
+	if inst.Boxes != nil {
+		var err error
+		perFrame, err = queries.ParseDetections(inst.Boxes.Serialized)
+		if err != nil {
+			return err
+		}
+	}
+	env := in.Env
+	tile := env.City.TileOf(env.Camera)
+	classes := inst.Params.Classes
+	if len(classes) == 0 {
+		classes = []vcity.ObjectClass{vcity.ClassVehicle, vcity.ClassPedestrian}
+	}
+	want := map[string]bool{}
+	for _, c := range classes {
+		want[c.String()] = true
+	}
+	out, err := e.streamMap(in, func(i int, f *video.Frame) (*video.Frame, error) {
+		var dets []metrics.Detection
+		if perFrame != nil {
+			if i < len(perFrame) {
+				dets = perFrame[i]
+			}
+		} else {
+			t := env.FrameTime(i, in.Encoded.Config.FPS)
+			obs := tile.GroundTruth(env.Camera, t, f.W, f.H)
+			dets = env.Detector.Detect(f, env.Camera.ID, obs)
+		}
+		bf := queries.RenderBoxesFrame(f.W, f.H, i, dets, want)
+		return queries.JoinPFrame(f, bf, queries.OmegaCoalesce), nil
+	})
+	if err != nil {
+		return err
+	}
+	return sink.Emit("out", out)
+}
+
+// runQ6b is the CPU-only caption compositor plugin: for every pixel of
+// every frame it evaluates the active cues' glyph coverage — a per-pixel
+// inner loop rather than a per-glyph blit, which is why captioning is
+// LightDB's slowest microbenchmark in Figure 5.
+func (e *Engine) runQ6b(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
+	in := inst.Inputs[0]
+	doc := inst.Params.Captions
+	fps := in.Encoded.Config.FPS
+	textY, textU, textV := video.Color{R: 250, G: 250, B: 250}.YUV()
+	out, err := e.streamMap(in, func(i int, f *video.Frame) (*video.Frame, error) {
+		t := float64(i) / float64(fps)
+		active := doc.ActiveAt(t)
+		if len(active) == 0 {
+			return f.Clone(), nil
+		}
+		g := f.Clone()
+		scale := f.H / 180
+		if scale < 1 {
+			scale = 1
+		}
+		for py := 0; py < f.H; py++ {
+			for px := 0; px < f.W; px++ {
+				for _, cue := range active {
+					if cueCoversPixel(cue.Text, cue.Line, cue.Position, px, py, f.W, f.H, scale) {
+						g.Set(px, py, textY, textU, textV)
+						break
+					}
+				}
+			}
+		}
+		return g, nil
+	})
+	if err != nil {
+		return err
+	}
+	return sink.Emit("out", out)
+}
+
+// cueCoversPixel tests whether a caption glyph covers the pixel — the
+// per-pixel predicate at the heart of the CPU compositor.
+func cueCoversPixel(text string, line, position float64, px, py, w, h, scale int) bool {
+	tw := render.TextWidth(text, scale)
+	th := render.TextHeight(scale)
+	x0 := (w - tw) / 2
+	y0 := h - 2*th
+	if position >= 0 {
+		x0 = int(position/100*float64(w)) - tw/2
+	}
+	if line >= 0 {
+		y0 = int(line / 100 * float64(h-th))
+	}
+	if px < x0 || px >= x0+tw || py < y0 || py >= y0+th {
+		return false
+	}
+	cell := (px - x0) / scale
+	ci := cell / (render.GlyphW + 1)
+	gx := cell % (render.GlyphW + 1)
+	gy := (py - y0) / scale
+	if ci >= len(text) || gx >= render.GlyphW {
+		return false
+	}
+	return render.GlyphBit(rune(text[ci]), gx, gy)
+}
+
+func (e *Engine) runQ7(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
+	in := inst.Inputs[0]
+	full, err := e.streamMap(in, func(i int, f *video.Frame) (*video.Frame, error) { return f, nil })
+	if err != nil {
+		return err
+	}
+	outs, err := queries.RunQ7(full, inst.Params, in.Env)
+	if err != nil {
+		return err
+	}
+	for class, v := range outs {
+		if err := sink.Emit(class, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runQ8 streams each camera's video through the ALPR plugin.
+func (e *Engine) runQ8(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
+	rec := alpr.New()
+	var vids []*video.Video
+	var envs []*queries.Env
+	for _, in := range inst.Inputs {
+		v, err := e.streamMap(in, func(i int, f *video.Frame) (*video.Frame, error) { return f, nil })
+		if err != nil {
+			return err
+		}
+		vids = append(vids, v)
+		envs = append(envs, in.Env)
+	}
+	out, _, err := queries.RunQ8(vids, envs, rec, inst.Params.Plate)
+	if err != nil {
+		return err
+	}
+	return sink.Emit("out", out)
+}
+
+// runQ9 is LightDB's native territory: the angular model makes the
+// equirectangular stitch a direct expression.
+func (e *Engine) runQ9(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
+	if len(inst.Inputs) != 4 {
+		return fmt.Errorf("lightdblike: Q9 needs 4 sub-camera inputs, got %d", len(inst.Inputs))
+	}
+	var vids []*video.Video
+	var cams []*vcity.Camera
+	for _, in := range inst.Inputs {
+		v, err := e.streamMap(in, func(i int, f *video.Frame) (*video.Frame, error) { return f, nil })
+		if err != nil {
+			return err
+		}
+		vids = append(vids, v)
+		cams = append(cams, in.Camera())
+	}
+	out, err := queries.RunQ9(vids, cams)
+	if err != nil {
+		return err
+	}
+	return sink.Emit("out", out)
+}
+
+func (e *Engine) runQ10(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
+	in := inst.Inputs[0]
+	full, err := e.streamMap(in, func(i int, f *video.Frame) (*video.Frame, error) { return f, nil })
+	if err != nil {
+		return err
+	}
+	out, err := queries.RunQ10(full, inst.Params, in.Encoded.Config.Preset)
+	if err != nil {
+		return err
+	}
+	return sink.Emit("out", out)
+}
+
+// gaussianUDF builds the engine's blur user-defined function.
+func gaussianUDF(d int) func(*video.Frame) *video.Frame {
+	k := gaussianKernel1D(d)
+	return func(f *video.Frame) *video.Frame { return blurWithKernel(f, k) }
+}
+
+func newCodecDecoder(in *vdbms.Input) (decoder, error) {
+	return codec.NewDecoder(in.Encoded.Config)
+}

@@ -1,0 +1,85 @@
+package lightdblike
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/vdbms"
+	"repro/internal/video"
+)
+
+// decodeCache memoizes recently decoded inputs, keyed by content
+// identity (a hash over the encoded payload), with LRU eviction. The
+// cache is what lets repeated inputs (duplicated corpora) skip decode
+// work entirely.
+type decodeCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[uint64]*video.Video
+	order   []uint64 // LRU order: oldest first
+}
+
+func newDecodeCache(capacity int) *decodeCache {
+	return &decodeCache{cap: capacity, entries: make(map[uint64]*video.Video)}
+}
+
+// key hashes the input's encoded content. The first and last access
+// units plus the payload size identify a video's content for caching
+// purposes without hashing megabytes.
+func (c *decodeCache) key(in *vdbms.Input) uint64 {
+	h := fnv.New64a()
+	fs := in.Encoded.Frames
+	if len(fs) > 0 {
+		h.Write(fs[0].Data)
+		h.Write(fs[len(fs)-1].Data)
+	}
+	var sz [8]byte
+	total := in.Encoded.Size()
+	for i := range sz {
+		sz[i] = byte(total >> (8 * i))
+	}
+	h.Write(sz[:])
+	return h.Sum64()
+}
+
+func (c *decodeCache) get(in *vdbms.Input) (*video.Video, bool) {
+	k := c.key(in)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[k]
+	if ok {
+		c.touch(k)
+	}
+	return v, ok
+}
+
+func (c *decodeCache) put(in *vdbms.Input, v *video.Video) {
+	if c.cap <= 0 {
+		return
+	}
+	k := c.key(in)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[k]; ok {
+		c.touch(k)
+		return
+	}
+	for len(c.entries) >= c.cap && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[k] = v
+	c.order = append(c.order, k)
+}
+
+// touch moves k to the back of the LRU order. Callers hold the lock.
+func (c *decodeCache) touch(k uint64) {
+	for i, o := range c.order {
+		if o == k {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			c.order = append(c.order, k)
+			return
+		}
+	}
+}

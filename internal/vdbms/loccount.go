@@ -1,0 +1,81 @@
+package vdbms
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+
+	"repro/internal/queries"
+)
+
+// CountAdapterLines reproduces the paper's Figure 7 methodology: "we
+// construct a file containing the minimal code required to execute each
+// query, auto-format it, and count the number of non-empty lines." Here
+// the per-query adapter code already lives in gofmt-formatted source
+// files that each engine embeds; this helper parses the source and
+// counts the non-empty lines of the named functions (and methods) for
+// each query.
+//
+// funcs maps each query to the function names making up its adapter;
+// shared helper functions may appear under several queries, mirroring
+// how the paper counts the minimal code per query independently.
+func CountAdapterLines(src []byte, funcs map[queries.QueryID][]string) (map[queries.QueryID]int, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "adapters.go", src, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Count non-empty lines per top-level function.
+	lines := map[string]int{}
+	srcLines := splitLines(src)
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		start := fset.Position(fd.Pos()).Line
+		end := fset.Position(fd.End()).Line
+		n := 0
+		for l := start; l <= end && l-1 < len(srcLines); l++ {
+			if len(trimSpace(srcLines[l-1])) > 0 {
+				n++
+			}
+		}
+		lines[fd.Name.Name] = n
+	}
+	out := make(map[queries.QueryID]int, len(funcs))
+	for q, names := range funcs {
+		total := 0
+		for _, name := range names {
+			total += lines[name]
+		}
+		out[q] = total
+	}
+	return out, nil
+}
+
+func splitLines(src []byte) []string {
+	var out []string
+	start := 0
+	for i, b := range src {
+		if b == '\n' {
+			out = append(out, string(src[start:i]))
+			start = i + 1
+		}
+	}
+	if start < len(src) {
+		out = append(out, string(src[start:]))
+	}
+	return out
+}
+
+func trimSpace(s string) string {
+	i, j := 0, len(s)
+	for i < j && (s[i] == ' ' || s[i] == '\t' || s[i] == '\r') {
+		i++
+	}
+	for j > i && (s[j-1] == ' ' || s[j-1] == '\t' || s[j-1] == '\r') {
+		j--
+	}
+	return s[i:j]
+}

@@ -1,0 +1,39 @@
+package noscopelike
+
+import (
+	_ "embed"
+	"sync"
+
+	"repro/internal/queries"
+	"repro/internal/vdbms"
+)
+
+//go:embed adapters.go
+var adapterSource []byte
+
+// adapterFuncs: NoScope's invocation code is tiny (the paper: "invoking
+// it requires only a few lines of Python"); the cascade and rendering
+// machinery counts as extension code.
+var (
+	adapterFuncs = map[queries.QueryID][]string{
+		queries.Q1:  {"runQ1"},
+		queries.Q2c: {"runQ2c"},
+	}
+	extensionFuncs = map[queries.QueryID][]string{
+		queries.Q2c: {"cascadeDetect", "renderBoxes"},
+	}
+)
+
+var locOnce struct {
+	sync.Once
+	query, ext map[queries.QueryID]int
+}
+
+// QueryLOC implements vdbms.System by counting the adapter source.
+func (e *Engine) QueryLOC(q queries.QueryID) (query, extension int) {
+	locOnce.Do(func() {
+		locOnce.query, _ = vdbms.CountAdapterLines(adapterSource, adapterFuncs)
+		locOnce.ext, _ = vdbms.CountAdapterLines(adapterSource, extensionFuncs)
+	})
+	return locOnce.query[q], locOnce.ext[q]
+}

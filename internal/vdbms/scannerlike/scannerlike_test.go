@@ -1,0 +1,165 @@
+package scannerlike
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/queries"
+	"repro/internal/vdbms"
+	"repro/internal/vdbms/vdbmstest"
+)
+
+func TestSupportsEverything(t *testing.T) {
+	e := New(Options{})
+	for _, q := range queries.AllQueries {
+		if !e.Supports(q) {
+			t.Errorf("scannerlike should accept %s (Q4 fails at run time, not submit time)", q)
+		}
+	}
+}
+
+func TestExecutesMicroQueries(t *testing.T) {
+	fx := vdbmstest.NewFixture(t, 1)
+	e := New(Options{})
+	defer e.Shutdown()
+	for _, q := range []queries.QueryID{
+		queries.Q1, queries.Q2a, queries.Q2b, queries.Q2c, queries.Q2d,
+		queries.Q3, queries.Q5, queries.Q6a, queries.Q6b,
+	} {
+		sink := vdbmstest.NewCollectSink()
+		inst := fx.Instance(q, fx.DefaultParams(t, q))
+		if err := e.Execute(inst, sink); err != nil {
+			t.Errorf("%s: %v", q, err)
+			continue
+		}
+		out, ok := sink.Outputs["out"]
+		if !ok || len(out.Frames) == 0 {
+			t.Errorf("%s produced no output", q)
+		}
+	}
+}
+
+func TestQ4FailsOnMemory(t *testing.T) {
+	fx := vdbmstest.NewFixture(t, 2)
+	// Hard limit below the upsampled table size.
+	e := New(Options{MemoryBudgetBytes: 1 << 20, HardLimitBytes: 2 << 20})
+	defer e.Shutdown()
+	inst := fx.Instance(queries.Q4, queries.Params{Alpha: 8, Beta: 8})
+	err := e.Execute(inst, vdbmstest.NewCollectSink())
+	var resErr *vdbms.ErrResource
+	if !errors.As(err, &resErr) {
+		t.Fatalf("Q4 at 8x8 with a 2 MiB limit = %v, want ErrResource", err)
+	}
+}
+
+func TestQ4SucceedsUnderGenerousLimit(t *testing.T) {
+	fx := vdbmstest.NewFixture(t, 2)
+	e := New(Options{})
+	defer e.Shutdown()
+	inst := fx.Instance(queries.Q4, queries.Params{Alpha: 2, Beta: 2})
+	sink := vdbmstest.NewCollectSink()
+	if err := e.Execute(inst, sink); err != nil {
+		t.Fatalf("small Q4 should succeed: %v", err)
+	}
+	w, _ := sink.Outputs["out"].Resolution()
+	if w != 256 {
+		t.Errorf("upsampled width %d, want 256", w)
+	}
+}
+
+func TestSpillPreservesCorrectness(t *testing.T) {
+	fx := vdbmstest.NewFixture(t, 3)
+	spilly := New(Options{MemoryBudgetBytes: 1, HardLimitBytes: 1 << 30, SpillDir: t.TempDir()})
+	defer spilly.Shutdown()
+	roomy := New(Options{})
+	defer roomy.Shutdown()
+	inst := fx.Instance(queries.Q2a, queries.Params{})
+	s1 := vdbmstest.NewCollectSink()
+	s2 := vdbmstest.NewCollectSink()
+	if err := spilly.Execute(inst, s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := roomy.Execute(inst, s2); err != nil {
+		t.Fatal(err)
+	}
+	a, b := s1.Outputs["out"], s2.Outputs["out"]
+	if len(a.Frames) != len(b.Frames) {
+		t.Fatalf("frame counts differ: %d vs %d", len(a.Frames), len(b.Frames))
+	}
+	for i := range a.Frames {
+		for j := range a.Frames[i].Y {
+			if a.Frames[i].Y[j] != b.Frames[i].Y[j] {
+				t.Fatalf("spilled execution changed pixel %d of frame %d", j, i)
+			}
+		}
+	}
+}
+
+func TestIngestCacheReusedWithinJob(t *testing.T) {
+	fx := vdbmstest.NewFixture(t, 4)
+	e := New(Options{})
+	defer e.Shutdown()
+	inst := fx.Instance(queries.Q2a, queries.Params{})
+	if err := e.Execute(inst, vdbmstest.NewCollectSink()); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.ingest) != 1 {
+		t.Fatalf("ingest cache has %d tables after one query", len(e.ingest))
+	}
+	cached := e.ingest[inst.Inputs[0].Name]
+	if err := e.Execute(inst, vdbmstest.NewCollectSink()); err != nil {
+		t.Fatal(err)
+	}
+	if e.ingest[inst.Inputs[0].Name] != cached {
+		t.Error("second execution re-ingested the input")
+	}
+	e.Shutdown()
+	if len(e.ingest) != 0 {
+		t.Error("Shutdown did not clear the ingest cache")
+	}
+}
+
+func TestQ8AndQ9MultiInput(t *testing.T) {
+	fx := vdbmstest.NewFixture(t, 5)
+	e := New(Options{})
+	defer e.Shutdown()
+
+	q8 := &vdbms.QueryInstance{
+		Query:  queries.Q8,
+		Params: fx.DefaultParams(t, queries.Q8),
+		Inputs: fx.Inputs[:4],
+	}
+	if err := e.Execute(q8, vdbmstest.NewCollectSink()); err != nil {
+		t.Errorf("Q8: %v", err)
+	}
+
+	q9 := &vdbms.QueryInstance{
+		Query:  queries.Q9,
+		Inputs: fx.PanoGroup(),
+	}
+	sink := vdbmstest.NewCollectSink()
+	if err := e.Execute(q9, sink); err != nil {
+		t.Fatalf("Q9: %v", err)
+	}
+	w, h := sink.Outputs["out"].Resolution()
+	if w != 2*h {
+		t.Errorf("Q9 output %dx%d not equirectangular", w, h)
+	}
+}
+
+func TestQueryLOCCountsSource(t *testing.T) {
+	e := New(Options{})
+	for _, q := range queries.AllQueries {
+		loc, _ := e.QueryLOC(q)
+		if loc <= 0 {
+			t.Errorf("%s: query LOC = %d, want > 0", q, loc)
+		}
+	}
+	// Extension code exists for the queries the paper calls out.
+	if _, ext := e.QueryLOC(queries.Q1); ext == 0 {
+		t.Error("Q1 should count the resize-kernel extension")
+	}
+	if _, ext := e.QueryLOC(queries.Q2a); ext != 0 {
+		t.Error("Q2(a) needs no extension code")
+	}
+}

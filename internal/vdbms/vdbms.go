@@ -1,0 +1,136 @@
+// Package vdbms defines the contract between the Visual Road driver and
+// a video database management system under test, along with the shared
+// plumbing (inputs, sinks, capability matrices) used by the three
+// bundled engines.
+//
+// The bundled engines emulate the architectures of the three systems
+// the paper benchmarks:
+//
+//   - scannerlike: batch dataflow with eager materialization (Scanner)
+//   - lightdblike: lazy streaming functional algebra over a spherical
+//     coordinate model (LightDB)
+//   - noscopelike: specialized model-cascade inference engine (NoScope)
+//
+// Each engine really executes queries on pixel data; their differing
+// performance profiles emerge from their architectures (materialize vs
+// stream vs skip), not from synthetic delays.
+package vdbms
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/queries"
+	"repro/internal/vcity"
+	"repro/internal/video"
+)
+
+// Input is one input video as staged by the VCD: the encoded container
+// payload plus the execution environment tying it back to the
+// simulation (for ML substrates and semantic validation).
+type Input struct {
+	Name     string
+	Encoded  *codec.Encoded
+	Captions []byte
+	Env      *queries.Env
+}
+
+// Camera returns the input's originating camera.
+func (in *Input) Camera() *vcity.Camera { return in.Env.Camera }
+
+// QueryInstance is one instance of a benchmark query: the query, its
+// sampled parameters, and its input(s). Most queries take one input;
+// Q8 takes all traffic camera videos, Q9 the four panoramic sub-videos.
+type QueryInstance struct {
+	Query  queries.QueryID
+	Params queries.Params
+	Inputs []*Input
+	// Boxes is the precomputed bounding-box input B = Q2c(V) the VCD
+	// stages for Q6(a), generated offline by the driver's reference
+	// implementation. It is exposed in both formats of §4.1.1; engines
+	// may consume either.
+	Boxes *BoxesInput
+}
+
+// BoxesInput carries the VCD's precomputed Q6(a) bounding-box input in
+// its two interchange formats.
+type BoxesInput struct {
+	// Encoded is the bounding-box video (ω background, class-colored
+	// boxes), codec-encoded like any other video input.
+	Encoded *codec.Encoded
+	// Serialized is the sequence of bounding box class identifiers and
+	// coordinates (see queries.ParseDetections).
+	Serialized []byte
+}
+
+// Sink receives query results. Implementations encode-and-persist
+// (write mode) or discard (streaming mode).
+type Sink interface {
+	// Emit delivers one output video under a key (most queries emit
+	// one output under "out"; Q7 emits one per object class).
+	Emit(key string, v *video.Video) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(key string, v *video.Video) error
+
+// Emit invokes the function.
+func (f SinkFunc) Emit(key string, v *video.Video) error { return f(key, v) }
+
+// System is a VDBMS under benchmark.
+type System interface {
+	// Name identifies the engine in reports.
+	Name() string
+	// Supports reports whether the engine can execute the query at
+	// all. Unsupported queries are recorded as gaps in the capability
+	// comparison (Figure 5), not failures.
+	Supports(q queries.QueryID) bool
+	// Execute runs one query instance, emitting results to the sink.
+	Execute(inst *QueryInstance, sink Sink) error
+	// QueryLOC returns the engine-specific lines of code needed to
+	// express the query (query code, extension code), reproducing the
+	// paper's Figure 7 methodology.
+	QueryLOC(q queries.QueryID) (query, extension int)
+}
+
+// BatchLimiter is implemented by engines that cannot accept arbitrarily
+// many query instances at once (e.g. the LightDB-like engine fails past
+// 40 videos on Q3/Q4 for GPU-memory reasons, which the VCD works around
+// by splitting batches, as the paper describes).
+type BatchLimiter interface {
+	// MaxBatchSize returns the largest batch the engine accepts for
+	// the query, or 0 for unlimited.
+	MaxBatchSize(q queries.QueryID) int
+}
+
+// ErrUnsupported is returned by Execute for queries the engine cannot
+// express.
+type ErrUnsupported struct {
+	System string
+	Query  queries.QueryID
+}
+
+// Error describes the capability gap.
+func (e *ErrUnsupported) Error() string {
+	return fmt.Sprintf("vdbms: %s does not support %s", e.System, e.Query)
+}
+
+// ErrResource is returned when an engine fails due to resource
+// exhaustion (e.g. the Scanner-like engine's Q4 memory failure or the
+// LightDB-like engine's 40-video batch limit).
+type ErrResource struct {
+	System string
+	Query  queries.QueryID
+	Reason string
+}
+
+// Error describes the resource failure.
+func (e *ErrResource) Error() string {
+	return fmt.Sprintf("vdbms: %s failed on %s: %s", e.System, e.Query, e.Reason)
+}
+
+// DecodeInput decodes an input's full video (shared by engines that
+// operate on raw frames).
+func DecodeInput(in *Input) (*video.Video, error) {
+	return in.Encoded.Decode()
+}

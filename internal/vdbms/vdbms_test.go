@@ -1,0 +1,62 @@
+package vdbms
+
+import (
+	"testing"
+
+	"repro/internal/queries"
+)
+
+func TestCountAdapterLines(t *testing.T) {
+	src := []byte(`package x
+
+func runQ1() {
+	a := 1
+
+	b := 2
+	_ = a + b
+}
+
+func helper() {
+	_ = 0
+}
+`)
+	got, err := CountAdapterLines(src, map[queries.QueryID][]string{
+		queries.Q1:  {"runQ1"},
+		queries.Q2a: {"runQ1", "helper"},
+		queries.Q3:  {"missing"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// runQ1 spans 5 non-empty lines (signature, 3 statements, closing
+	// brace; the blank line is excluded).
+	if got[queries.Q1] != 5 {
+		t.Errorf("Q1 LOC = %d, want 5", got[queries.Q1])
+	}
+	if got[queries.Q2a] != 5+3 {
+		t.Errorf("Q2a LOC = %d, want 8", got[queries.Q2a])
+	}
+	if got[queries.Q3] != 0 {
+		t.Errorf("missing function LOC = %d, want 0", got[queries.Q3])
+	}
+}
+
+func TestCountAdapterLinesRejectsBadSource(t *testing.T) {
+	if _, err := CountAdapterLines([]byte("not go"), nil); err == nil {
+		t.Error("unparsable source should fail")
+	}
+}
+
+func TestErrUnsupportedMessage(t *testing.T) {
+	err := &ErrUnsupported{System: "noscopelike", Query: queries.Q9}
+	if err.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+func TestErrResourceMessage(t *testing.T) {
+	err := &ErrResource{System: "scannerlike", Query: queries.Q4, Reason: "oom"}
+	if err.Error() == "" {
+		t.Error("empty error message")
+	}
+}

@@ -1,0 +1,144 @@
+// Package vdbmstest provides shared fixtures for testing VDBMS engines:
+// a small rendered city, staged inputs, and query-instance builders.
+package vdbmstest
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/detect"
+	"repro/internal/queries"
+	"repro/internal/render"
+	"repro/internal/vcg"
+	"repro/internal/vcity"
+	"repro/internal/vdbms"
+	"repro/internal/video"
+	"repro/internal/vtt"
+)
+
+// Fixture is a tiny city with staged inputs for every camera.
+type Fixture struct {
+	City   *vcity.City
+	Inputs []*vdbms.Input // traffic cameras, then panoramic subs
+}
+
+// NewFixture renders and encodes a 1-tile city at 128×96, 0.6 s, 15 fps.
+func NewFixture(t *testing.T, seed uint64) *Fixture {
+	t.Helper()
+	city, err := vcity.Generate(vcity.Hyperparams{
+		Scale: 1, Width: 128, Height: 96, Duration: 0.6, FPS: 15, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := detect.NewYOLO(detect.ProfileSynthetic, seed^0xfeed)
+	det.CostPasses = 1
+	fx := &Fixture{City: city}
+	cams := append(city.TrafficCameras(), panoSubs(city)...)
+	for _, cam := range cams {
+		raw := render.Capture(city, cam)
+		enc, err := codec.EncodeVideo(raw, codec.Config{QP: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		captions := vtt.Marshal(vcg.GenerateCaptions(cam.ID, 0.6, seed))
+		fx.Inputs = append(fx.Inputs, &vdbms.Input{
+			Name:     cam.ID,
+			Encoded:  enc,
+			Captions: captions,
+			Env:      &queries.Env{City: city, Camera: cam, Detector: det},
+		})
+	}
+	return fx
+}
+
+func panoSubs(city *vcity.City) []*vcity.Camera {
+	var out []*vcity.Camera
+	for _, cam := range city.AllCameras() {
+		if cam.Kind == vcity.PanoramicSubCamera {
+			out = append(out, cam)
+		}
+	}
+	return out
+}
+
+// Traffic returns the i-th traffic camera input.
+func (fx *Fixture) Traffic(i int) *vdbms.Input { return fx.Inputs[i] }
+
+// PanoGroup returns the four panoramic sub-camera inputs.
+func (fx *Fixture) PanoGroup() []*vdbms.Input {
+	n := len(fx.City.TrafficCameras())
+	return fx.Inputs[n : n+4]
+}
+
+// Instance builds a query instance against the first traffic input.
+func (fx *Fixture) Instance(q queries.QueryID, p queries.Params) *vdbms.QueryInstance {
+	return &vdbms.QueryInstance{Query: q, Params: p, Inputs: []*vdbms.Input{fx.Traffic(0)}}
+}
+
+// CollectSink gathers emitted outputs.
+type CollectSink struct {
+	Outputs map[string]*video.Video
+}
+
+// NewCollectSink returns an empty sink.
+func NewCollectSink() *CollectSink {
+	return &CollectSink{Outputs: map[string]*video.Video{}}
+}
+
+// Emit implements vdbms.Sink.
+func (s *CollectSink) Emit(key string, v *video.Video) error {
+	if _, dup := s.Outputs[key]; dup {
+		return fmt.Errorf("vdbmstest: duplicate output key %q", key)
+	}
+	s.Outputs[key] = v
+	return nil
+}
+
+// Captions parses the first traffic input's caption track.
+func (fx *Fixture) Captions(t *testing.T) *vtt.Document {
+	t.Helper()
+	doc, err := vtt.Parse(fx.Traffic(0).Captions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// DefaultParams returns workable parameters for any query at the
+// fixture's resolution.
+func (fx *Fixture) DefaultParams(t *testing.T, q queries.QueryID) queries.Params {
+	t.Helper()
+	switch q {
+	case queries.Q1:
+		return queries.Params{X1: 8, Y1: 8, X2: 72, Y2: 56, T1: 0.1, T2: 0.5}
+	case queries.Q2b:
+		return queries.Params{D: 5}
+	case queries.Q2c:
+		return queries.Params{Algorithm: "yolov2", Classes: []vcity.ObjectClass{vcity.ClassVehicle}}
+	case queries.Q2d:
+		return queries.Params{M: 4, Epsilon: 0.1}
+	case queries.Q3:
+		return queries.Params{DX: 64, DY: 48, Bitrates: []int{1 << 19, 1 << 17}}
+	case queries.Q4:
+		return queries.Params{Alpha: 2, Beta: 2}
+	case queries.Q5:
+		return queries.Params{Alpha: 2, Beta: 2}
+	case queries.Q6a:
+		return queries.Params{Algorithm: "yolov2", Classes: []vcity.ObjectClass{vcity.ClassVehicle, vcity.ClassPedestrian}}
+	case queries.Q6b:
+		return queries.Params{Captions: fx.Captions(t)}
+	case queries.Q7:
+		return queries.Params{Classes: []vcity.ObjectClass{vcity.ClassVehicle}, M: 3, Epsilon: 0.1}
+	case queries.Q8:
+		return queries.Params{Plate: fx.City.Tiles[0].Vehicles[0].Plate}
+	case queries.Q10:
+		tiles := make([]int, 9)
+		for i := range tiles {
+			tiles[i] = 1 << 18
+		}
+		return queries.Params{TileBitrates: tiles, ClientW: 64, ClientH: 48}
+	}
+	return queries.Params{}
+}

@@ -1,0 +1,251 @@
+// Package video defines the in-memory representation of raw video used
+// throughout the benchmark: planar YUV 4:2:0 frames, frame sequences,
+// and the basic per-plane operations (crop, resample, conversion)
+// shared by the reference query implementations and the VDBMS engines.
+//
+// Visual Road frames are temporal samples of visual data with a fixed
+// resolution; pixels carry colors in YUV space. 4:2:0 chroma subsampling
+// matches what the paper's H.264/HEVC pipelines operate on.
+package video
+
+import (
+	"fmt"
+	"math"
+)
+
+// Frame is a single planar YUV 4:2:0 image. The luma plane Y has W×H
+// samples; the chroma planes U and V each have ⌈W/2⌉×⌈H/2⌉ samples.
+// Index is the frame's position in its parent video (0-based).
+type Frame struct {
+	W, H    int
+	Y, U, V []byte
+	Index   int
+}
+
+// ChromaW returns the width of the chroma planes.
+func (f *Frame) ChromaW() int { return (f.W + 1) / 2 }
+
+// ChromaH returns the height of the chroma planes.
+func (f *Frame) ChromaH() int { return (f.H + 1) / 2 }
+
+// NewFrame allocates a zeroed (black: Y=0 is out of video range, so we
+// use Y=16, U=V=128 which is black in studio-range YUV) frame of the
+// given dimensions.
+func NewFrame(w, h int) *Frame {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("video: invalid frame dimensions %dx%d", w, h))
+	}
+	cw, ch := (w+1)/2, (h+1)/2
+	f := &Frame{
+		W: w, H: h,
+		Y: make([]byte, w*h),
+		U: make([]byte, cw*ch),
+		V: make([]byte, cw*ch),
+	}
+	for i := range f.Y {
+		f.Y[i] = 16
+	}
+	for i := range f.U {
+		f.U[i] = 128
+		f.V[i] = 128
+	}
+	return f
+}
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	g := &Frame{
+		W: f.W, H: f.H, Index: f.Index,
+		Y: append([]byte(nil), f.Y...),
+		U: append([]byte(nil), f.U...),
+		V: append([]byte(nil), f.V...),
+	}
+	return g
+}
+
+// At returns the (y, u, v) triple at pixel (x, y). Chroma is sampled at
+// half resolution.
+func (f *Frame) At(x, y int) (Y, U, V byte) {
+	cy := y / 2 * f.ChromaW()
+	cx := x / 2
+	return f.Y[y*f.W+x], f.U[cy+cx], f.V[cy+cx]
+}
+
+// SetY sets the luma sample at (x, y).
+func (f *Frame) SetY(x, y int, v byte) { f.Y[y*f.W+x] = v }
+
+// SetChroma sets the chroma samples covering pixel (x, y).
+func (f *Frame) SetChroma(x, y int, u, v byte) {
+	i := y/2*f.ChromaW() + x/2
+	f.U[i] = u
+	f.V[i] = v
+}
+
+// Set writes a full YUV triple at pixel (x, y). Because chroma is shared
+// between 2×2 pixel blocks, the chroma write affects neighbors.
+func (f *Frame) Set(x, y int, Y, U, V byte) {
+	f.SetY(x, y, Y)
+	f.SetChroma(x, y, U, V)
+}
+
+// Fill sets every pixel of the frame to the given YUV color.
+func (f *Frame) Fill(Y, U, V byte) {
+	for i := range f.Y {
+		f.Y[i] = Y
+	}
+	for i := range f.U {
+		f.U[i] = U
+		f.V[i] = V
+	}
+}
+
+// Crop returns a new frame containing the rectangle [x1,x2)×[y1,y2) of f.
+// The rectangle is clamped to the frame bounds; a degenerate rectangle
+// yields a 1×1 frame to keep downstream code total.
+func (f *Frame) Crop(x1, y1, x2, y2 int) *Frame {
+	x1 = clampInt(x1, 0, f.W-1)
+	y1 = clampInt(y1, 0, f.H-1)
+	x2 = clampInt(x2, x1+1, f.W)
+	y2 = clampInt(y2, y1+1, f.H)
+	w, h := x2-x1, y2-y1
+	out := NewFrame(w, h)
+	out.Index = f.Index
+	for y := 0; y < h; y++ {
+		copy(out.Y[y*w:(y+1)*w], f.Y[(y+y1)*f.W+x1:(y+y1)*f.W+x2])
+	}
+	cw, ch := out.ChromaW(), out.ChromaH()
+	fcw := f.ChromaW()
+	for y := 0; y < ch; y++ {
+		sy := clampInt(y+y1/2, 0, f.ChromaH()-1)
+		for x := 0; x < cw; x++ {
+			sx := clampInt(x+x1/2, 0, fcw-1)
+			out.U[y*cw+x] = f.U[sy*fcw+sx]
+			out.V[y*cw+x] = f.V[sy*fcw+sx]
+		}
+	}
+	return out
+}
+
+// Grayscale returns a copy of f with chroma information dropped: the U
+// and V planes are set to the neutral value 128, leaving luminance
+// unchanged. This matches the VCD reference implementation of Q2(a).
+func (f *Frame) Grayscale() *Frame {
+	g := f.Clone()
+	for i := range g.U {
+		g.U[i] = 128
+		g.V[i] = 128
+	}
+	return g
+}
+
+// BilinearResize returns f interpolated to the new resolution (w, h)
+// using bilinear interpolation on all three planes.
+func (f *Frame) BilinearResize(w, h int) *Frame {
+	out := NewFrame(w, h)
+	out.Index = f.Index
+	resizePlane(out.Y, w, h, f.Y, f.W, f.H)
+	resizePlane(out.U, out.ChromaW(), out.ChromaH(), f.U, f.ChromaW(), f.ChromaH())
+	resizePlane(out.V, out.ChromaW(), out.ChromaH(), f.V, f.ChromaW(), f.ChromaH())
+	return out
+}
+
+// Downsample returns f reduced to (w, h) by box-averaging source pixels.
+// Box filtering is the conventional decimation used for Q5's Sample
+// operator; for upscaling targets it degrades to bilinear.
+func (f *Frame) Downsample(w, h int) *Frame {
+	if w >= f.W || h >= f.H {
+		return f.BilinearResize(w, h)
+	}
+	out := NewFrame(w, h)
+	out.Index = f.Index
+	boxPlane(out.Y, w, h, f.Y, f.W, f.H)
+	boxPlane(out.U, out.ChromaW(), out.ChromaH(), f.U, f.ChromaW(), f.ChromaH())
+	boxPlane(out.V, out.ChromaW(), out.ChromaH(), f.V, f.ChromaW(), f.ChromaH())
+	return out
+}
+
+// resizePlane bilinearly resamples src (sw×sh) into dst (dw×dh).
+func resizePlane(dst []byte, dw, dh int, src []byte, sw, sh int) {
+	if dw <= 0 || dh <= 0 {
+		return
+	}
+	xr := float64(sw) / float64(dw)
+	yr := float64(sh) / float64(dh)
+	for y := 0; y < dh; y++ {
+		sy := (float64(y)+0.5)*yr - 0.5
+		y0 := int(math.Floor(sy))
+		fy := sy - float64(y0)
+		y1 := y0 + 1
+		if y0 < 0 {
+			y0, y1, fy = 0, 0, 0
+		}
+		if y1 >= sh {
+			y1 = sh - 1
+			if y0 >= sh {
+				y0 = sh - 1
+			}
+		}
+		for x := 0; x < dw; x++ {
+			sx := (float64(x)+0.5)*xr - 0.5
+			x0 := int(math.Floor(sx))
+			fx := sx - float64(x0)
+			x1 := x0 + 1
+			if x0 < 0 {
+				x0, x1, fx = 0, 0, 0
+			}
+			if x1 >= sw {
+				x1 = sw - 1
+				if x0 >= sw {
+					x0 = sw - 1
+				}
+			}
+			v00 := float64(src[y0*sw+x0])
+			v01 := float64(src[y0*sw+x1])
+			v10 := float64(src[y1*sw+x0])
+			v11 := float64(src[y1*sw+x1])
+			top := v00 + (v01-v00)*fx
+			bot := v10 + (v11-v10)*fx
+			dst[y*dw+x] = byte(top + (bot-top)*fy + 0.5)
+		}
+	}
+}
+
+// boxPlane box-filters src (sw×sh) down into dst (dw×dh).
+func boxPlane(dst []byte, dw, dh int, src []byte, sw, sh int) {
+	if dw <= 0 || dh <= 0 {
+		return
+	}
+	for y := 0; y < dh; y++ {
+		sy0 := y * sh / dh
+		sy1 := (y + 1) * sh / dh
+		if sy1 <= sy0 {
+			sy1 = sy0 + 1
+		}
+		for x := 0; x < dw; x++ {
+			sx0 := x * sw / dw
+			sx1 := (x + 1) * sw / dw
+			if sx1 <= sx0 {
+				sx1 = sx0 + 1
+			}
+			sum, n := 0, 0
+			for sy := sy0; sy < sy1; sy++ {
+				row := src[sy*sw:]
+				for sx := sx0; sx < sx1; sx++ {
+					sum += int(row[sx])
+					n++
+				}
+			}
+			dst[y*dw+x] = byte((sum + n/2) / n)
+		}
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,268 @@
+package video
+
+import (
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFrameIsBlack(t *testing.T) {
+	f := NewFrame(8, 6)
+	for _, y := range f.Y {
+		if y != 16 {
+			t.Fatalf("luma initialized to %d, want 16", y)
+		}
+	}
+	for i := range f.U {
+		if f.U[i] != 128 || f.V[i] != 128 {
+			t.Fatalf("chroma initialized to (%d, %d), want neutral", f.U[i], f.V[i])
+		}
+	}
+}
+
+func TestNewFramePanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewFrame(0, 5) should panic")
+		}
+	}()
+	NewFrame(0, 5)
+}
+
+func TestChromaDimensionsRoundUp(t *testing.T) {
+	f := NewFrame(5, 3)
+	if f.ChromaW() != 3 || f.ChromaH() != 2 {
+		t.Errorf("chroma dims = %dx%d, want 3x2", f.ChromaW(), f.ChromaH())
+	}
+	if len(f.U) != 6 || len(f.V) != 6 {
+		t.Errorf("chroma plane sizes %d/%d, want 6", len(f.U), len(f.V))
+	}
+}
+
+func TestSetAndAt(t *testing.T) {
+	f := NewFrame(4, 4)
+	f.Set(2, 3, 100, 90, 80)
+	y, u, v := f.At(2, 3)
+	if y != 100 || u != 90 || v != 80 {
+		t.Errorf("At = (%d, %d, %d)", y, u, v)
+	}
+	// Chroma is shared across the 2x2 block.
+	_, u2, v2 := f.At(3, 3)
+	if u2 != 90 || v2 != 80 {
+		t.Errorf("neighbor chroma = (%d, %d), want shared", u2, v2)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	f := NewFrame(4, 4)
+	f.SetY(1, 1, 200)
+	g := f.Clone()
+	g.SetY(1, 1, 50)
+	if f.Y[1*4+1] != 200 {
+		t.Error("Clone should not share luma storage")
+	}
+}
+
+func TestCropBasic(t *testing.T) {
+	f := NewFrame(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			f.SetY(x, y, byte(y*8+x))
+		}
+	}
+	c := f.Crop(2, 3, 6, 7)
+	if c.W != 4 || c.H != 4 {
+		t.Fatalf("crop dims %dx%d, want 4x4", c.W, c.H)
+	}
+	if c.Y[0] != byte(3*8+2) {
+		t.Errorf("crop top-left luma = %d, want %d", c.Y[0], 3*8+2)
+	}
+}
+
+func TestCropClampsOutOfBounds(t *testing.T) {
+	f := NewFrame(8, 8)
+	c := f.Crop(-5, -5, 100, 100)
+	if c.W != 8 || c.H != 8 {
+		t.Errorf("clamped crop = %dx%d, want full frame", c.W, c.H)
+	}
+	d := f.Crop(7, 7, 7, 7)
+	if d.W < 1 || d.H < 1 {
+		t.Errorf("degenerate crop = %dx%d, want at least 1x1", d.W, d.H)
+	}
+}
+
+func TestGrayscaleDropsChroma(t *testing.T) {
+	f := NewFrame(4, 4)
+	f.Set(0, 0, 120, 30, 220)
+	g := f.Grayscale()
+	y, u, v := g.At(0, 0)
+	if y != 120 {
+		t.Errorf("grayscale changed luma: %d", y)
+	}
+	if u != 128 || v != 128 {
+		t.Errorf("grayscale chroma = (%d, %d), want neutral", u, v)
+	}
+	// Original untouched.
+	if _, u0, _ := f.At(0, 0); u0 != 30 {
+		t.Error("Grayscale mutated its input")
+	}
+}
+
+func TestBilinearResizeIdentity(t *testing.T) {
+	f := NewFrame(16, 12)
+	for i := range f.Y {
+		f.Y[i] = byte(i % 251)
+	}
+	g := f.BilinearResize(16, 12)
+	for i := range f.Y {
+		if f.Y[i] != g.Y[i] {
+			t.Fatalf("identity resize changed luma at %d: %d != %d", i, f.Y[i], g.Y[i])
+		}
+	}
+}
+
+func TestBilinearResizeConstant(t *testing.T) {
+	f := NewFrame(8, 8)
+	f.Fill(77, 100, 150)
+	g := f.BilinearResize(32, 32)
+	for i, v := range g.Y {
+		if v != 77 {
+			t.Fatalf("upsampled constant frame has luma %d at %d", v, i)
+		}
+	}
+}
+
+func TestDownsampleAveragesBlocks(t *testing.T) {
+	f := NewFrame(4, 4)
+	// Left half 0+..., right half 200.
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			if x < 2 {
+				f.SetY(x, y, 100)
+			} else {
+				f.SetY(x, y, 200)
+			}
+		}
+	}
+	g := f.Downsample(2, 2)
+	if g.Y[0] != 100 || g.Y[1] != 200 {
+		t.Errorf("downsample = [%d %d], want [100 200]", g.Y[0], g.Y[1])
+	}
+}
+
+func TestDownsampleUpTargetFallsBackToBilinear(t *testing.T) {
+	f := NewFrame(4, 4)
+	f.Fill(50, 128, 128)
+	g := f.Downsample(8, 8)
+	if g.W != 8 || g.H != 8 {
+		t.Fatalf("dims %dx%d", g.W, g.H)
+	}
+	if g.Y[0] != 50 {
+		t.Errorf("luma %d, want 50", g.Y[0])
+	}
+}
+
+func TestVideoAppendSetsIndex(t *testing.T) {
+	v := NewVideo(30)
+	for i := 0; i < 3; i++ {
+		v.Append(NewFrame(2, 2))
+	}
+	for i, f := range v.Frames {
+		if f.Index != i {
+			t.Errorf("frame %d has Index %d", i, f.Index)
+		}
+	}
+	if d := v.Duration(); d != 0.1 {
+		t.Errorf("Duration = %v, want 0.1", d)
+	}
+}
+
+func TestVideoResolutionEmpty(t *testing.T) {
+	v := NewVideo(30)
+	if w, h := v.Resolution(); w != 0 || h != 0 {
+		t.Errorf("empty Resolution = %dx%d", w, h)
+	}
+}
+
+func TestReaderDrainsAndEOF(t *testing.T) {
+	v := NewVideo(30)
+	v.Append(NewFrame(2, 2))
+	v.Append(NewFrame(2, 2))
+	r := v.Reader()
+	n := 0
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("read %d frames, want 2", n)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Error("Next after EOF should keep returning EOF")
+	}
+}
+
+func TestCollect(t *testing.T) {
+	v := NewVideo(15)
+	v.Append(NewFrame(2, 2))
+	got, err := Collect(v.Reader(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Frames) != 1 || got.FPS != 15 {
+		t.Errorf("Collect = %d frames at %d fps", len(got.Frames), got.FPS)
+	}
+}
+
+func TestYUVRoundTrip(t *testing.T) {
+	f := func(r, g, b uint8) bool {
+		c := Color{r, g, b}
+		y, u, v := c.YUV()
+		back := RGBFromYUV(y, u, v)
+		// Studio-range YUV is lossy; allow a small tolerance.
+		within := func(a, b uint8) bool {
+			d := int(a) - int(b)
+			if d < 0 {
+				d = -d
+			}
+			return d <= 6
+		}
+		return within(back.R, r) && within(back.G, g) && within(back.B, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColorLerpEndpoints(t *testing.T) {
+	a := Color{0, 100, 200}
+	b := Color{250, 20, 10}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp 0 = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp 1 = %v", got)
+	}
+}
+
+func TestColorScaleClamps(t *testing.T) {
+	c := Color{200, 200, 200}.Scale(2)
+	if c.R != 255 || c.G != 255 || c.B != 255 {
+		t.Errorf("Scale(2) = %v, want saturated", c)
+	}
+}
+
+func TestDiscardWriter(t *testing.T) {
+	if err := Discard.Write(NewFrame(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Discard.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

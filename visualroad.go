@@ -1,0 +1,108 @@
+package visualroad
+
+import (
+	"repro/internal/codec"
+	"repro/internal/detect"
+	"repro/internal/queries"
+	"repro/internal/vcd"
+	"repro/internal/vcg"
+	"repro/internal/vcity"
+	"repro/internal/vdbms"
+	"repro/internal/vdbms/lightdblike"
+	"repro/internal/vdbms/noscopelike"
+	"repro/internal/vdbms/scannerlike"
+	"repro/internal/vfs"
+)
+
+// Hyperparams are the benchmark's generation parameters: scale factor
+// L, resolution R, duration t, and seed s (plus frame rate and camera
+// configuration).
+type Hyperparams = vcity.Hyperparams
+
+// GenerateOptions configure dataset generation.
+type GenerateOptions = vcg.Options
+
+// GenerateResult summarizes a generation run.
+type GenerateResult = vcg.Result
+
+// Store is the storage abstraction datasets are staged on.
+type Store = vfs.Store
+
+// Dataset is a loaded Visual Road dataset ready for benchmarking.
+type Dataset = vcd.Dataset
+
+// System is a VDBMS under benchmark.
+type System = vdbms.System
+
+// QueryID identifies a benchmark query (Q1–Q10).
+type QueryID = queries.QueryID
+
+// RunOptions configure a benchmark run.
+type RunOptions = vcd.Options
+
+// RunReport is the result of a benchmark run.
+type RunReport = vcd.RunReport
+
+// Codec presets supported for inputs and results.
+var (
+	H264 = codec.PresetH264
+	HEVC = codec.PresetHEVC
+)
+
+// The benchmark queries, in submission order.
+var (
+	AllQueries   = queries.AllQueries
+	MicroQueries = queries.MicroQueries
+)
+
+// Result modes (Section 3.2 of the paper).
+const (
+	WriteMode     = vcd.WriteMode
+	StreamingMode = vcd.StreamingMode
+)
+
+// NewLocalStore opens (creating if necessary) a directory-backed store.
+func NewLocalStore(dir string) (Store, error) { return vfs.NewLocal(dir) }
+
+// NewMemoryStore returns an in-memory store for transient datasets.
+func NewMemoryStore() Store { return vfs.NewMemory() }
+
+// NewDistributedStore returns a simulated distributed (HDFS-style)
+// store sharded over n node directories with the given replication.
+func NewDistributedStore(root string, nodes, replicas int) (Store, error) {
+	return vfs.NewDistributed(root, nodes, replicas)
+}
+
+// Generate runs the Visual City Generator: it builds the city described
+// by the hyperparameters, renders and encodes every camera's video, and
+// stages the dataset (with its manifest) on the store. Identical
+// hyperparameters always produce identical datasets.
+func Generate(p Hyperparams, opt GenerateOptions, store Store) (*GenerateResult, error) {
+	return vcg.Generate(p, opt, store)
+}
+
+// Load opens a generated dataset for benchmarking, regenerating the
+// simulation state (cities are pure functions of their hyperparameters)
+// for ground-truth validation.
+func Load(store Store) (*Dataset, error) {
+	return vcd.LoadDataset(store, detect.ProfileSynthetic)
+}
+
+// Run executes the benchmark against a system: for each selected query,
+// a batch of instances is created with uniformly-sampled parameters,
+// submitted, measured, and optionally validated.
+func Run(ds *Dataset, sys System, opt RunOptions) (*RunReport, error) {
+	return vcd.Run(ds, sys, opt)
+}
+
+// ScannerLike returns the bundled engine emulating Scanner's batch
+// dataflow architecture (eager materialization, worker-pool kernels).
+func ScannerLike() System { return scannerlike.New(scannerlike.Options{}) }
+
+// LightDBLike returns the bundled engine emulating LightDB's lazy
+// streaming algebra over a spherical coordinate model.
+func LightDBLike() System { return lightdblike.New(lightdblike.Options{}) }
+
+// NoScopeLike returns the bundled engine emulating NoScope's
+// specialized inference-cascade architecture (supports Q1 and Q2(c)).
+func NoScopeLike() System { return noscopelike.NewDefault() }

@@ -1,0 +1,73 @@
+package visualroad
+
+import (
+	"testing"
+
+	"repro/internal/queries"
+)
+
+// TestPublicAPIEndToEnd exercises the exported surface the way the
+// README's quickstart does: generate, load, run, inspect the report.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end in short mode")
+	}
+	store := NewMemoryStore()
+	gen, err := Generate(Hyperparams{
+		Scale: 1, Width: 128, Height: 96, Duration: 0.6, FPS: 15, Seed: 9,
+	}, GenerateOptions{Captions: true}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gen.Manifest.Videos) != 8 {
+		t.Fatalf("generated %d videos", len(gen.Manifest.Videos))
+	}
+	ds, err := Load(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range []System{ScannerLike(), LightDBLike(), NoScopeLike()} {
+		report, err := Run(ds, sys, RunOptions{
+			Queries:           []QueryID{queries.Q1},
+			InstancesPerScale: 1,
+			Seed:              3,
+			Mode:              StreamingMode,
+			Validate:          true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name(), err)
+		}
+		qr, ok := report.QueryReport(queries.Q1)
+		if !ok || qr.Completed != qr.BatchSize {
+			t.Errorf("%s: Q1 completed %d/%d", sys.Name(), qr.Completed, qr.BatchSize)
+		}
+		if qr.Validation.PassRate() < 1 {
+			t.Errorf("%s: validation rate %.2f", sys.Name(), qr.Validation.PassRate())
+		}
+	}
+}
+
+func TestCodecPresetsExported(t *testing.T) {
+	if H264.Name != "h264" || HEVC.Name != "hevc" {
+		t.Error("codec presets misconfigured")
+	}
+}
+
+func TestQueryListsExported(t *testing.T) {
+	if len(AllQueries) != 14 {
+		t.Errorf("%d queries exported, want 14 (Q1, Q2a-d, Q3-Q5, Q6a-b, Q7-Q10)", len(AllQueries))
+	}
+	if len(MicroQueries) != 10 {
+		t.Errorf("%d microbenchmarks, want 10", len(MicroQueries))
+	}
+}
+
+func TestDistributedStoreWorks(t *testing.T) {
+	s, err := NewDistributedStore(t.TempDir(), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write("x", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+}
