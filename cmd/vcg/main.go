@@ -6,7 +6,8 @@
 //
 //	vcg -out DIR [-scale L] [-res 1k|2k|4k|WxH] [-duration SECONDS]
 //	    [-fps N] [-seed S] [-codec h264|hevc] [-bitrate KBPS]
-//	    [-nodes N] [-profile synthetic|recorded]
+//	    [-nodes N] [-workers N] [-sequential]
+//	    [-profile synthetic|recorded]
 //
 // Example:
 //
@@ -35,7 +36,9 @@ func main() {
 	seed := flag.Uint64("seed", 0, "dataset seed")
 	codecName := flag.String("codec", "h264", "output codec: h264 or hevc")
 	bitrate := flag.Int("bitrate", 0, "target bitrate in kbps (0 = constant quality)")
-	nodes := flag.Int("nodes", 1, "parallel generation nodes")
+	nodes := flag.Int("nodes", 1, "simulated generation nodes (Figure 9 accounting)")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = one per CPU, capped at 8); output bytes are identical at any count")
+	sequential := flag.Bool("sequential", false, "disable parallelism: contention-free Figure 9 measurement mode")
 	profile := flag.String("profile", "synthetic", "capture profile: synthetic or recorded")
 	weather := flag.String("weather", "any", "tile weather filter: any, dry, rain")
 	density := flag.String("density", "any", "tile density filter: any, Sparse, Moderate, RushHour")
@@ -79,6 +82,7 @@ func main() {
 	wf, df := *weather, *density
 	result, err := vcg.Generate(params, vcg.Options{
 		Preset: preset, BitrateKbps: *bitrate, Nodes: *nodes,
+		Workers: *workers, Sequential: *sequential,
 		Profile: prof, Captions: true,
 		WeatherFilter: wf, DensityFilter: df,
 	}, store)

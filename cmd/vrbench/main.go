@@ -24,17 +24,18 @@ func main() {
 	videos := flag.Int("videos", 6, "corpus size for the table9 experiment")
 	frames := flag.Int("frames", 240, "frames per corpus for the quality experiment")
 	seed := flag.Uint64("seed", 1, "dataset seed")
+	workers := flag.Int("workers", 0, "dataset-generation worker goroutines (0 = one per CPU); bytes are identical at any count")
 	flag.Parse()
 
 	runners := map[string]func() error{
 		"table1":  runTable1,
 		"table2":  runTable2,
-		"table9":  func() error { return runTable9(*videos, *duration, *seed) },
+		"table9":  func() error { return runTable9(*videos, *duration, *seed, *workers) },
 		"fig2":    func() error { return runFig2(*scale, *seed) },
-		"fig5":    func() error { return runFig5(*scale, *duration, *seed) },
-		"fig6":    func() error { return runFig6(*duration, *seed) },
+		"fig5":    func() error { return runFig5(*scale, *duration, *seed, *workers) },
+		"fig6":    func() error { return runFig6(*duration, *seed, *workers) },
 		"fig7":    runFig7,
-		"fig8":    func() error { return runFig8(*duration, *seed) },
+		"fig8":    func() error { return runFig8(*duration, *seed, *workers) },
 		"fig9":    func() error { return runFig9(*duration, *seed) },
 		"quality": func() error { return runQuality(*frames, *seed) },
 		"modes":   func() error { return runModes(*scale, *duration, *seed) },
@@ -81,11 +82,11 @@ func runTable2() error {
 	return nil
 }
 
-func runTable9(videos int, duration float64, seed uint64) error {
+func runTable9(videos int, duration float64, seed uint64, workers int) error {
 	fmt.Println("Table 9: dataset validation (runtimes + speedup vs recorded baseline)")
 	fmt.Println("paper shape: Visual Road tracks baseline (0.6-1.0x); Duplicates let caching")
 	fmt.Println("engines over-optimize (red/yellow); Random inflates decode-bound queries (4-26x)")
-	res, err := core.Table9(core.Table9Config{NumVideos: videos, Duration: duration, Seed: seed})
+	res, err := core.Table9(core.Table9Config{NumVideos: videos, Duration: duration, Seed: seed, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -138,11 +139,11 @@ func shortCorpus(c string) string {
 
 func shortSys(s string) string { return strings.TrimSuffix(s, "like") }
 
-func runFig5(scale int, duration float64, seed uint64) error {
+func runFig5(scale int, duration float64, seed uint64, workers int) error {
 	fmt.Printf("Figure 5: runtime by query, L=%d (model scale)\n", scale)
 	fmt.Println("paper shape: NoScope fastest on Q2(c), supports only Q1/Q2(c);")
 	fmt.Println("composites/VR (Q7-Q10) cost more than micro queries; Q2(c) detector-bound")
-	res, err := core.CompareSystems(core.CompareConfig{Scale: scale, Duration: duration, Seed: seed})
+	res, err := core.CompareSystems(core.CompareConfig{Scale: scale, Duration: duration, Seed: seed, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -177,12 +178,12 @@ func printComparison(res *core.ComparisonResult) {
 	}
 }
 
-func runFig6(duration float64, seed uint64) error {
+func runFig6(duration float64, seed uint64, workers int) error {
 	fmt.Println("Figure 6: runtime vs scale factor per system")
 	fmt.Println("paper shape: Scanner falls behind as L grows (materialization thrashing);")
 	fmt.Println("Q4 fails on Scanner; LightDB splits Q3/Q4 batches past its 40-video limit")
 	points, err := core.ScaleSweep(core.CompareConfig{
-		Duration: duration, Seed: seed,
+		Duration: duration, Seed: seed, Workers: workers,
 		Queries:             []queries.QueryID{queries.Q1, queries.Q2a, queries.Q2c, queries.Q4, queries.Q5},
 		ScannerMemoryBudget: 6 << 20,
 	}, []int{1, 2, 4, 8})
@@ -211,10 +212,10 @@ func runFig7() error {
 	return nil
 }
 
-func runFig8(duration float64, seed uint64) error {
+func runFig8(duration float64, seed uint64, workers int) error {
 	fmt.Println("Figure 8: single-node generation time by scale and resolution")
 	fmt.Println("paper shape: approximately linear in L at each resolution")
-	points, err := core.GeneratorScaleSweep([]int{1, 2, 4}, []string{"1k", "2k", "4k"}, duration, seed)
+	points, err := core.GeneratorScaleSweep([]int{1, 2, 4}, []string{"1k", "2k", "4k"}, duration, seed, workers)
 	if err != nil {
 		return err
 	}

@@ -70,3 +70,24 @@ func BenchmarkMotionSearchRange(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEncodeParallelME measures the row-parallel motion-estimation
+// pass at increasing worker counts. On a single-core host all counts
+// collapse to the serial path; compare counts on a multi-core machine
+// with benchstat.
+func BenchmarkEncodeParallelME(b *testing.B) {
+	src := gradientVideo(320, 192, 10)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := Config{QP: 24, Workers: workers}
+			b.ReportAllocs()
+			b.SetBytes(int64(320 * 192 * 10 * 3 / 2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := EncodeVideo(src, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

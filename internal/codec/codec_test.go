@@ -396,3 +396,53 @@ func TestRateControlConvergesAcrossGOPs(t *testing.T) {
 		t.Errorf("converged rate %.0f kbps for a 100 kbps target", kbps)
 	}
 }
+
+// TestParallelMEBitstreamIdentical asserts the row-parallel analysis
+// pass changes nothing about the emitted bitstream: every frame's bytes
+// and keyframe flag match a Workers=1 encode exactly, for both
+// constant-QP and rate-controlled configurations.
+func TestParallelMEBitstreamIdentical(t *testing.T) {
+	for _, cfg := range []Config{
+		{QP: 20, GOP: 6},
+		{QP: 8, GOP: 4, Preset: PresetHEVC},
+		{BitrateKbps: 120, GOP: 10, FPS: 30},
+	} {
+		src := gradientVideo(96, 80, 12)
+		serial := cfg
+		serial.Workers = 1
+		par := cfg
+		par.Workers = 4
+		a, err := EncodeVideo(src, serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := EncodeVideo(src, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Frames) != len(b.Frames) {
+			t.Fatalf("cfg %+v: frame counts differ: %d vs %d", cfg, len(a.Frames), len(b.Frames))
+		}
+		for i := range a.Frames {
+			if a.Frames[i].Keyframe != b.Frames[i].Keyframe {
+				t.Fatalf("cfg %+v: frame %d keyframe flag differs", cfg, i)
+			}
+			if !bytes.Equal(a.Frames[i].Data, b.Frames[i].Data) {
+				t.Fatalf("cfg %+v: frame %d bitstream differs between 1 and 4 workers", cfg, i)
+			}
+		}
+	}
+}
+
+// TestWorkersNotPartOfStreamConfig: Workers is an execution knob, not a
+// stream property — the encoder's effective Config must not carry it,
+// so Encoded.Config comparisons and container round-trips are unaffected.
+func TestWorkersNotPartOfStreamConfig(t *testing.T) {
+	enc, err := NewEncoder(Config{Width: 64, Height: 48, FPS: 30, QP: 24, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := enc.Config().Workers; got != 0 {
+		t.Errorf("effective Config.Workers = %d, want 0", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/video"
 )
 
@@ -60,6 +61,14 @@ type Config struct {
 	BitrateKbps int
 	// GOP is the keyframe interval in frames (default 30).
 	GOP int
+	// Workers bounds the row-parallel analysis pass (motion estimation,
+	// transform, quantization, reconstruction): macroblock rows are
+	// independent, so values > 1 spread them across a worker pool while
+	// the serial entropy pass keeps the bitstream bit-identical to a
+	// Workers=1 encode. Workers is an execution knob, not a property of
+	// the stream — it is cleared from the encoder's effective Config so
+	// container metadata and config comparisons are unaffected.
+	Workers int
 }
 
 func (c *Config) withDefaults() Config {
@@ -96,16 +105,34 @@ type EncodedFrame struct {
 	Keyframe bool
 }
 
-// Encoder compresses a frame sequence. It is not safe for concurrent use.
+// Encoder compresses a frame sequence. It is not safe for concurrent
+// use by multiple goroutines, but internally parallelizes the analysis
+// pass across macroblock rows when configured with Workers > 1.
 type Encoder struct {
-	cfg Config
+	cfg     Config
+	workers int
 
 	// Reconstructed reference planes (what the decoder will see).
 	refY, refU, refV *plane
 	curY, curU, curV *plane
 
+	// mbs is the per-frame analysis scratch (one entry per macroblock),
+	// reused across frames to avoid reallocation.
+	mbs []mbCode
+
 	frameIdx int
 	rc       rateControl
+}
+
+// mbCode is the analysis result for one macroblock: the mode decision,
+// motion vector, and quantized levels of its six 8×8 blocks (4 luma,
+// U, V), produced by the — possibly row-parallel — analysis pass and
+// consumed by the serial entropy pass.
+type mbCode struct {
+	skip     bool
+	mvx, mvy int
+	coded    [6]bool
+	levels   [6][64]int32
 }
 
 // NewEncoder returns an encoder for the given configuration.
@@ -114,16 +141,23 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	workers := c.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	c.Workers = 0 // execution knob, not part of the stream description
 	cw, ch := (c.Width+1)/2, (c.Height+1)/2
 	e := &Encoder{
-		cfg:  c,
-		refY: newPlane(c.Width, c.Height, 16),
-		refU: newPlane(cw, ch, 8),
-		refV: newPlane(cw, ch, 8),
-		curY: newPlane(c.Width, c.Height, 16),
-		curU: newPlane(cw, ch, 8),
-		curV: newPlane(cw, ch, 8),
+		cfg:     c,
+		workers: workers,
+		refY:    newPlane(c.Width, c.Height, 16),
+		refU:    newPlane(cw, ch, 8),
+		refV:    newPlane(cw, ch, 8),
+		curY:    newPlane(c.Width, c.Height, 16),
+		curU:    newPlane(cw, ch, 8),
+		curV:    newPlane(cw, ch, 8),
 	}
+	e.mbs = make([]mbCode, (e.curY.w/16)*(e.curY.h/16))
 	e.rc = newRateControl(c)
 	return e, nil
 }
@@ -151,6 +185,37 @@ func (e *Encoder) Encode(f *video.Frame) (EncodedFrame, error) {
 	e.curU.loadFrom(f.U, f.ChromaW(), f.ChromaH())
 	e.curV.loadFrom(f.V, f.ChromaW(), f.ChromaH())
 
+	mbW := e.curY.w / 16
+	mbH := e.curY.h / 16
+
+	// Analysis pass: per-macroblock mode decisions, motion vectors,
+	// quantized levels, and reference reconstruction. Macroblock rows
+	// touch disjoint plane regions (each MB reads and reconstructs only
+	// its own 16×16 block of the current planes and reads the immutable
+	// reference planes), and the motion-vector predictor chain resets at
+	// each row start — so rows are independent and run on the worker
+	// pool. Results are deterministic at any worker count.
+	analyzeRow := func(my int) error {
+		if isKey {
+			e.analyzeIntraRow(my, qp)
+		} else {
+			e.analyzeInterRow(my, qp)
+		}
+		return nil
+	}
+	if e.workers > 1 && mbH > 1 {
+		if err := parallel.ForEach(e.workers, mbH, analyzeRow); err != nil {
+			return EncodedFrame{}, err
+		}
+	} else {
+		for my := 0; my < mbH; my++ {
+			analyzeRow(my)
+		}
+	}
+
+	// Entropy pass: strictly serial bit-writing over the analysis
+	// results, in raster order — the bitstream is identical to a fully
+	// sequential encode.
 	w := &bitWriter{}
 	if isKey {
 		w.writeBits(0, 1)
@@ -158,17 +223,26 @@ func (e *Encoder) Encode(f *video.Frame) (EncodedFrame, error) {
 		w.writeBits(1, 1)
 	}
 	w.writeBits(uint32(qp), 6)
-
-	mbW := e.curY.w / 16
-	mbH := e.curY.h / 16
-	var pmvx, pmvy int // predicted MV: previous macroblock's vector
 	for my := 0; my < mbH; my++ {
-		pmvx, pmvy = 0, 0
+		pmvx, pmvy := 0, 0 // predicted MV: previous macroblock's coded vector
 		for mx := 0; mx < mbW; mx++ {
-			if isKey {
-				e.encodeIntraMB(w, mx, my, qp)
-			} else {
-				pmvx, pmvy = e.encodeInterMB(w, mx, my, qp, pmvx, pmvy)
+			mb := &e.mbs[my*mbW+mx]
+			switch {
+			case isKey:
+				for bi := range mb.levels {
+					emitBlock(w, &mb.levels[bi], mb.coded[bi])
+				}
+			case mb.skip:
+				w.writeBits(1, 1) // skip flag
+				pmvx, pmvy = 0, 0
+			default:
+				w.writeBits(0, 1) // not skipped
+				w.writeSE(int32(mb.mvx - pmvx))
+				w.writeSE(int32(mb.mvy - pmvy))
+				for bi := range mb.levels {
+					emitBlock(w, &mb.levels[bi], mb.coded[bi])
+				}
+				pmvx, pmvy = mb.mvx, mb.mvy
 			}
 		}
 	}
@@ -183,74 +257,92 @@ func (e *Encoder) Encode(f *video.Frame) (EncodedFrame, error) {
 	return EncodedFrame{Data: data, Keyframe: isKey}, nil
 }
 
-// encodeIntraMB codes macroblock (mx, my) without prediction: the four
+// analyzeIntraRow analyzes macroblock row my of a keyframe: the four
 // 8×8 luma blocks and one 8×8 block per chroma plane are transformed
-// directly (samples biased by -128 so the DC is small).
-func (e *Encoder) encodeIntraMB(w *bitWriter, mx, my, qp int) {
+// directly (samples biased by -128 so the DC is small), quantized into
+// the row's mbCode entries, and reconstructed in place as reference
+// data. Intra macroblocks have no cross-block prediction, so the whole
+// row touches only its own plane region.
+func (e *Encoder) analyzeIntraRow(my, qp int) {
+	mbW := e.curY.w / 16
 	var res [64]int32
-	var levels [64]int32
-	// Luma: 4 blocks.
-	for by := 0; by < 2; by++ {
-		for bx := 0; bx < 2; bx++ {
-			x0, y0 := mx*16+bx*8, my*16+by*8
-			extractIntra(e.curY, x0, y0, &res)
-			codeBlock(w, &res, qp, &levels)
-			reconstructIntra(e.curY, x0, y0, &levels, qp)
+	for mx := 0; mx < mbW; mx++ {
+		mb := &e.mbs[my*mbW+mx]
+		bi := 0
+		// Luma: 4 blocks.
+		for by := 0; by < 2; by++ {
+			for bx := 0; bx < 2; bx++ {
+				x0, y0 := mx*16+bx*8, my*16+by*8
+				extractIntra(e.curY, x0, y0, &res)
+				mb.coded[bi] = quantizeBlock(&res, qp, &mb.levels[bi])
+				reconstructIntra(e.curY, x0, y0, &mb.levels[bi], qp)
+				bi++
+			}
 		}
-	}
-	// Chroma.
-	for _, p := range [2]*plane{e.curU, e.curV} {
-		x0, y0 := mx*8, my*8
-		extractIntra(p, x0, y0, &res)
-		codeBlock(w, &res, qp, &levels)
-		reconstructIntra(p, x0, y0, &levels, qp)
+		// Chroma.
+		for _, p := range [2]*plane{e.curU, e.curV} {
+			x0, y0 := mx*8, my*8
+			extractIntra(p, x0, y0, &res)
+			mb.coded[bi] = quantizeBlock(&res, qp, &mb.levels[bi])
+			reconstructIntra(p, x0, y0, &mb.levels[bi], qp)
+			bi++
+		}
 	}
 }
 
-// encodeInterMB codes macroblock (mx, my) with motion compensation from
-// the reference frame. Returns the coded motion vector for use as the
-// next macroblock's predictor.
-func (e *Encoder) encodeInterMB(w *bitWriter, mx, my, qp int, pmvx, pmvy int) (int, int) {
-	cx, cy := mx*16, my*16
-	mvx, mvy, sad := motionSearch(e.curY, e.refY, cx, cy, e.cfg.Preset.SearchRange, pmvx, pmvy)
-
-	// Skip decision: zero vector and near-zero residual energy.
-	if mvx == 0 && mvy == 0 && sad < 16*16/2 {
-		// Cheap check on chroma before committing to skip.
-		cs := sadBlock(e.curU, e.refU, mx*8, my*8, 0, 0, 8, 1<<30) +
-			sadBlock(e.curV, e.refV, mx*8, my*8, 0, 0, 8, 1<<30)
-		if cs < 8*8/2 {
-			w.writeBits(1, 1) // skip flag
-			copyMB(e.curY, e.refY, cx, cy, 16, 0, 0)
-			copyMB(e.curU, e.refU, mx*8, my*8, 8, 0, 0)
-			copyMB(e.curV, e.refV, mx*8, my*8, 8, 0, 0)
-			return 0, 0
-		}
-	}
-	w.writeBits(0, 1) // not skipped
-	w.writeSE(int32(mvx - pmvx))
-	w.writeSE(int32(mvy - pmvy))
-
+// analyzeInterRow analyzes macroblock row my of a P-frame: motion
+// search against the reference planes, the skip decision, residual
+// transform/quantization, and in-place reconstruction. The predictor
+// chain (each search is seeded at the previous macroblock's coded
+// vector) runs left to right within the row and resets at the row
+// start, exactly as the serial encoder orders it.
+func (e *Encoder) analyzeInterRow(my, qp int) {
+	mbW := e.curY.w / 16
 	var res [64]int32
-	var levels [64]int32
-	// Luma residual blocks.
-	for by := 0; by < 2; by++ {
-		for bx := 0; bx < 2; bx++ {
-			x0, y0 := cx+bx*8, cy+by*8
-			extractInter(e.curY, e.refY, x0, y0, mvx, mvy, &res)
-			codeBlock(w, &res, qp, &levels)
-			reconstructInter(e.curY, e.refY, x0, y0, mvx, mvy, &levels, qp)
+	pmvx, pmvy := 0, 0
+	for mx := 0; mx < mbW; mx++ {
+		mb := &e.mbs[my*mbW+mx]
+		cx, cy := mx*16, my*16
+		mvx, mvy, sad := motionSearch(e.curY, e.refY, cx, cy, e.cfg.Preset.SearchRange, pmvx, pmvy)
+
+		// Skip decision: zero vector and near-zero residual energy.
+		if mvx == 0 && mvy == 0 && sad < 16*16/2 {
+			// Cheap check on chroma before committing to skip.
+			cs := sadBlock(e.curU, e.refU, mx*8, my*8, 0, 0, 8, 1<<30) +
+				sadBlock(e.curV, e.refV, mx*8, my*8, 0, 0, 8, 1<<30)
+			if cs < 8*8/2 {
+				mb.skip = true
+				copyMB(e.curY, e.refY, cx, cy, 16, 0, 0)
+				copyMB(e.curU, e.refU, mx*8, my*8, 8, 0, 0)
+				copyMB(e.curV, e.refV, mx*8, my*8, 8, 0, 0)
+				pmvx, pmvy = 0, 0
+				continue
+			}
 		}
+		mb.skip = false
+		mb.mvx, mb.mvy = mvx, mvy
+		bi := 0
+		// Luma residual blocks.
+		for by := 0; by < 2; by++ {
+			for bx := 0; bx < 2; bx++ {
+				x0, y0 := cx+bx*8, cy+by*8
+				extractInter(e.curY, e.refY, x0, y0, mvx, mvy, &res)
+				mb.coded[bi] = quantizeBlock(&res, qp, &mb.levels[bi])
+				reconstructInter(e.curY, e.refY, x0, y0, mvx, mvy, &mb.levels[bi], qp)
+				bi++
+			}
+		}
+		// Chroma residual blocks (half-resolution vector).
+		cmvx, cmvy := mvx/2, mvy/2
+		for _, pp := range [2]struct{ cur, ref *plane }{{e.curU, e.refU}, {e.curV, e.refV}} {
+			x0, y0 := mx*8, my*8
+			extractInter(pp.cur, pp.ref, x0, y0, cmvx, cmvy, &res)
+			mb.coded[bi] = quantizeBlock(&res, qp, &mb.levels[bi])
+			reconstructInter(pp.cur, pp.ref, x0, y0, cmvx, cmvy, &mb.levels[bi], qp)
+			bi++
+		}
+		pmvx, pmvy = mvx, mvy
 	}
-	// Chroma residual blocks (half-resolution vector).
-	cmvx, cmvy := mvx/2, mvy/2
-	for _, pp := range [2]struct{ cur, ref *plane }{{e.curU, e.refU}, {e.curV, e.refV}} {
-		x0, y0 := mx*8, my*8
-		extractInter(pp.cur, pp.ref, x0, y0, cmvx, cmvy, &res)
-		codeBlock(w, &res, qp, &levels)
-		reconstructInter(pp.cur, pp.ref, x0, y0, cmvx, cmvy, &levels, qp)
-	}
-	return mvx, mvy
 }
 
 // extractIntra loads the 8×8 block at (x0, y0) biased by -128.
@@ -311,16 +403,13 @@ func copyMB(cur, ref *plane, x0, y0, bs, mvx, mvy int) {
 	}
 }
 
-// codeBlock quantizes res and entropy-codes the levels: a coded flag,
-// then the DC level (SE), the count of nonzero AC levels (UE), and for
-// each a (zero-run, level) pair.
-func codeBlock(w *bitWriter, res *[64]int32, qp int, levels *[64]int32) {
-	nz := quantizeBlock(res, qp, levels)
-	if !nz {
+// emitBlock entropy-codes one quantized block: a coded flag, then the
+// DC level (SE), the count of nonzero AC levels (UE), and for each a
+// (zero-run, level) pair. Uncoded blocks (all levels zero) emit only
+// the flag.
+func emitBlock(w *bitWriter, levels *[64]int32, coded bool) {
+	if !coded {
 		w.writeBits(0, 1)
-		for i := range levels {
-			levels[i] = 0
-		}
 		return
 	}
 	w.writeBits(1, 1)

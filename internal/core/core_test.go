@@ -129,7 +129,7 @@ func TestGeneratorScaleSweepGrowsWithScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("generation sweep")
 	}
-	points, err := GeneratorScaleSweep([]int{1, 2}, []string{"1k"}, 0.3, 5)
+	points, err := GeneratorScaleSweep([]int{1, 2}, []string{"1k"}, 0.3, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

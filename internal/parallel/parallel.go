@@ -1,0 +1,161 @@
+// Package parallel provides the bounded worker-pool primitives the
+// benchmark's hot paths are built on: index-space fan-out (ForEach),
+// ordered fan-out (Map), and a pipelined producer/consumer with
+// backpressure (Pipe).
+//
+// All primitives are deterministic in their *results* — work items are
+// identified by index and outputs land in index order — so callers that
+// compute pure functions per item produce identical results at any
+// worker count. Only scheduling (and therefore wall-clock time) varies.
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Default returns the default worker count for this process: the number
+// of usable CPUs, capped at 8 (the benchmark's per-process parallelism
+// rarely profits beyond that, matching the paper's 8-node Figure 9
+// sweep).
+func Default() int {
+	n := runtime.NumCPU()
+	if g := runtime.GOMAXPROCS(0); g < n {
+		n = g
+	}
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Normalize clamps a caller-supplied worker count: values <= 0 select
+// Default().
+func Normalize(workers int) int {
+	if workers <= 0 {
+		return Default()
+	}
+	return workers
+}
+
+// ForEach invokes fn(i) for every i in [0, n) on at most workers
+// goroutines and returns the first error encountered (remaining items
+// are skipped once an error occurs, but in-flight items run to
+// completion). workers <= 1 degenerates to a plain loop on the calling
+// goroutine. Indices are claimed dynamically, so uneven per-item cost
+// balances across the pool.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		once   sync.Once
+		first  error
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					once.Do(func() { first = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// Map invokes fn(i) for every i in [0, n) on at most workers goroutines
+// and returns the results in index order. On error the partial results
+// are discarded.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// errStopped is returned by emit once the consumer has failed; the
+// producer should unwind. It never escapes Pipe.
+var errStopped = errors.New("parallel: pipe consumer stopped")
+
+// Pipe connects a producer and a consumer through a bounded channel of
+// the given depth: produce runs on its own goroutine and pushes items
+// via emit (blocking when the consumer is more than depth items behind
+// — this backpressure is what bounds the pipeline's peak memory);
+// consume runs on the calling goroutine and receives items in emission
+// order. The first error — from either side — aborts the pipeline and
+// is returned, with the consumer's error taking precedence.
+func Pipe[T any](depth int, produce func(emit func(T) error) error, consume func(T) error) error {
+	if depth < 1 {
+		depth = 1
+	}
+	ch := make(chan T, depth)
+	stop := make(chan struct{})
+	var prodErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(ch)
+		prodErr = produce(func(v T) error {
+			select {
+			case ch <- v:
+				return nil
+			case <-stop:
+				return errStopped
+			}
+		})
+	}()
+	var consErr error
+	for v := range ch {
+		if consErr != nil {
+			continue // drain so the producer can finish
+		}
+		if err := consume(v); err != nil {
+			consErr = err
+			close(stop)
+		}
+	}
+	wg.Wait()
+	if consErr != nil {
+		return consErr
+	}
+	if prodErr != nil && prodErr != errStopped {
+		return prodErr
+	}
+	return nil
+}

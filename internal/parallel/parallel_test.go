@@ -1,0 +1,223 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 100
+			var hits [n]atomic.Int32
+			if err := ForEach(workers, n, func(i int) error {
+				hits[i].Add(1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("index %d visited %d times", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	err := ForEach(workers, 64, func(int) error {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		defer cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent invocations, pool bounded at %d", p, workers)
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := ForEach(4, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Error("error did not short-circuit remaining work")
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 5} {
+		out, err := Map(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := Map(3, 20, func(i int) (int, error) {
+		if i == 7 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) || out != nil {
+		t.Fatalf("Map = (%v, %v), want (nil, boom)", out, err)
+	}
+}
+
+func TestPipePreservesOrder(t *testing.T) {
+	const n = 200
+	var got []int
+	err := Pipe(4, func(emit func(int) error) error {
+		for i := 0; i < n; i++ {
+			if err := emit(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, func(v int) error {
+		got = append(got, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("consumed %d items, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("item %d = %d, want %d (order not preserved)", i, v, i)
+		}
+	}
+}
+
+func TestPipeBackpressure(t *testing.T) {
+	// With the consumer stalled on the first item, the producer can run
+	// at most depth+2 items ahead: one held by the consumer, depth
+	// buffered, and one blocked in emit.
+	const depth = 2
+	var produced atomic.Int32
+	stalled := false
+	err := Pipe(depth, func(emit func(int) error) error {
+		for i := 0; i < 50; i++ {
+			produced.Add(1)
+			if err := emit(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, func(v int) error {
+		if !stalled {
+			stalled = true
+			// Wait until the producer stops advancing (blocked on the
+			// full channel), then check how far ahead it got.
+			prev := int32(-1)
+			for cur := produced.Load(); cur != prev; cur = produced.Load() {
+				prev = cur
+				time.Sleep(10 * time.Millisecond)
+			}
+			if p := produced.Load(); p > depth+2 {
+				t.Errorf("producer ran %d items ahead of a stalled consumer (depth %d)", p, depth)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipeConsumerError(t *testing.T) {
+	boom := errors.New("boom")
+	err := Pipe(2, func(emit func(int) error) error {
+		for i := 0; i < 1000; i++ {
+			if err := emit(i); err != nil {
+				return err // producer unwinds on consumer failure
+			}
+		}
+		return nil
+	}, func(v int) error {
+		if v == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestPipeProducerError(t *testing.T) {
+	boom := errors.New("boom")
+	var consumed int
+	err := Pipe(2, func(emit func(int) error) error {
+		for i := 0; i < 5; i++ {
+			if err := emit(i); err != nil {
+				return err
+			}
+		}
+		return boom
+	}, func(int) error {
+		consumed++
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if consumed != 5 {
+		t.Errorf("consumed %d items before producer error surfaced, want 5", consumed)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize(0); got != Default() {
+		t.Errorf("Normalize(0) = %d, want Default() = %d", got, Default())
+	}
+	if got := Normalize(-3); got != Default() {
+		t.Errorf("Normalize(-3) = %d", got)
+	}
+	if got := Normalize(5); got != 5 {
+		t.Errorf("Normalize(5) = %d", got)
+	}
+	if d := Default(); d < 1 || d > 8 {
+		t.Errorf("Default() = %d outside [1, 8]", d)
+	}
+}

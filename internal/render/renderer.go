@@ -34,8 +34,22 @@ type face struct {
 	plate string  // when non-empty, texture the quad with plate glyphs
 }
 
-// Frame renders the camera's view at simulation time t.
+// Frame renders the camera's view at simulation time t into a freshly
+// allocated frame.
 func (r *Renderer) Frame(cam *vcity.Camera, t float64) *video.Frame {
+	f := video.NewFrame(r.w, r.h)
+	r.FrameInto(cam, t, f)
+	return f
+}
+
+// FrameInto renders the camera's view at simulation time t into dst,
+// which must have the renderer's dimensions. Every sample of dst is
+// overwritten, so pooled frames with stale contents are fine. This is
+// the allocation-free path used by the streaming generate pipeline.
+func (r *Renderer) FrameInto(cam *vcity.Camera, t float64, dst *video.Frame) {
+	if dst.W != r.w || dst.H != r.h {
+		panic("render: FrameInto destination dimensions do not match renderer")
+	}
 	tile := r.city.TileOf(cam)
 	weather := tile.Layout.Spec.Weather
 	light := lighting(weather)
@@ -46,7 +60,7 @@ func (r *Renderer) Frame(cam *vcity.Camera, t float64) *video.Frame {
 		r.drawRain(tile, weather, t)
 	}
 
-	return r.toFrame()
+	r.toFrameInto(dst)
 }
 
 // lightModel captures the per-frame global illumination parameters.
@@ -430,9 +444,9 @@ func (r *Renderer) drawRain(tile *vcity.Tile, w vcity.Weather, t float64) {
 	}
 }
 
-// toFrame converts the RGB buffer to a YUV 4:2:0 frame.
-func (r *Renderer) toFrame() *video.Frame {
-	f := video.NewFrame(r.w, r.h)
+// toFrameInto converts the RGB buffer to YUV 4:2:0 in place in f,
+// overwriting every luma and chroma sample.
+func (r *Renderer) toFrameInto(f *video.Frame) {
 	cw := f.ChromaW()
 	// Luma per pixel; chroma averaged over each 2×2 block.
 	for y := 0; y < r.h; y++ {
@@ -460,5 +474,4 @@ func (r *Renderer) toFrame() *video.Frame {
 			f.V[cy*cw+cx] = byte(sv / n)
 		}
 	}
-	return f
 }

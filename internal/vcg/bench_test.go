@@ -1,0 +1,41 @@
+package vcg
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/vcity"
+	"repro/internal/vfs"
+)
+
+// BenchmarkGenerateParallel measures end-to-end generation (render,
+// encode, mux, store) at increasing worker counts over a 4-tile city,
+// the configuration behind the README's benchstat comparison. On a
+// single-core host the counts coincide; the scaling is visible on
+// multi-core machines.
+func BenchmarkGenerateParallel(b *testing.B) {
+	p := vcity.Hyperparams{Scale: 2, Width: 128, Height: 96, Duration: 0.5, FPS: 16, Seed: 42}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Generate(p, Options{Workers: workers}, vfs.NewMemory()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGenerateSequential is the contention-free Figure 9
+// measurement mode, kept as the baseline for the worker-pool runs
+// above.
+func BenchmarkGenerateSequential(b *testing.B) {
+	p := vcity.Hyperparams{Scale: 2, Width: 128, Height: 96, Duration: 0.5, FPS: 16, Seed: 42}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(p, Options{Sequential: true}, vfs.NewMemory()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

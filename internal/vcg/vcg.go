@@ -15,11 +15,11 @@ package vcg
 import (
 	"encoding/json"
 	"fmt"
-	"runtime"
 	"time"
 
 	"repro/internal/codec"
 	"repro/internal/container"
+	"repro/internal/parallel"
 	"repro/internal/render"
 	"repro/internal/vcity"
 	"repro/internal/vfs"
@@ -50,8 +50,24 @@ type Options struct {
 	QP int
 	// BitrateKbps, when nonzero, enables rate-controlled encoding.
 	BitrateKbps int
-	// Nodes is the number of parallel generation nodes (default 1).
+	// Nodes is the number of simulated generation nodes (default 1).
+	// Nodes is an accounting partition — it controls how per-camera work
+	// is attributed in Result.NodeTimes/ClusterElapsed (Figure 9), not
+	// how many goroutines run. Process-local parallelism is Workers.
 	Nodes int
+	// Workers bounds this process's parallelism: cameras are generated
+	// concurrently on a pool of this many workers, and each camera's
+	// encoder parallelizes motion estimation across the same count.
+	// Zero selects DefaultParallelism(). Output bytes are identical at
+	// every worker count.
+	Workers int
+	// Sequential disables all process-local parallelism: nodes and
+	// their cameras execute one after another on the calling goroutine,
+	// with a serial render→encode loop per camera. This is the
+	// contention-free measurement mode used by the Figure 9 experiments,
+	// where each simulated node's work time must be measured as if the
+	// node were a dedicated machine.
+	Sequential bool
 	// Profile is the capture post-processing profile.
 	Profile Profile
 	// Captions enables embedding a generated WebVTT track per video.
@@ -102,6 +118,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Nodes <= 0 {
 		o.Nodes = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = DefaultParallelism()
+	}
+	if o.Sequential {
+		o.Workers = 1
 	}
 	return o
 }
@@ -188,28 +210,43 @@ func Generate(p vcity.Hyperparams, opt Options, store vfs.Store) (*Result, error
 		err  error
 	}
 	results := make([]camResult, len(cams))
-	nodeTimes := make([]time.Duration, opt.Nodes)
+	camWork := make([]time.Duration, len(cams))
 
 	// Cameras are assigned to nodes round-robin, which balances load
 	// across tiles of differing agent density. (Each camera capture is
 	// an independent simulation pass, so any partition is coordination-
-	// free, as in the paper's EC2 deployment.) Nodes execute one after
-	// another so each node's work time is measured without CPU
-	// contention from its peers — in the deployment being simulated
-	// every node is its own machine, and the cluster completes at
-	// max(node work), reported by ClusterElapsed.
-	for node := 0; node < opt.Nodes; node++ {
-		var work time.Duration
-		for ci, cam := range cams {
-			if ci%opt.Nodes != node {
-				continue
+	// free, as in the paper's EC2 deployment.) By default the cameras
+	// run concurrently on a bounded pool of opt.Workers goroutines —
+	// output bytes are independent of scheduling, and per-node work is
+	// still accounted as the sum of each node's per-camera durations,
+	// so ClusterElapsed keeps reporting max(node work). Sequential mode
+	// instead executes node after node, camera after camera, on this
+	// goroutine, so each node's work time is measured without CPU
+	// contention from its peers — the Figure 9 measurement mode, where
+	// every simulated node is its own machine.
+	runCamera := func(ci int) {
+		camStart := time.Now()
+		meta, err := generateCamera(city, cams[ci], opt, store)
+		camWork[ci] = time.Since(camStart)
+		results[ci] = camResult{meta: meta, err: err}
+	}
+	if opt.Sequential {
+		for node := 0; node < opt.Nodes; node++ {
+			for ci := range cams {
+				if ci%opt.Nodes == node {
+					runCamera(ci)
+				}
 			}
-			camStart := time.Now()
-			meta, err := generateCamera(city, cam, opt, store)
-			work += time.Since(camStart)
-			results[ci] = camResult{meta: meta, err: err}
 		}
-		nodeTimes[node] = work
+	} else {
+		parallel.ForEach(opt.Workers, len(cams), func(ci int) error {
+			runCamera(ci)
+			return nil
+		})
+	}
+	nodeTimes := make([]time.Duration, opt.Nodes)
+	for ci := range cams {
+		nodeTimes[ci%opt.Nodes] += camWork[ci]
 	}
 
 	man := Manifest{
@@ -238,28 +275,80 @@ func Generate(p vcity.Hyperparams, opt Options, store vfs.Store) (*Result, error
 	}, nil
 }
 
+// pipeDepth bounds how many rendered frames may sit between the
+// renderer and the encoder of one camera. Peak frame memory per camera
+// is pipeDepth+2 frames (one being rendered, pipeDepth buffered, one
+// being encoded) regardless of clip duration, versus the whole clip
+// when capture and encode were separate passes.
+const pipeDepth = 3
+
 // generateCamera renders, post-processes, encodes, and stores one
-// camera's video.
+// camera's video. Rendering and encoding run as a streaming pipeline:
+// the renderer produces frames into a bounded channel and the encoder
+// consumes them in order, with frame buffers recycled through a pool.
+// In Sequential mode the same loop runs on the calling goroutine.
 func generateCamera(city *vcity.City, cam *vcity.Camera, opt Options, store vfs.Store) (VideoMeta, error) {
 	p := city.Params
-	raw := render.Capture(city, cam)
-	if opt.Profile == ProfileRecorded {
-		applyRecordedProfile(raw, p.Seed^fnv(cam.ID))
-	}
 	cfg := codec.Config{
 		Width: p.Width, Height: p.Height, FPS: p.FPS,
 		Preset: opt.Preset, QP: opt.QP, BitrateKbps: opt.BitrateKbps,
+		Workers: opt.Workers,
 	}
-	enc, err := codec.EncodeVideo(raw, cfg)
+	enc, err := codec.NewEncoder(cfg)
 	if err != nil {
 		return VideoMeta{}, fmt.Errorf("vcg: camera %s: %w", cam.ID, err)
+	}
+	r := render.New(city, p.Width, p.Height)
+	pool := video.NewFramePool(p.Width, p.Height)
+	recSeed := p.Seed ^ fnv(cam.ID)
+	n := p.FrameCount()
+	if n == 0 {
+		return VideoMeta{}, fmt.Errorf("vcg: camera %s: cannot encode empty video", cam.ID)
+	}
+	renderFrame := func(i int) *video.Frame {
+		f := pool.Get()
+		f.Index = i
+		r.FrameInto(cam, float64(i)/float64(p.FPS), f)
+		if opt.Profile == ProfileRecorded {
+			applyRecordedFrame(f, recSeed, i)
+		}
+		return f
+	}
+	out := &codec.Encoded{Config: enc.Config()}
+	encodeFrame := func(f *video.Frame) error {
+		ef, err := enc.Encode(f)
+		pool.Put(f)
+		if err != nil {
+			return err
+		}
+		out.Frames = append(out.Frames, ef)
+		return nil
+	}
+	if opt.Sequential {
+		for i := 0; i < n; i++ {
+			if err := encodeFrame(renderFrame(i)); err != nil {
+				return VideoMeta{}, fmt.Errorf("vcg: camera %s: %w", cam.ID, err)
+			}
+		}
+	} else {
+		err := parallel.Pipe(pipeDepth, func(emit func(*video.Frame) error) error {
+			for i := 0; i < n; i++ {
+				if err := emit(renderFrame(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, encodeFrame)
+		if err != nil {
+			return VideoMeta{}, fmt.Errorf("vcg: camera %s: %w", cam.ID, err)
+		}
 	}
 	var captions []byte
 	if opt.Captions {
 		captions = vtt.Marshal(GenerateCaptions(cam.ID, p.Duration, p.Seed))
 	}
 	var buf writeCounter
-	if err := container.Mux(&buf, enc, captions); err != nil {
+	if err := container.Mux(&buf, out, captions); err != nil {
 		return VideoMeta{}, fmt.Errorf("vcg: camera %s: %w", cam.ID, err)
 	}
 	name := VideoName(cam.ID)
@@ -271,7 +360,7 @@ func generateCamera(city *vcity.City, cam *vcity.Camera, opt Options, store vfs.
 		CameraID: cam.ID,
 		Kind:     cam.Kind.String(),
 		Tile:     cam.Tile,
-		Frames:   len(enc.Frames),
+		Frames:   len(out.Frames),
 		Bytes:    len(buf.data),
 	}, nil
 }
@@ -305,27 +394,27 @@ func GenerateCaptions(cameraID string, duration float64, seed uint64) *vtt.Docum
 	return doc
 }
 
-// applyRecordedProfile adds deterministic sensor noise, gain wobble,
-// and desaturation in place.
-func applyRecordedProfile(v *video.Video, seed uint64) {
-	for fi, f := range v.Frames {
-		rng := vcity.NewRNG(seed + uint64(fi)*0x9e3779b97f4a7c15)
-		gain := 1 + rng.Gaussian(0, 0.015)
-		for i := range f.Y {
-			n := rng.Gaussian(0, 2.2)
-			val := (float64(f.Y[i])-16)*gain + 16 + n
-			if val < 0 {
-				val = 0
-			}
-			if val > 255 {
-				val = 255
-			}
-			f.Y[i] = byte(val)
+// applyRecordedFrame adds deterministic sensor noise, gain wobble, and
+// desaturation to frame fi in place. The RNG is seeded per frame, so
+// the result depends only on (seed, fi) — not on which goroutine
+// rendered the frame or in what order.
+func applyRecordedFrame(f *video.Frame, seed uint64, fi int) {
+	rng := vcity.NewRNG(seed + uint64(fi)*0x9e3779b97f4a7c15)
+	gain := 1 + rng.Gaussian(0, 0.015)
+	for i := range f.Y {
+		n := rng.Gaussian(0, 2.2)
+		val := (float64(f.Y[i])-16)*gain + 16 + n
+		if val < 0 {
+			val = 0
 		}
-		for i := range f.U {
-			f.U[i] = desat(f.U[i])
-			f.V[i] = desat(f.V[i])
+		if val > 255 {
+			val = 255
 		}
+		f.Y[i] = byte(val)
+	}
+	for i := range f.U {
+		f.U[i] = desat(f.U[i])
+		f.V[i] = desat(f.V[i])
 	}
 }
 
@@ -344,17 +433,9 @@ func (w *writeCounter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// DefaultParallelism returns a sensible node count for local runs.
-func DefaultParallelism() int {
-	n := runtime.NumCPU()
-	if n > 8 {
-		n = 8
-	}
-	if n < 1 {
-		n = 1
-	}
-	return n
-}
+// DefaultParallelism returns a sensible worker count for local runs:
+// the machine's CPU count, bounded by GOMAXPROCS and capped at 8.
+func DefaultParallelism() int { return parallel.Default() }
 
 func fnv(s string) uint64 {
 	var h uint64 = 14695981039346656037

@@ -1,0 +1,36 @@
+package video
+
+import "sync"
+
+// FramePool recycles Frames of a single resolution, relieving the
+// allocation churn of render→encode pipelines where every frame would
+// otherwise allocate three fresh planes. Frames returned by Get carry
+// unspecified pixel content and Index — callers must overwrite every
+// sample (renderers do). FramePool is safe for concurrent use.
+type FramePool struct {
+	w, h int
+	pool sync.Pool
+}
+
+// NewFramePool returns a pool of w×h frames.
+func NewFramePool(w, h int) *FramePool {
+	p := &FramePool{w: w, h: h}
+	p.pool.New = func() any { return NewFrame(w, h) }
+	return p
+}
+
+// Get returns a frame of the pool's dimensions with unspecified
+// contents.
+func (p *FramePool) Get() *Frame {
+	return p.pool.Get().(*Frame)
+}
+
+// Put returns a frame to the pool for reuse. Frames of foreign
+// dimensions (e.g. after a Crop) are dropped rather than poisoning the
+// pool; nil is ignored. The caller must not use f after Put.
+func (p *FramePool) Put(f *Frame) {
+	if f == nil || f.W != p.w || f.H != p.h {
+		return
+	}
+	p.pool.Put(f)
+}

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Verify recipe: vet, build, full test suite, then the race detector on
+# the packages with real concurrency (worker pool, parallel generation,
+# row-parallel encoder).
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/parallel ./internal/vcg ./internal/codec
