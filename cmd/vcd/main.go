@@ -39,6 +39,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "parameter sampling seed")
 	validate := flag.Bool("validate", false, "validate results against the reference implementation / scene geometry")
 	instances := flag.Int("instances", 4, "query instances per unit of scale (the paper uses 4)")
+	queryWorkers := flag.Int("query-workers", 0, "concurrent query instances per batch (0 = one per CPU, 1 = serial); results are identical at any count")
+	sequential := flag.Bool("sequential", false, "paper-faithful execution: one query instance at a time, no shared decode cache (overrides -query-workers)")
 	online := flag.Bool("online", false, "online mode: deliver inputs as live-paced streams (Q1/Q2a/Q2c/Q5)")
 	transport := flag.String("transport", "pipe", "online transport: pipe or rtp")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON (for downstream tooling)")
@@ -71,6 +73,8 @@ func main() {
 		Seed:              *seed,
 		Validate:          *validate,
 		MaxUpsamplePixels: 1 << 24,
+		Workers:           *queryWorkers,
+		Sequential:        *sequential,
 	}
 	switch *mode {
 	case "write":

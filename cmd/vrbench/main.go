@@ -25,6 +25,8 @@ func main() {
 	frames := flag.Int("frames", 240, "frames per corpus for the quality experiment")
 	seed := flag.Uint64("seed", 1, "dataset seed")
 	workers := flag.Int("workers", 0, "dataset-generation worker goroutines (0 = one per CPU); bytes are identical at any count")
+	queryWorkers := flag.Int("query-workers", 0, "concurrent query instances per batch (0 = one per CPU, 1 = serial); results are identical at any count")
+	sequential := flag.Bool("sequential", false, "paper-faithful execution: one query instance at a time, no shared decode cache (overrides -query-workers)")
 	flag.Parse()
 
 	runners := map[string]func() error{
@@ -32,13 +34,13 @@ func main() {
 		"table2":  runTable2,
 		"table9":  func() error { return runTable9(*videos, *duration, *seed, *workers) },
 		"fig2":    func() error { return runFig2(*scale, *seed) },
-		"fig5":    func() error { return runFig5(*scale, *duration, *seed, *workers) },
-		"fig6":    func() error { return runFig6(*duration, *seed, *workers) },
+		"fig5":    func() error { return runFig5(*scale, *duration, *seed, *workers, *queryWorkers, *sequential) },
+		"fig6":    func() error { return runFig6(*duration, *seed, *workers, *queryWorkers, *sequential) },
 		"fig7":    runFig7,
 		"fig8":    func() error { return runFig8(*duration, *seed, *workers) },
 		"fig9":    func() error { return runFig9(*duration, *seed) },
 		"quality": func() error { return runQuality(*frames, *seed) },
-		"modes":   func() error { return runModes(*scale, *duration, *seed) },
+		"modes":   func() error { return runModes(*scale, *duration, *seed, *queryWorkers, *sequential) },
 	}
 	order := []string{"table1", "table2", "fig2", "table9", "fig5", "fig6", "fig7", "fig8", "fig9", "quality", "modes"}
 
@@ -139,11 +141,14 @@ func shortCorpus(c string) string {
 
 func shortSys(s string) string { return strings.TrimSuffix(s, "like") }
 
-func runFig5(scale int, duration float64, seed uint64, workers int) error {
+func runFig5(scale int, duration float64, seed uint64, workers, queryWorkers int, sequential bool) error {
 	fmt.Printf("Figure 5: runtime by query, L=%d (model scale)\n", scale)
 	fmt.Println("paper shape: NoScope fastest on Q2(c), supports only Q1/Q2(c);")
 	fmt.Println("composites/VR (Q7-Q10) cost more than micro queries; Q2(c) detector-bound")
-	res, err := core.CompareSystems(core.CompareConfig{Scale: scale, Duration: duration, Seed: seed, Workers: workers})
+	res, err := core.CompareSystems(core.CompareConfig{
+		Scale: scale, Duration: duration, Seed: seed, Workers: workers,
+		QueryWorkers: queryWorkers, QuerySequential: sequential,
+	})
 	if err != nil {
 		return err
 	}
@@ -178,12 +183,13 @@ func printComparison(res *core.ComparisonResult) {
 	}
 }
 
-func runFig6(duration float64, seed uint64, workers int) error {
+func runFig6(duration float64, seed uint64, workers, queryWorkers int, sequential bool) error {
 	fmt.Println("Figure 6: runtime vs scale factor per system")
 	fmt.Println("paper shape: Scanner falls behind as L grows (materialization thrashing);")
 	fmt.Println("Q4 fails on Scanner; LightDB splits Q3/Q4 batches past its 40-video limit")
 	points, err := core.ScaleSweep(core.CompareConfig{
 		Duration: duration, Seed: seed, Workers: workers,
+		QueryWorkers: queryWorkers, QuerySequential: sequential,
 		Queries:             []queries.QueryID{queries.Q1, queries.Q2a, queries.Q2c, queries.Q4, queries.Q5},
 		ScannerMemoryBudget: 6 << 20,
 	}, []int{1, 2, 4, 8})
@@ -253,9 +259,12 @@ func runQuality(frames int, seed uint64) error {
 	return nil
 }
 
-func runModes(scale int, duration float64, seed uint64) error {
+func runModes(scale int, duration float64, seed uint64, queryWorkers int, sequential bool) error {
 	fmt.Println("§6.4: write vs streaming mode (paper: deltas under 2.5%)")
-	res, err := core.WriteVsStreaming(core.CompareConfig{Scale: scale, Duration: duration, Seed: seed}, nil)
+	res, err := core.WriteVsStreaming(core.CompareConfig{
+		Scale: scale, Duration: duration, Seed: seed,
+		QueryWorkers: queryWorkers, QuerySequential: sequential,
+	}, nil)
 	if err != nil {
 		return err
 	}

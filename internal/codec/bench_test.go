@@ -91,3 +91,24 @@ func BenchmarkEncodeParallelME(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkDecodeParallel measures GOP-parallel decode against the
+// serial path on a multi-GOP stream; speedup tracks available cores
+// (chains decode on independent decoders).
+func BenchmarkDecodeParallel(b *testing.B) {
+	src := gradientVideo(192, 108, 30)
+	enc, err := EncodeVideo(src, Config{QP: 24, GOP: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(enc.Size()))
+			for i := 0; i < b.N; i++ {
+				if _, err := enc.DecodeParallel(workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

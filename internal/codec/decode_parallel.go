@@ -1,0 +1,74 @@
+package codec
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/video"
+)
+
+// DecodeParallel decompresses the sequence using up to workers
+// goroutines, exploiting GOP structure: every keyframe resets decoder
+// state (intra reconstruction writes every sample without reading the
+// reference planes), so each keyframe seeds an independently decodable
+// chain. Chains decode concurrently on fresh decoders and frames are
+// reassembled in stream order, making the output identical to Decode()
+// at every worker count. Streams without exploitable structure (one
+// chain, or a P-frame before any keyframe) fall back to the serial
+// path and its error reporting.
+func (e *Encoded) DecodeParallel(workers int) (*video.Video, error) {
+	workers = parallel.Normalize(workers)
+	chains := e.gopChains()
+	if workers <= 1 || len(chains) <= 1 {
+		return e.Decode()
+	}
+	decoded := make([][]*video.Frame, len(chains))
+	err := parallel.ForEach(workers, len(chains), func(ci int) error {
+		dec, err := NewDecoder(e.Config)
+		if err != nil {
+			return err
+		}
+		start := chains[ci]
+		end := len(e.Frames)
+		if ci+1 < len(chains) {
+			end = chains[ci+1]
+		}
+		out := make([]*video.Frame, 0, end-start)
+		for i := start; i < end; i++ {
+			fr, err := dec.Decode(e.Frames[i].Data)
+			if err != nil {
+				return fmt.Errorf("codec: frame %d: %w", i, err)
+			}
+			out = append(out, fr)
+		}
+		decoded[ci] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := video.NewVideo(e.Config.FPS)
+	for _, chain := range decoded {
+		for _, fr := range chain {
+			out.Append(fr)
+		}
+	}
+	return out, nil
+}
+
+// gopChains returns the start index of each independently decodable
+// chain: every keyframe begins one. A stream that does not open with a
+// keyframe has no safe split points and returns nil (the serial decoder
+// reports the malformed stream).
+func (e *Encoded) gopChains() []int {
+	if len(e.Frames) == 0 || !e.Frames[0].Keyframe {
+		return nil
+	}
+	var chains []int
+	for i, f := range e.Frames {
+		if f.Keyframe {
+			chains = append(chains, i)
+		}
+	}
+	return chains
+}

@@ -1,0 +1,118 @@
+package codec
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/video"
+)
+
+func framesEqual(t *testing.T, a, b *video.Video, label string) {
+	t.Helper()
+	if a.FPS != b.FPS {
+		t.Fatalf("%s: FPS differs: %d vs %d", label, a.FPS, b.FPS)
+	}
+	if len(a.Frames) != len(b.Frames) {
+		t.Fatalf("%s: frame counts differ: %d vs %d", label, len(a.Frames), len(b.Frames))
+	}
+	for i := range a.Frames {
+		fa, fb := a.Frames[i], b.Frames[i]
+		if fa.Index != fb.Index || fa.W != fb.W || fa.H != fb.H {
+			t.Fatalf("%s: frame %d header differs: %+v vs %+v", label, i, fa.Index, fb.Index)
+		}
+		if !bytes.Equal(fa.Y, fb.Y) || !bytes.Equal(fa.U, fb.U) || !bytes.Equal(fa.V, fb.V) {
+			t.Fatalf("%s: frame %d pixels differ", label, i)
+		}
+	}
+}
+
+// TestDecodeParallelIdentical: GOP-parallel decode must reproduce the
+// serial decode byte-for-byte at every worker count, including a count
+// exceeding the chain count and with multi-GOP streams of non-aligned
+// tail length.
+func TestDecodeParallelIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		n    int
+	}{
+		{"multi-gop", Config{QP: 22, GOP: 5}, 23},
+		{"gop-aligned", Config{QP: 16, GOP: 4}, 12},
+		{"single-gop", Config{QP: 22, GOP: 30}, 8},
+		{"rate-controlled", Config{BitrateKbps: 150, GOP: 6, FPS: 30}, 14},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			src := gradientVideo(96, 64, tc.n)
+			enc, err := EncodeVideo(src, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := enc.Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4, 8} {
+				got, err := enc.DecodeParallel(workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				framesEqual(t, serial, got, tc.name)
+			}
+		})
+	}
+}
+
+// TestDecodeParallelAtGOMAXPROCS1: worker count must not change output
+// even when the runtime serializes all goroutines.
+func TestDecodeParallelAtGOMAXPROCS1(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	src := gradientVideo(96, 64, 18)
+	enc, err := EncodeVideo(src, Config{QP: 24, GOP: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := enc.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := enc.DecodeParallel(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	framesEqual(t, serial, got, "GOMAXPROCS=1")
+}
+
+// TestDecodeParallelMalformed: a stream opening with a P-frame has no
+// safe split points; the parallel path must fall back to the serial
+// decoder's error.
+func TestDecodeParallelMalformed(t *testing.T) {
+	src := gradientVideo(64, 48, 8)
+	enc, err := EncodeVideo(src, Config{QP: 24, GOP: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := &Encoded{Config: enc.Config, Frames: enc.Frames[1:]}
+	if _, err := broken.DecodeParallel(4); err == nil {
+		t.Fatal("DecodeParallel accepted a stream starting mid-GOP")
+	}
+}
+
+func TestGOPChains(t *testing.T) {
+	src := gradientVideo(64, 48, 10)
+	enc, err := EncodeVideo(src, Config{QP: 24, GOP: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains := enc.gopChains()
+	want := []int{0, 4, 8}
+	if len(chains) != len(want) {
+		t.Fatalf("gopChains() = %v, want %v", chains, want)
+	}
+	for i := range want {
+		if chains[i] != want[i] {
+			t.Fatalf("gopChains() = %v, want %v", chains, want)
+		}
+	}
+}

@@ -56,6 +56,8 @@ func WriteVsStreaming(cfg CompareConfig, qs []queries.QueryID) ([]ModesResult, e
 					Seed:              cfg.Seed,
 					Mode:              mode,
 					MaxUpsamplePixels: 1 << 22,
+					Workers:           cfg.QueryWorkers,
+					Sequential:        cfg.QuerySequential,
 				}
 				if mode == vcd.WriteMode {
 					opt.ResultStore = vfs.NewMemory()

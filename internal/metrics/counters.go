@@ -1,0 +1,60 @@
+package metrics
+
+import "sync/atomic"
+
+// Counter is a concurrency-safe monotonic event counter, the unit the
+// driver's shared caches report their behavior in.
+type Counter struct{ n atomic.Int64 }
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// CacheCounters groups the hit/miss/eviction counters a shared cache
+// exports.
+type CacheCounters struct {
+	Hits      Counter
+	Misses    Counter
+	Evictions Counter
+}
+
+// Snapshot returns an immutable copy of the current counts.
+func (c *CacheCounters) Snapshot() CacheStats {
+	return CacheStats{
+		Hits:      c.Hits.Value(),
+		Misses:    c.Misses.Value(),
+		Evictions: c.Evictions.Value(),
+	}
+}
+
+// CacheStats is a point-in-time snapshot of CacheCounters.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Sub returns the per-interval delta s − prev, for reporting one run's
+// cache behavior out of cumulative counters.
+func (s CacheStats) Sub(prev CacheStats) CacheStats {
+	return CacheStats{
+		Hits:      s.Hits - prev.Hits,
+		Misses:    s.Misses - prev.Misses,
+		Evictions: s.Evictions - prev.Evictions,
+	}
+}
+
+// HitRate returns the fraction of lookups served from the cache, or 0
+// when there were none.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

@@ -1,0 +1,45 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Counter.Value() = %d, want 8000", got)
+	}
+}
+
+func TestCacheStats(t *testing.T) {
+	var cc CacheCounters
+	cc.Hits.Add(3)
+	cc.Misses.Inc()
+	cc.Evictions.Add(2)
+	s := cc.Snapshot()
+	if s.Hits != 3 || s.Misses != 1 || s.Evictions != 2 {
+		t.Fatalf("Snapshot() = %+v", s)
+	}
+	if got := s.HitRate(); got != 0.75 {
+		t.Fatalf("HitRate() = %g, want 0.75", got)
+	}
+	if got := (CacheStats{}).HitRate(); got != 0 {
+		t.Fatalf("empty HitRate() = %g, want 0", got)
+	}
+	d := s.Sub(CacheStats{Hits: 1, Misses: 1})
+	if d.Hits != 2 || d.Misses != 0 || d.Evictions != 2 {
+		t.Fatalf("Sub() = %+v", d)
+	}
+}

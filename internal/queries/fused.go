@@ -1,0 +1,265 @@
+package queries
+
+import (
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/video"
+)
+
+// This file holds the fused, allocation-aware kernels behind the hot
+// benchmark queries. The closure-based operators (PMapFrame, JoinPFrame,
+// blurFrame) remain the semantic reference; every kernel here is
+// byte-identical to the corresponding closure form — equivalence is
+// enforced by table-driven tests — and differs only in how it walks the
+// planes (flat []byte loops, no per-pixel closure dispatch, pooled
+// output frames, hoisted scratch).
+
+// framePools recycles operator output frames per resolution. Frames
+// obtained here carry unspecified pixel content: only kernels that
+// overwrite every luma and chroma sample may use them.
+var framePools sync.Map // [2]int{w, h} → *video.FramePool
+
+func getFrame(w, h int) *video.Frame {
+	key := [2]int{w, h}
+	p, ok := framePools.Load(key)
+	if !ok {
+		p, _ = framePools.LoadOrStore(key, video.NewFramePool(w, h))
+	}
+	f := p.(*video.FramePool).Get()
+	f.Index = 0
+	return f
+}
+
+// RecycleFrame returns a frame produced by this package's operators to
+// the frame pool. Only recycle frames the caller exclusively owns and
+// no longer references — never frames whose planes are shared (decoded
+// cache views, table rows).
+func RecycleFrame(f *video.Frame) {
+	if f == nil {
+		return
+	}
+	if p, ok := framePools.Load([2]int{f.W, f.H}); ok {
+		p.(*video.FramePool).Put(f)
+	}
+}
+
+// sumPool recycles the integer accumulator AggregateMean needs per
+// window — Q2(d) computes one mean frame per input frame, so the
+// accumulator is the operator's dominant transient allocation.
+var sumPool = sync.Pool{New: func() any { return new([]int) }}
+
+func sumScratch(n int) *[]int {
+	p := sumPool.Get().(*[]int)
+	if cap(*p) < n {
+		*p = make([]int, n)
+	}
+	s := (*p)[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	*p = s
+	return p
+}
+
+// blurrer is the per-query state of the Q2(b) Gaussian blur: the
+// normalized 1D kernel and a pool of float scratch planes, both built
+// once per query rather than once per frame.
+type blurrer struct {
+	k       []float64
+	scratch sync.Pool
+}
+
+func newBlurrer(d int) *blurrer {
+	b := &blurrer{k: gaussianKernel(d)}
+	b.scratch.New = func() any { return new([]float64) }
+	return b
+}
+
+func (b *blurrer) tmp(n int) *[]float64 {
+	p := b.scratch.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// frame blurs one frame into a pooled output (every sample written).
+func (b *blurrer) frame(f *video.Frame) *video.Frame {
+	out := getFrame(f.W, f.H)
+	out.Index = f.Index
+	b.plane(out.Y, f.Y, f.W, f.H)
+	b.plane(out.U, f.U, f.ChromaW(), f.ChromaH())
+	b.plane(out.V, f.V, f.ChromaW(), f.ChromaH())
+	return out
+}
+
+// plane is blurPlane with the border clamping hoisted out of the
+// interior loops. The per-pixel summation order (kernel index ascending)
+// is unchanged in both regions, so results match blurPlane bit-for-bit.
+func (b *blurrer) plane(dst, src []byte, w, h int) {
+	k := b.k
+	d := len(k)
+	r := d / 2
+	tp := b.tmp(w * h)
+	tmp := *tp
+
+	// Horizontal pass. Interior columns [r, w-d+r] need no clamping.
+	xlo, xhi := r, w-d+r
+	for y := 0; y < h; y++ {
+		row := src[y*w : (y+1)*w]
+		trow := tmp[y*w : (y+1)*w]
+		for x := 0; x < w && x < xlo; x++ {
+			var s float64
+			for i, kv := range k {
+				s += kv * float64(row[geom.ClampInt(x+i-r, 0, w-1)])
+			}
+			trow[x] = s
+		}
+		for x := xlo; x <= xhi; x++ {
+			var s float64
+			base := x - r
+			for i, kv := range k {
+				s += kv * float64(row[base+i])
+			}
+			trow[x] = s
+		}
+		start := xhi + 1
+		if start < xlo {
+			start = xlo
+		}
+		for x := start; x < w; x++ {
+			var s float64
+			for i, kv := range k {
+				s += kv * float64(row[geom.ClampInt(x+i-r, 0, w-1)])
+			}
+			trow[x] = s
+		}
+	}
+
+	// Vertical pass. Interior rows [r, h-d+r] need no clamping.
+	ylo, yhi := r, h-d+r
+	for y := 0; y < h; y++ {
+		drow := dst[y*w : (y+1)*w]
+		if y >= ylo && y <= yhi {
+			base := (y - r) * w
+			for x := 0; x < w; x++ {
+				var s float64
+				for i, kv := range k {
+					s += kv * tmp[base+i*w+x]
+				}
+				drow[x] = byte(geom.Clamp(s, 0, 255) + 0.5)
+			}
+			continue
+		}
+		for x := 0; x < w; x++ {
+			var s float64
+			for i, kv := range k {
+				sy := geom.ClampInt(y+i-r, 0, h-1)
+				s += kv * tmp[sy*w+x]
+			}
+			drow[x] = byte(geom.Clamp(s, 0, 255) + 0.5)
+		}
+	}
+	b.scratch.Put(tp)
+}
+
+// maskFrameQ2d is the fused Q2(d) masking kernel: JoinPFrame specialized
+// to the background-subtraction projection. The mask decision depends
+// only on luma; chroma follows the co-located even-coordinate pixel's
+// decision, exactly as the closure form does.
+func maskFrameQ2d(fv, fb *video.Frame, eps float64) *video.Frame {
+	out := getFrame(fv.W, fv.H)
+	out.Index = fv.Index
+	w := fv.W
+	cw := fv.ChromaW()
+	for y := 0; y < fv.H; y++ {
+		vrow := fv.Y[y*w : (y+1)*w]
+		brow := fb.Y[y*w : (y+1)*w]
+		orow := out.Y[y*w : (y+1)*w]
+		chromaRow := y%2 == 0
+		crow := y / 2 * cw
+		for x := 0; x < w; x++ {
+			pv := vrow[x]
+			masked := maskBelow(Pixel{Y: pv}, Pixel{Y: brow[x]}, eps)
+			if masked {
+				orow[x] = Omega.Y
+			} else {
+				orow[x] = pv
+			}
+			if chromaRow && x%2 == 0 {
+				ci := crow + x/2
+				if masked {
+					out.U[ci] = Omega.U
+					out.V[ci] = Omega.V
+				} else {
+					out.U[ci] = fv.U[ci]
+					out.V[ci] = fv.V[ci]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// coalesceFrame is the fused Q6(a) kernel: JoinPFrame specialized to the
+// ω-coalesce projection of Equation 1 (b unless b is the null color).
+func coalesceFrame(fa, fb *video.Frame) *video.Frame {
+	out := getFrame(fa.W, fa.H)
+	out.Index = fa.Index
+	w := fa.W
+	cw := fa.ChromaW()
+	for y := 0; y < fa.H; y++ {
+		arow := fa.Y[y*w : (y+1)*w]
+		brow := fb.Y[y*w : (y+1)*w]
+		orow := out.Y[y*w : (y+1)*w]
+		chromaRow := y%2 == 0
+		crow := y / 2 * cw
+		for x := 0; x < w; x++ {
+			ci := crow + x/2
+			bp := Pixel{Y: brow[x], U: fb.U[ci], V: fb.V[ci]}
+			omega := IsOmega(bp)
+			if omega {
+				orow[x] = arow[x]
+			} else {
+				orow[x] = bp.Y
+			}
+			if chromaRow && x%2 == 0 {
+				if omega {
+					out.U[ci] = fa.U[ci]
+					out.V[ci] = fa.V[ci]
+				} else {
+					out.U[ci] = bp.U
+					out.V[ci] = bp.V
+				}
+			}
+		}
+	}
+	return out
+}
+
+// grayFrame is the fused Q2(a) kernel: copy luma into a pooled frame and
+// flood the chroma planes with the neutral value, identical to
+// Frame.Grayscale.
+func grayFrame(f *video.Frame) *video.Frame {
+	out := getFrame(f.W, f.H)
+	out.Index = f.Index
+	copy(out.Y, f.Y)
+	for i := range out.U {
+		out.U[i] = 128
+		out.V[i] = 128
+	}
+	return out
+}
+
+// captionFrame copies f into a pooled frame (every sample overwritten)
+// for Q6(b)'s compositor to draw on.
+func captionFrame(f *video.Frame) *video.Frame {
+	out := getFrame(f.W, f.H)
+	out.Index = f.Index
+	copy(out.Y, f.Y)
+	copy(out.U, f.U)
+	copy(out.V, f.V)
+	return out
+}

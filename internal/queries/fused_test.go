@@ -1,0 +1,203 @@
+package queries
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/video"
+)
+
+// noiseFrame builds a deterministic pseudo-random frame with embedded
+// ω-colored patches so coalesce/mask kernels exercise both branches.
+func noiseFrame(w, h, idx int, seed int64) *video.Frame {
+	rng := rand.New(rand.NewSource(seed))
+	f := video.NewFrame(w, h)
+	f.Index = idx
+	for i := range f.Y {
+		f.Y[i] = byte(rng.Intn(256))
+	}
+	for i := range f.U {
+		f.U[i] = byte(rng.Intn(256))
+		f.V[i] = byte(rng.Intn(256))
+	}
+	// ω patches (with codec-tolerance wobble) over ~a quarter of the
+	// frame.
+	for y := 0; y < h/2; y++ {
+		for x := 0; x < w/2; x++ {
+			if (x+y)%3 == 0 {
+				f.SetY(x, y, byte(16+rng.Intn(5)))
+				f.SetChroma(x, y, byte(128-rng.Intn(5)), byte(128+rng.Intn(5)))
+			}
+		}
+	}
+	return f
+}
+
+func noiseVideo(n, w, h int, seed int64) *video.Video {
+	v := video.NewVideo(15)
+	for i := 0; i < n; i++ {
+		v.Append(noiseFrame(w, h, i, seed+int64(i)))
+	}
+	return v
+}
+
+func framesEqual(a, b *video.Frame) bool {
+	return a.W == b.W && a.H == b.H && a.Index == b.Index &&
+		bytes.Equal(a.Y, b.Y) && bytes.Equal(a.U, b.U) && bytes.Equal(a.V, b.V)
+}
+
+func videosEqual(t *testing.T, label string, a, b *video.Video) {
+	t.Helper()
+	if len(a.Frames) != len(b.Frames) {
+		t.Fatalf("%s: %d frames vs %d", label, len(a.Frames), len(b.Frames))
+	}
+	for i := range a.Frames {
+		if !framesEqual(a.Frames[i], b.Frames[i]) {
+			t.Fatalf("%s: frame %d differs", label, i)
+		}
+	}
+}
+
+// frameDims covers even, odd-width, odd-height, odd-both, and tiny
+// (kernel-wider-than-plane for the blur border logic) shapes.
+var frameDims = []struct{ w, h int }{
+	{64, 48}, {63, 48}, {64, 47}, {63, 47}, {5, 3}, {2, 2},
+}
+
+// TestFusedKernelsMatchClosureForms is the fused-operator contract:
+// every specialized kernel is byte-identical to the closure-based
+// reference it replaces.
+func TestFusedKernelsMatchClosureForms(t *testing.T) {
+	for _, dim := range frameDims {
+		t.Run(fmt.Sprintf("%dx%d", dim.w, dim.h), func(t *testing.T) {
+			fa := noiseFrame(dim.w, dim.h, 3, 101)
+			fb := noiseFrame(dim.w, dim.h, 3, 202)
+
+			for _, eps := range []float64{0.05, 0.2, 0.5} {
+				want := JoinPFrame(fa, fb, func(pv, pb Pixel) Pixel {
+					if maskBelow(pv, pb, eps) {
+						return Omega
+					}
+					return pv
+				})
+				got := maskFrameQ2d(fa, fb, eps)
+				if !framesEqual(want, got) {
+					t.Errorf("maskFrameQ2d(eps=%g) diverges from JoinPFrame", eps)
+				}
+			}
+
+			want := JoinPFrame(fa, fb, OmegaCoalesce)
+			got := coalesceFrame(fa, fb)
+			if !framesEqual(want, got) {
+				t.Error("coalesceFrame diverges from JoinPFrame(OmegaCoalesce)")
+			}
+
+			for _, d := range []int{3, 5, 9, 17} {
+				k := gaussianKernel(d)
+				bl := newBlurrer(d)
+				want := blurFrame(fa, k)
+				got := bl.frame(fa)
+				if !framesEqual(want, got) {
+					t.Errorf("blurrer.frame(d=%d) diverges from blurFrame", d)
+				}
+			}
+
+			if !framesEqual(fa.Grayscale(), grayFrame(fa)) {
+				t.Error("grayFrame diverges from Frame.Grayscale")
+			}
+			if !framesEqual(fa.Clone(), captionFrame(fa)) {
+				t.Error("captionFrame diverges from Clone")
+			}
+		})
+	}
+}
+
+// TestOperatorsIdenticalAcrossWorkerCounts drives the frame-parallel
+// operators end to end at different effective worker counts (via
+// GOMAXPROCS, which parallel.Default() honors) and requires identical
+// output videos.
+func TestOperatorsIdenticalAcrossWorkerCounts(t *testing.T) {
+	v := noiseVideo(23, 63, 47, 7)
+	boxes := noiseVideo(23, 63, 47, 9)
+	pq2b := Params{D: 5}
+	pq2d := Params{M: 4, Epsilon: 0.2}
+
+	type outputs struct {
+		q2a, q2b, q2d, q6a *video.Video
+		pmap               *video.Video
+	}
+	runAll := func() outputs {
+		var o outputs
+		o.q2a = RunQ2a(v)
+		var err error
+		if o.q2b, err = RunQ2b(v, pq2b); err != nil {
+			t.Fatal(err)
+		}
+		if o.q2d, err = RunQ2d(v, pq2d); err != nil {
+			t.Fatal(err)
+		}
+		if o.q6a, err = RunQ6a(v, boxes); err != nil {
+			t.Fatal(err)
+		}
+		o.pmap = PMap(v, func(p Pixel) Pixel { return Pixel{Y: 255 - p.Y, U: p.V, V: p.U} })
+		return o
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := runAll()
+	runtime.GOMAXPROCS(prev)
+
+	for _, procs := range []int{4, 8} {
+		restore := runtime.GOMAXPROCS(procs)
+		par := runAll()
+		runtime.GOMAXPROCS(restore)
+		videosEqual(t, fmt.Sprintf("Q2a@%d", procs), serial.q2a, par.q2a)
+		videosEqual(t, fmt.Sprintf("Q2b@%d", procs), serial.q2b, par.q2b)
+		videosEqual(t, fmt.Sprintf("Q2d@%d", procs), serial.q2d, par.q2d)
+		videosEqual(t, fmt.Sprintf("Q6a@%d", procs), serial.q6a, par.q6a)
+		videosEqual(t, fmt.Sprintf("PMap@%d", procs), serial.pmap, par.pmap)
+	}
+}
+
+// TestPMapFrameOddDimensionsPoisonedPool verifies 4:2:0 coverage on odd
+// frame shapes: after poisoning the pool with a 0xAA-filled recycled
+// frame, PMapFrame must still overwrite every luma and chroma sample.
+func TestPMapFrameOddDimensionsPoisonedPool(t *testing.T) {
+	for _, dim := range []struct{ w, h int }{{5, 3}, {7, 5}, {1, 1}, {6, 3}, {5, 4}} {
+		poison := video.NewFrame(dim.w, dim.h)
+		for i := range poison.Y {
+			poison.Y[i] = 0xAA
+		}
+		for i := range poison.U {
+			poison.U[i] = 0xAA
+			poison.V[i] = 0xAA
+		}
+		RecycleFrame(poison)
+
+		src := noiseFrame(dim.w, dim.h, 0, 55)
+		got := PMapFrame(src, func(p Pixel) Pixel { return p })
+		if !framesEqual(src, got) {
+			t.Errorf("%dx%d: identity PMapFrame on pooled frame leaks stale samples", dim.w, dim.h)
+		}
+	}
+}
+
+// TestPMapFrameAllocsWithRecycle is the pooling satellite: a
+// PMapFrame/RecycleFrame cycle must not allocate fresh planes each
+// frame.
+func TestPMapFrameAllocsWithRecycle(t *testing.T) {
+	src := noiseFrame(64, 48, 0, 77)
+	ident := func(p Pixel) Pixel { return p }
+	// Warm the pool.
+	RecycleFrame(PMapFrame(src, ident))
+	allocs := testing.AllocsPerRun(50, func() {
+		f := PMapFrame(src, ident)
+		RecycleFrame(f)
+	})
+	if allocs > 3 {
+		t.Errorf("PMapFrame+RecycleFrame allocates %.1f objects/op, want <= 3", allocs)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/codec"
+	"repro/internal/parallel"
 	"repro/internal/video"
 )
 
@@ -38,11 +39,23 @@ func absDiff(a, b byte) int {
 }
 
 // PMap maps a function over every pixel of every frame:
-// video → (pixel → pixel) → video.
+// video → (pixel → pixel) → video. Frames are processed concurrently on
+// the default worker pool and appended in order; f must be pure (every
+// Table 4 pixel function is).
 func PMap(v *video.Video, f func(Pixel) Pixel) *video.Video {
+	return mapFrames(v, func(fr *video.Frame) *video.Frame { return PMapFrame(fr, f) })
+}
+
+// mapFrames applies a pure frame kernel to every frame concurrently and
+// reassembles the output in frame order, so results are identical at
+// every worker count.
+func mapFrames(v *video.Video, kernel func(*video.Frame) *video.Frame) *video.Video {
+	frames, _ := parallel.Map(parallel.Default(), len(v.Frames), func(i int) (*video.Frame, error) {
+		return kernel(v.Frames[i]), nil
+	})
 	out := video.NewVideo(v.FPS)
-	for _, fr := range v.Frames {
-		out.Append(PMapFrame(fr, f))
+	for _, fr := range frames {
+		out.Append(fr)
 	}
 	return out
 }
@@ -51,7 +64,10 @@ func PMap(v *video.Video, f func(Pixel) Pixel) *video.Video {
 // at chroma resolution (each chroma sample pairs with the co-located
 // luma sample), preserving 4:2:0 structure.
 func PMapFrame(fr *video.Frame, f func(Pixel) Pixel) *video.Frame {
-	out := video.NewFrame(fr.W, fr.H)
+	// The loop writes every luma sample, and every chroma sample is
+	// covered by its even-coordinate pixel (for odd widths and heights
+	// included), so a pooled frame's stale content is fully overwritten.
+	out := getFrame(fr.W, fr.H)
 	out.Index = fr.Index
 	cw := fr.ChromaW()
 	for y := 0; y < fr.H; y++ {
@@ -69,13 +85,10 @@ func PMapFrame(fr *video.Frame, f func(Pixel) Pixel) *video.Frame {
 }
 
 // FMap maps a function over the video's frames:
-// video → (frame → frame) → video.
+// video → (frame → frame) → video. Frames are processed concurrently on
+// the default worker pool and appended in order; f must be pure.
 func FMap(v *video.Video, f func(*video.Frame) *video.Frame) *video.Video {
-	out := video.NewVideo(v.FPS)
-	for _, fr := range v.Frames {
-		out.Append(f(fr))
-	}
-	return out
+	return mapFrames(v, f)
 }
 
 // JoinP joins two videos by pixel coordinate and applies a projection to
@@ -83,6 +96,14 @@ func FMap(v *video.Video, f func(*video.Frame) *video.Frame) *video.Video {
 // The videos must have equal resolution; the output length is the
 // shorter of the two.
 func JoinP(a, b *video.Video, proj func(Pixel, Pixel) Pixel) (*video.Video, error) {
+	return joinVideos(a, b, func(fa, fb *video.Frame) *video.Frame {
+		return JoinPFrame(fa, fb, proj)
+	})
+}
+
+// joinVideos pairs frames of two equal-resolution videos and applies a
+// pure two-frame kernel to each pair concurrently, in frame order.
+func joinVideos(a, b *video.Video, kernel func(fa, fb *video.Frame) *video.Frame) (*video.Video, error) {
 	aw, ah := a.Resolution()
 	bw, bh := b.Resolution()
 	if aw != bw || ah != bh {
@@ -92,16 +113,21 @@ func JoinP(a, b *video.Video, proj func(Pixel, Pixel) Pixel) (*video.Video, erro
 	if len(b.Frames) < n {
 		n = len(b.Frames)
 	}
+	frames, _ := parallel.Map(parallel.Default(), n, func(i int) (*video.Frame, error) {
+		return kernel(a.Frames[i], b.Frames[i]), nil
+	})
 	out := video.NewVideo(a.FPS)
-	for i := 0; i < n; i++ {
-		out.Append(JoinPFrame(a.Frames[i], b.Frames[i], proj))
+	for _, fr := range frames {
+		out.Append(fr)
 	}
 	return out, nil
 }
 
 // JoinPFrame joins two equally-sized frames pixel-wise.
 func JoinPFrame(fa, fb *video.Frame, proj func(Pixel, Pixel) Pixel) *video.Frame {
-	out := video.NewFrame(fa.W, fa.H)
+	// Pooled output: the loop overwrites every luma and chroma sample
+	// (see PMapFrame).
+	out := getFrame(fa.W, fa.H)
 	out.Index = fa.Index
 	cw := fa.ChromaW()
 	for y := 0; y < fa.H; y++ {
@@ -165,11 +191,14 @@ func AggregateMean(window []*video.Frame) *video.Frame {
 		return nil
 	}
 	w, h := window[0].W, window[0].H
-	out := video.NewFrame(w, h)
+	out := getFrame(w, h) // every sample written below
 	n := len(window)
-	sumY := make([]int, len(out.Y))
-	sumU := make([]int, len(out.U))
-	sumV := make([]int, len(out.V))
+	ln, lc := len(out.Y), len(out.U)
+	sp := sumScratch(ln + 2*lc)
+	sums := *sp
+	sumY := sums[:ln]
+	sumU := sums[ln : ln+lc]
+	sumV := sums[ln+lc:]
 	for _, f := range window {
 		for i, v := range f.Y {
 			sumY[i] += int(v)
@@ -188,6 +217,7 @@ func AggregateMean(window []*video.Frame) *video.Frame {
 		out.U[i] = byte((sumU[i] + n/2) / n)
 		out.V[i] = byte((sumV[i] + n/2) / n)
 	}
+	sumPool.Put(sp)
 	return out
 }
 
@@ -225,8 +255,13 @@ func Subquery(regions []Region, bitratesKbps []int, preset codec.Preset) ([]Regi
 	if len(bitratesKbps) == 0 {
 		return nil, fmt.Errorf("queries: no bitrates given")
 	}
+	// Regions are independent encode→decode round trips; run them on the
+	// worker pool. Errors are collected per region and reported in index
+	// order so failures are deterministic under concurrency.
 	out := make([]Region, len(regions))
-	for i, r := range regions {
+	errs := make([]error, len(regions))
+	parallel.ForEach(parallel.Default(), len(regions), func(i int) error {
+		r := regions[i]
 		cfg := codec.Config{
 			BitrateKbps: bitratesKbps[i%len(bitratesKbps)],
 			Preset:      preset,
@@ -235,13 +270,21 @@ func Subquery(regions []Region, bitratesKbps []int, preset codec.Preset) ([]Regi
 		}
 		enc, err := codec.EncodeVideo(r.Video, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("queries: subquery region %d: %w", i, err)
+			errs[i] = fmt.Errorf("queries: subquery region %d: %w", i, err)
+			return nil
 		}
 		dec, err := enc.Decode()
 		if err != nil {
-			return nil, fmt.Errorf("queries: subquery region %d decode: %w", i, err)
+			errs[i] = fmt.Errorf("queries: subquery region %d decode: %w", i, err)
+			return nil
 		}
 		out[i] = Region{X: r.X, Y: r.Y, Video: dec}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

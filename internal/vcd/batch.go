@@ -130,7 +130,7 @@ func (d *Dataset) StitchedInput(group []string) (*vdbms.Input, error) {
 		if first == nil {
 			first = in
 		}
-		v, err := in.Encoded.Decode()
+		v, err := vdbms.DecodeInput(in)
 		if err != nil {
 			return nil, err
 		}
@@ -152,6 +152,7 @@ func (d *Dataset) StitchedInput(group []string) (*vdbms.Input, error) {
 		Name:    key,
 		Encoded: enc,
 		Env:     first.Env,
+		Source:  d,
 	}
 	d.mu.Lock()
 	d.inputs[key] = in
@@ -172,7 +173,7 @@ func (d *Dataset) BoxesFor(in *vdbms.Input) (*vdbms.BoxesInput, error) {
 	}
 	d.mu.Unlock()
 
-	src, err := in.Encoded.Decode()
+	src, err := vdbms.DecodeInput(in)
 	if err != nil {
 		return nil, err
 	}

@@ -10,11 +10,13 @@ import (
 
 	"repro/internal/container"
 	"repro/internal/detect"
+	"repro/internal/metrics"
 	"repro/internal/queries"
 	"repro/internal/vcg"
 	"repro/internal/vcity"
 	"repro/internal/vdbms"
 	"repro/internal/vfs"
+	"repro/internal/video"
 	"repro/internal/vtt"
 )
 
@@ -33,6 +35,11 @@ type Dataset struct {
 	mu     sync.Mutex
 	inputs map[string]*vdbms.Input
 	boxes  map[string]*vdbms.BoxesInput
+
+	// decoded is the shared decoded-input cache (nil when disabled);
+	// staged inputs carry the dataset as their vdbms.DecodedSource so
+	// every engine decode routes through it.
+	decoded *decodedCache
 }
 
 // LoadDataset opens a dataset from a store written by the VCG. The
@@ -97,9 +104,94 @@ func (d *Dataset) Input(cameraID string) (*vdbms.Input, error) {
 			Camera:   cam,
 			Detector: detect.NewYOLO(d.detectorNoise, d.detectorSeed),
 		},
+		Source: d,
 	}
 	d.inputs[cameraID] = in
 	return in, nil
+}
+
+// configureDecodedCache installs (or disables) the shared decoded-input
+// cache for a run. budget < 0 disables the cache, 0 selects
+// DefaultDecodedCacheBytes. Reconfiguring resets counters.
+func (d *Dataset) configureDecodedCache(budget int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if budget < 0 {
+		d.decoded = nil
+		return
+	}
+	d.decoded = newDecodedCache(budget)
+}
+
+func (d *Dataset) decodedCache() *decodedCache {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.decoded
+}
+
+// Decoded implements vdbms.DecodedSource: decode through the shared
+// cache when enabled, directly otherwise.
+func (d *Dataset) Decoded(in *vdbms.Input) (*video.Video, error) {
+	c := d.decodedCache()
+	if c == nil {
+		return vdbms.DecodeAll(in.Encoded)
+	}
+	return c.acquire(in.Name, func() (*video.Video, error) {
+		return vdbms.DecodeAll(in.Encoded)
+	})
+}
+
+// DecodedShared implements vdbms.SharedDecodedSource: decode through
+// the shared cache when one is active, reporting ok=false otherwise so
+// streaming engines keep their own incremental path in sequential mode.
+func (d *Dataset) DecodedShared(in *vdbms.Input) (*video.Video, bool, error) {
+	c := d.decodedCache()
+	if c == nil {
+		return nil, false, nil
+	}
+	v, err := c.acquire(in.Name, func() (*video.Video, error) {
+		return vdbms.DecodeAll(in.Encoded)
+	})
+	return v, true, err
+}
+
+// DecodedIfCached implements vdbms.CachedDecodedSource.
+func (d *Dataset) DecodedIfCached(in *vdbms.Input) (*video.Video, bool) {
+	c := d.decodedCache()
+	if c == nil {
+		return nil, false
+	}
+	return c.peek(in.Name)
+}
+
+// DecodedCacheStats snapshots the shared decoded-input cache counters
+// (zero stats when the cache is disabled).
+func (d *Dataset) DecodedCacheStats() metrics.CacheStats {
+	c := d.decodedCache()
+	if c == nil {
+		return metrics.CacheStats{}
+	}
+	return c.stats()
+}
+
+// pinInputs pins an instance's inputs in the decoded cache for the span
+// of its execution so concurrent instances sharing an input cannot have
+// it evicted out from under them. Returns the matching unpin.
+func (d *Dataset) pinInputs(inst *vdbms.QueryInstance) func() {
+	c := d.decodedCache()
+	if c == nil {
+		return func() {}
+	}
+	names := make([]string, 0, len(inst.Inputs))
+	for _, in := range inst.Inputs {
+		c.pin(in.Name)
+		names = append(names, in.Name)
+	}
+	return func() {
+		for _, n := range names {
+			c.unpin(n)
+		}
+	}
 }
 
 // TrafficCameraIDs returns the dataset's traffic camera IDs in stable

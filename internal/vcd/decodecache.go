@@ -1,0 +1,230 @@
+package vcd
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/video"
+)
+
+// DefaultDecodedCacheBytes is the decoded-input cache budget when the
+// caller does not set one.
+const DefaultDecodedCacheBytes = 256 << 20
+
+// decodedCache is the driver's shared decoded-input cache: decoded
+// videos keyed by input ID, ref-counted (pins) and byte-budgeted with
+// LRU eviction. Fills are single-flight — when concurrent instances
+// need the same input, exactly one decodes it and the rest wait — and
+// every acquire returns a view (fresh frame headers over shared plane
+// storage) so consumers never write to each other's frames.
+type decodedCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	tick    int64
+	entries map[string]*decodedEntry
+
+	counters metrics.CacheCounters
+}
+
+// decodedEntry is one cache slot. A nil done channel means no fill has
+// started (a pin placeholder). Once done is closed, video/err/bytes are
+// immutable: waiters read them after <-done without the lock. A failed
+// fill is never resurrected — a retry replaces the entry.
+type decodedEntry struct {
+	name  string
+	done  chan struct{}
+	video *video.Video
+	bytes int64
+	err   error
+	pins  int
+	lru   int64
+}
+
+func newDecodedCache(budget int64) *decodedCache {
+	if budget <= 0 {
+		budget = DefaultDecodedCacheBytes
+	}
+	return &decodedCache{budget: budget, entries: make(map[string]*decodedEntry)}
+}
+
+// filled reports whether the entry's fill completed successfully.
+// Callers hold the lock.
+func (e *decodedEntry) filled() bool {
+	if e.done == nil {
+		return false
+	}
+	select {
+	case <-e.done:
+		return e.err == nil
+	default:
+		return false
+	}
+}
+
+// failed reports whether the entry's fill completed with an error.
+// Callers hold the lock.
+func (e *decodedEntry) failed() bool {
+	if e.done == nil {
+		return false
+	}
+	select {
+	case <-e.done:
+		return e.err != nil
+	default:
+		return false
+	}
+}
+
+// acquire returns the decoded video for name, filling it via decode
+// exactly once across concurrent callers. The returned video is a
+// per-caller view; its plane storage is shared and must be treated as
+// read-only.
+func (c *decodedCache) acquire(name string, decode func() (*video.Video, error)) (*video.Video, error) {
+	c.mu.Lock()
+	c.tick++
+	e, ok := c.entries[name]
+	if ok && e.done != nil && !e.failed() {
+		// A fill finished or is in flight: either way this caller skips
+		// a decode.
+		e.lru = c.tick
+		done := e.done
+		c.mu.Unlock()
+		c.counters.Hits.Inc()
+		<-done
+		if e.err != nil {
+			return nil, e.err
+		}
+		return viewOf(e.video), nil
+	}
+	switch {
+	case !ok:
+		e = &decodedEntry{name: name}
+		c.entries[name] = e
+	case e.done != nil:
+		// Previous fill failed: retry on a fresh slot, carrying pins.
+		e = &decodedEntry{name: name, pins: e.pins}
+		c.entries[name] = e
+	}
+	e.done = make(chan struct{})
+	e.lru = c.tick
+	c.mu.Unlock()
+	c.counters.Misses.Inc()
+
+	v, err := decode()
+	c.mu.Lock()
+	e.video, e.err = v, err
+	if err == nil {
+		e.bytes = videoBytes(v)
+		c.used += e.bytes
+		c.evictLocked(e)
+	} else if e.pins == 0 {
+		// Failed, unpinned fills vanish so a later acquire retries.
+		delete(c.entries, name)
+	}
+	close(e.done)
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return viewOf(v), nil
+}
+
+// peek returns a view of the decoded video only if it is already
+// resident; it never triggers a fill and counts neither hit nor miss
+// (the caller will decode through its own path on a cold cache).
+func (c *decodedCache) peek(name string) (*video.Video, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[name]
+	if !ok || !e.filled() {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.tick++
+	e.lru = c.tick
+	v := e.video
+	c.mu.Unlock()
+	c.counters.Hits.Inc()
+	return viewOf(v), true
+}
+
+// pin marks name as referenced by an executing instance: pinned entries
+// are never evicted, whether or not their fill has happened yet.
+func (c *decodedCache) pin(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		e = &decodedEntry{name: name}
+		c.entries[name] = e
+	}
+	e.pins++
+}
+
+// unpin releases one pin. Unpinned slots that hold no decoded video
+// (placeholders, failed fills) are dropped; filled entries stay
+// resident for reuse until evicted by budget.
+func (c *decodedCache) unpin(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return
+	}
+	if e.pins > 0 {
+		e.pins--
+	}
+	if e.pins == 0 && (e.done == nil || e.failed()) {
+		delete(c.entries, name)
+	}
+}
+
+// evictLocked drops least-recently-used, unpinned, filled entries until
+// the cache fits its budget. The just-filled entry keep is exempt so a
+// single oversized input still caches (soft budget: when everything
+// else is pinned the cache may transiently overflow).
+func (c *decodedCache) evictLocked(keep *decodedEntry) {
+	for c.used > c.budget {
+		var victim *decodedEntry
+		for _, e := range c.entries {
+			if e == keep || e.pins > 0 || !e.filled() {
+				continue
+			}
+			if victim == nil || e.lru < victim.lru {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		c.used -= victim.bytes
+		delete(c.entries, victim.name)
+		c.counters.Evictions.Inc()
+	}
+}
+
+// stats snapshots the cache counters.
+func (c *decodedCache) stats() metrics.CacheStats {
+	return c.counters.Snapshot()
+}
+
+// viewOf returns a per-consumer view of a cached video: fresh Frame
+// headers (so index stamping by one consumer never races another) over
+// shared, read-only plane storage.
+func viewOf(v *video.Video) *video.Video {
+	out := &video.Video{FPS: v.FPS, Frames: make([]*video.Frame, len(v.Frames))}
+	for i, f := range v.Frames {
+		g := *f
+		out.Frames[i] = &g
+	}
+	return out
+}
+
+// videoBytes is the cache accounting size of a decoded video.
+func videoBytes(v *video.Video) int64 {
+	var n int64
+	for _, f := range v.Frames {
+		n += int64(len(f.Y) + len(f.U) + len(f.V))
+	}
+	return n
+}

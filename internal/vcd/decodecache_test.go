@@ -1,0 +1,217 @@
+package vcd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/video"
+)
+
+func cacheTestVideo(n, w, h int, seed byte) *video.Video {
+	v := video.NewVideo(30)
+	for i := 0; i < n; i++ {
+		f := video.NewFrame(w, h)
+		for j := range f.Y {
+			f.Y[j] = seed + byte(i+j)
+		}
+		v.Append(f)
+	}
+	return v
+}
+
+func TestDecodedCacheSingleFlight(t *testing.T) {
+	c := newDecodedCache(1 << 30)
+	var decodes atomic.Int64
+	src := cacheTestVideo(4, 32, 16, 7)
+
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]*video.Video, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.acquire("in", func() (*video.Video, error) {
+				decodes.Add(1)
+				return src, nil
+			})
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+
+	if got := decodes.Load(); got != 1 {
+		t.Fatalf("decode ran %d times, want 1", got)
+	}
+	st := c.stats()
+	if st.Hits != callers-1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want %d hits / 1 miss", st, callers-1)
+	}
+	for i, v := range results {
+		if len(v.Frames) != 4 {
+			t.Fatalf("caller %d: %d frames, want 4", i, len(v.Frames))
+		}
+		// Views must not share Frame headers (index stamping would race).
+		if v.Frames[0] == src.Frames[0] {
+			t.Fatalf("caller %d: view shares frame header with source", i)
+		}
+		// But plane storage is shared — that is the point of the cache.
+		if &v.Frames[0].Y[0] != &src.Frames[0].Y[0] {
+			t.Fatalf("caller %d: view copied plane storage", i)
+		}
+	}
+}
+
+func TestDecodedCacheLRUEviction(t *testing.T) {
+	one := cacheTestVideo(1, 32, 16, 0) // 32*16*1.5 = 768 bytes per video
+	per := videoBytes(one)
+	c := newDecodedCache(2 * per) // room for two entries
+
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("in%d", i)
+		if _, err := c.acquire(name, func() (*video.Video, error) {
+			return cacheTestVideo(1, 32, 16, byte(i)), nil
+		}); err != nil {
+			t.Fatalf("acquire %s: %v", name, err)
+		}
+	}
+	// in0 was least recently used and must be gone.
+	if _, ok := c.peek("in0"); ok {
+		t.Fatal("in0 survived eviction")
+	}
+	if _, ok := c.peek("in1"); !ok {
+		t.Fatal("in1 evicted, want resident")
+	}
+	if _, ok := c.peek("in2"); !ok {
+		t.Fatal("in2 evicted, want resident")
+	}
+	st := c.stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if c.used > c.budget {
+		t.Fatalf("used %d exceeds budget %d after eviction", c.used, c.budget)
+	}
+}
+
+func TestDecodedCachePinnedSurvivesEviction(t *testing.T) {
+	one := cacheTestVideo(1, 32, 16, 0)
+	per := videoBytes(one)
+	c := newDecodedCache(per) // room for exactly one entry
+
+	c.pin("pinned")
+	if _, err := c.acquire("pinned", func() (*video.Video, error) {
+		return cacheTestVideo(1, 32, 16, 1), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Filling a second entry overflows the budget, but the pinned entry
+	// must not be the victim.
+	if _, err := c.acquire("other", func() (*video.Video, error) {
+		return cacheTestVideo(1, 32, 16, 2), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.peek("pinned"); !ok {
+		t.Fatal("pinned entry evicted")
+	}
+	c.unpin("pinned")
+	// Now a third fill can evict it.
+	if _, err := c.acquire("third", func() (*video.Video, error) {
+		return cacheTestVideo(1, 32, 16, 3), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.peek("pinned"); ok {
+		t.Fatal("unpinned entry survived eviction pressure")
+	}
+}
+
+func TestDecodedCachePeekNeverFills(t *testing.T) {
+	c := newDecodedCache(1 << 20)
+	if _, ok := c.peek("cold"); ok {
+		t.Fatal("peek returned a video for a cold key")
+	}
+	st := c.stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("cold peek moved counters: %+v", st)
+	}
+	if _, err := c.acquire("cold", func() (*video.Video, error) {
+		return cacheTestVideo(1, 32, 16, 9), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.peek("cold"); !ok {
+		t.Fatal("peek missed a resident entry")
+	}
+	if st := c.stats(); st.Hits != 1 {
+		t.Fatalf("hits = %d after warm peek, want 1", st.Hits)
+	}
+}
+
+func TestDecodedCacheFailedFillRetries(t *testing.T) {
+	c := newDecodedCache(1 << 20)
+	boom := errors.New("decode failed")
+	if _, err := c.acquire("in", func() (*video.Video, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("first acquire err = %v, want %v", err, boom)
+	}
+	// The failure is not cached: the next acquire re-runs decode.
+	v, err := c.acquire("in", func() (*video.Video, error) {
+		return cacheTestVideo(2, 32, 16, 5), nil
+	})
+	if err != nil {
+		t.Fatalf("retry acquire: %v", err)
+	}
+	if len(v.Frames) != 2 {
+		t.Fatalf("retry frames = %d, want 2", len(v.Frames))
+	}
+	if st := c.stats(); st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (failed fill + retry)", st.Misses)
+	}
+}
+
+func TestDecodedCacheFailedFillRetriesWhilePinned(t *testing.T) {
+	c := newDecodedCache(1 << 20)
+	c.pin("in")
+	boom := errors.New("decode failed")
+	if _, err := c.acquire("in", func() (*video.Video, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("first acquire err = %v, want %v", err, boom)
+	}
+	if _, err := c.acquire("in", func() (*video.Video, error) {
+		return cacheTestVideo(1, 32, 16, 5), nil
+	}); err != nil {
+		t.Fatalf("pinned retry acquire: %v", err)
+	}
+	c.unpin("in")
+	if _, ok := c.peek("in"); !ok {
+		t.Fatal("successful retry not resident")
+	}
+}
+
+func TestDecodedCacheHitRate(t *testing.T) {
+	c := newDecodedCache(1 << 20)
+	fill := func() (*video.Video, error) { return cacheTestVideo(1, 32, 16, 1), nil }
+	if _, err := c.acquire("a", fill); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.acquire("a", fill); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.stats()
+	if got := st.HitRate(); got != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", got)
+	}
+}

@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/container"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/queries"
 	"repro/internal/vdbms"
 	"repro/internal/vfs"
@@ -50,6 +52,20 @@ type Options struct {
 	// MaxUpsamplePixels caps Q4 parameter draws (model-scale guard);
 	// zero means the full paper domain.
 	MaxUpsamplePixels int
+	// Workers bounds how many query instances of a batch execute
+	// concurrently. 0 selects the machine default (parallel.Default());
+	// 1 executes serially. Instance ordering in reports and persisted
+	// result names is identical at every worker count.
+	Workers int
+	// Sequential forces the paper-faithful contention-free mode: one
+	// instance at a time and no shared decoded-input cache, so each
+	// measured instance sees the machine exactly as the paper's harness
+	// did. It overrides Workers and DecodedCacheBytes.
+	Sequential bool
+	// DecodedCacheBytes budgets the shared decoded-input cache staged
+	// inputs decode through. 0 selects DefaultDecodedCacheBytes;
+	// negative disables the cache.
+	DecodedCacheBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -62,7 +78,27 @@ func (o Options) withDefaults() Options {
 	if o.Validate && o.ValidateFraction <= 0 {
 		o.ValidateFraction = 1
 	}
+	if o.Sequential {
+		o.Workers = 1
+	}
 	return o
+}
+
+// queryWorkers resolves the effective instance-level concurrency.
+func (o Options) queryWorkers() int {
+	if o.Sequential {
+		return 1
+	}
+	return parallel.Normalize(o.Workers)
+}
+
+// decodedCacheBudget resolves the shared decoded-input cache budget for
+// the run (-1 = disabled).
+func (o Options) decodedCacheBudget() int64 {
+	if o.Sequential || o.DecodedCacheBytes < 0 {
+		return -1
+	}
+	return o.DecodedCacheBytes
 }
 
 // InstanceResult records one executed query instance.
@@ -107,6 +143,9 @@ type RunReport struct {
 	Mode    ResultMode
 	Queries []QueryReport
 	Elapsed time.Duration
+	// DecodedCache reports the shared decoded-input cache activity over
+	// the run (zero when the cache is disabled).
+	DecodedCache metrics.CacheStats
 }
 
 // QueryReport returns the report for q, if present.
@@ -129,6 +168,7 @@ func Run(ds *Dataset, sys vdbms.System, opt Options) (*RunReport, error) {
 		return nil, errors.New("vcd: WriteMode requires a result store")
 	}
 	report := &RunReport{System: sys.Name(), Scale: ds.Manifest.Scale, Mode: opt.Mode}
+	ds.configureDecodedCache(opt.decodedCacheBudget())
 	start := time.Now()
 	for _, q := range opt.Queries {
 		qr, err := runQueryBatch(ds, sys, q, opt)
@@ -144,6 +184,7 @@ func Run(ds *Dataset, sys vdbms.System, opt Options) (*RunReport, error) {
 		}
 	}
 	report.Elapsed = time.Since(start)
+	report.DecodedCache = ds.DecodedCacheStats()
 	return report, nil
 }
 
@@ -180,24 +221,48 @@ func runQueryBatch(ds *Dataset, sys vdbms.System, q queries.QueryID, opt Options
 		qr.BatchSplits = len(groups) - 1
 	}
 
+	// Instances within a group execute concurrently on a bounded worker
+	// pool; groups stay ordered (batch splits are a sequencing contract
+	// with the engine). Each result lands at its global instance index,
+	// so reports and persisted result names are identical at every
+	// worker count. Per-instance Elapsed remains that instance's own
+	// wall clock; the batch Elapsed is the batch's wall clock.
+	workers := opt.queryWorkers()
+	results := make([]InstanceResult, len(insts))
 	validator := newValidator(ds, opt)
 	batchStart := time.Now()
-	instIdx := 0
+	base := 0
 	for _, group := range groups {
-		for _, inst := range group {
-			res := executeInstance(ds, sys, inst, opt, instIdx)
-			instIdx++
-			var resErr *vdbms.ErrResource
-			if errors.As(res.Err, &resErr) {
-				qr.ResourceErrors++
-			} else if res.Err == nil {
-				qr.Completed++
-				qr.Frames += res.Frames
-			}
-			qr.Instances = append(qr.Instances, res)
+		group, gbase := group, base
+		run := func(i int) {
+			inst := group[i]
+			unpin := ds.pinInputs(inst)
+			results[gbase+i] = executeInstance(ds, sys, inst, opt, gbase+i)
+			unpin()
 		}
+		if workers <= 1 || len(group) <= 1 {
+			for i := range group {
+				run(i)
+			}
+		} else {
+			parallel.ForEach(workers, len(group), func(i int) error {
+				run(i)
+				return nil
+			})
+		}
+		base += len(group)
 	}
 	qr.Elapsed = time.Since(batchStart)
+	for _, res := range results {
+		var resErr *vdbms.ErrResource
+		if errors.As(res.Err, &resErr) {
+			qr.ResourceErrors++
+		} else if res.Err == nil {
+			qr.Completed++
+			qr.Frames += res.Frames
+		}
+	}
+	qr.Instances = results
 
 	if opt.Validate {
 		// Validation runs outside the measured window, as the VCD's

@@ -131,6 +131,27 @@ func (e *Engine) streamMap(in *vdbms.Input, transform func(i int, f *video.Frame
 		}
 		return out, nil
 	}
+	// When the driver runs with its shared decoded-input cache, use it
+	// as the decode layer: concurrent instances over the same input
+	// decode it exactly once (single-flight) and the cache's byte budget
+	// bounds residency. With no active cache — the paper-faithful
+	// sequential mode — the engine keeps its streaming (memory-flat)
+	// path below and never forces a materialization itself.
+	if shared, ok, err := vdbms.DecodeShared(in); ok || err != nil {
+		if err != nil {
+			return nil, err
+		}
+		for i, f := range shared.Frames {
+			g, err := transform(i, f)
+			if err != nil {
+				return nil, err
+			}
+			if g != nil {
+				out.Append(g)
+			}
+		}
+		return out, nil
+	}
 	dec, err := newStreamDecoder(in)
 	if err != nil {
 		return nil, err

@@ -231,7 +231,7 @@ func (e *Engine) runQ6a(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
 	defer t.release()
 	var boxes *video.Video
 	if inst.Boxes != nil {
-		boxes, err = inst.Boxes.Encoded.Decode()
+		boxes, err = vdbms.DecodeAll(inst.Boxes.Encoded)
 	} else {
 		env := *in.Env
 		env.Detector = caffeDetector(in.Env.Detector)
@@ -375,7 +375,9 @@ func (e *Engine) runQ10(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
 	return sink.Emit("out", out)
 }
 
-// tableVideo views a table as a video (paging in spilled rows).
+// tableVideo views a table as a video (paging in spilled rows). Rows
+// are shallow-copied so Append's index stamping never writes to table
+// rows shared with concurrently executing instances.
 func tableVideo(t *table) *video.Video {
 	v := video.NewVideo(t.fps)
 	for i := 0; i < t.len(); i++ {
@@ -386,7 +388,8 @@ func tableVideo(t *table) *video.Video {
 			f = video.NewFrame(t.w, t.h)
 			f.Index = i
 		}
-		v.Append(f)
+		g := *f
+		v.Append(&g)
 	}
 	return v
 }

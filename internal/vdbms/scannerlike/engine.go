@@ -71,24 +71,36 @@ func (o Options) withDefaults() Options {
 type Engine struct {
 	opt    Options
 	mu     sync.Mutex
-	live   int64             // bytes of materialized tables currently held
-	ingest map[string]*table // job-level decoded-input cache, keyed by input name
+	live   int64                    // bytes of materialized tables currently held
+	ingest map[string]*ingestEntry  // job-level decoded-input cache, keyed by input name
+}
+
+// ingestEntry is one single-flight slot of the ingest cache: the first
+// instance to need an input decodes it; concurrent instances wait on
+// done instead of decoding (and accounting) the same table twice.
+type ingestEntry struct {
+	done chan struct{}
+	t    *table
+	err  error
 }
 
 // New returns an engine with the given options.
 func New(opt Options) *Engine {
-	return &Engine{opt: opt.withDefaults(), ingest: make(map[string]*table)}
+	return &Engine{opt: opt.withDefaults(), ingest: make(map[string]*ingestEntry)}
 }
 
 // Shutdown releases the job-level ingest cache (and its spill files).
 func (e *Engine) Shutdown() {
 	e.mu.Lock()
 	cached := e.ingest
-	e.ingest = make(map[string]*table)
+	e.ingest = make(map[string]*ingestEntry)
 	e.mu.Unlock()
-	for _, t := range cached {
-		t.pinned = false
-		t.release()
+	for _, ent := range cached {
+		<-ent.done
+		if ent.t != nil {
+			ent.t.pinned = false
+			ent.t.release()
+		}
 	}
 }
 
@@ -301,11 +313,29 @@ func (e *Engine) mapTable(q queries.QueryID, in *table, kernel func(*video.Frame
 // grows.
 func (e *Engine) loadTable(q queries.QueryID, in *vdbms.Input) (*table, error) {
 	e.mu.Lock()
-	cached, ok := e.ingest[in.Name]
-	e.mu.Unlock()
-	if ok {
-		return cached, nil
+	if ent, ok := e.ingest[in.Name]; ok {
+		e.mu.Unlock()
+		<-ent.done
+		return ent.t, ent.err
 	}
+	ent := &ingestEntry{done: make(chan struct{})}
+	e.ingest[in.Name] = ent
+	e.mu.Unlock()
+
+	ent.t, ent.err = e.fillTable(q, in)
+	if ent.err != nil {
+		// Failed ingests are not cached: a later instance retries (and
+		// reports the failure under its own query).
+		e.mu.Lock()
+		delete(e.ingest, in.Name)
+		e.mu.Unlock()
+	}
+	close(ent.done)
+	return ent.t, ent.err
+}
+
+// fillTable decodes and materializes one ingest table.
+func (e *Engine) fillTable(q queries.QueryID, in *vdbms.Input) (*table, error) {
 	v, err := vdbms.DecodeInput(in)
 	if err != nil {
 		return nil, err
@@ -316,13 +346,13 @@ func (e *Engine) loadTable(q queries.QueryID, in *vdbms.Input) (*table, error) {
 		return nil, err
 	}
 	t.pinned = true
-	e.mu.Lock()
-	e.ingest[in.Name] = t
-	e.mu.Unlock()
 	return t, nil
 }
 
-// emitTable converts a table back to a video and emits it.
+// emitTable converts a table back to a video and emits it. Rows are
+// shallow-copied (plane storage shared, header fresh) so the emitted
+// video's index stamping never writes to table rows other instances
+// may be reading concurrently.
 func (t *table) emit(sink vdbms.Sink, key string) error {
 	v := video.NewVideo(t.fps)
 	for i := 0; i < t.len(); i++ {
@@ -330,7 +360,8 @@ func (t *table) emit(sink vdbms.Sink, key string) error {
 		if err != nil {
 			return err
 		}
-		v.Append(f)
+		g := *f
+		v.Append(&g)
 	}
 	return sink.Emit(key, v)
 }

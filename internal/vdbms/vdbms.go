@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/codec"
+	"repro/internal/parallel"
 	"repro/internal/queries"
 	"repro/internal/vcity"
 	"repro/internal/video"
@@ -33,6 +34,37 @@ type Input struct {
 	Encoded  *codec.Encoded
 	Captions []byte
 	Env      *queries.Env
+	// Source, when set by the staging layer, serves decoded frames for
+	// this input (typically from the VCD's shared decoded-input cache).
+	// Engines reach it through DecodeInput/PeekDecoded; a nil Source
+	// decodes the payload directly.
+	Source DecodedSource
+}
+
+// DecodedSource supplies decoded videos for staged inputs. The returned
+// video's frames may share pixel storage with other consumers: callers
+// must treat the planes as read-only (every bundled engine derives new
+// frames rather than mutating inputs).
+type DecodedSource interface {
+	Decoded(in *Input) (*video.Video, error)
+}
+
+// CachedDecodedSource is optionally implemented by sources that can
+// report an already-decoded video without forcing a decode — the hook
+// streaming engines use to keep their memory-flat path when the cache
+// is cold.
+type CachedDecodedSource interface {
+	DecodedIfCached(in *Input) (*video.Video, bool)
+}
+
+// SharedDecodedSource is optionally implemented by sources backed by an
+// active shared decode cache. DecodedShared decodes through the cache
+// (single-flight, byte-budgeted) and reports ok=false when no cache is
+// active, letting streaming engines fall back to their own incremental
+// decode path instead of forcing a materialization the driver never
+// asked for.
+type SharedDecodedSource interface {
+	DecodedShared(in *Input) (v *video.Video, ok bool, err error)
 }
 
 // Camera returns the input's originating camera.
@@ -130,7 +162,41 @@ func (e *ErrResource) Error() string {
 }
 
 // DecodeInput decodes an input's full video (shared by engines that
-// operate on raw frames).
+// operate on raw frames). Inputs staged with a Source are served from
+// it — the VCD's shared, single-flight decoded-input cache — so
+// concurrent instances over the same input decode it exactly once.
 func DecodeInput(in *Input) (*video.Video, error) {
-	return in.Encoded.Decode()
+	if in.Source != nil {
+		return in.Source.Decoded(in)
+	}
+	return DecodeAll(in.Encoded)
+}
+
+// PeekDecoded returns the already-decoded video for an input when its
+// source holds one, without triggering a decode. Streaming engines use
+// this to reuse shared decode work opportunistically while keeping
+// their incremental path when the cache is cold.
+func PeekDecoded(in *Input) (*video.Video, bool) {
+	if src, ok := in.Source.(CachedDecodedSource); ok {
+		return src.DecodedIfCached(in)
+	}
+	return nil, false
+}
+
+// DecodeShared decodes an input through its source's shared
+// decoded-input cache when one is active. ok=false means no cache is
+// active for this input (nil source, or the driver runs in sequential
+// mode) and the caller should use its own decode path.
+func DecodeShared(in *Input) (*video.Video, bool, error) {
+	if src, ok := in.Source.(SharedDecodedSource); ok {
+		return src.DecodedShared(in)
+	}
+	return nil, false, nil
+}
+
+// DecodeAll decodes an encoded payload with GOP-parallel decode: intra
+// frames seed independent chains that decode concurrently and
+// reassemble in order, byte-identical to serial decode.
+func DecodeAll(enc *codec.Encoded) (*video.Video, error) {
+	return enc.DecodeParallel(parallel.Default())
 }

@@ -130,11 +130,11 @@ func (f *Frame) Crop(x1, y1, x2, y2 int) *Frame {
 // and V planes are set to the neutral value 128, leaving luminance
 // unchanged. This matches the VCD reference implementation of Q2(a).
 func (f *Frame) Grayscale() *Frame {
-	g := f.Clone()
-	for i := range g.U {
-		g.U[i] = 128
-		g.V[i] = 128
-	}
+	// NewFrame already initializes the chroma planes to the neutral
+	// value, so only luma needs copying.
+	g := NewFrame(f.W, f.H)
+	g.Index = f.Index
+	copy(g.Y, f.Y)
 	return g
 }
 

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Bench recipe: run the query-execution tentpole benchmarks (batch
+# serial vs parallel with the shared decode cache, GOP-parallel decode)
+# and record them in BENCH_query.json (name -> ns/op, B/op, extra
+# metrics) so the perf trajectory is tracked from PR to PR.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_query.json
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench '^BenchmarkRunBatch$' -benchtime 3x -benchmem . >"$tmp"
+go test -run '^$' -bench '^BenchmarkDecodeParallel$' -benchmem ./internal/codec >>"$tmp"
+
+awk '
+BEGIN { n = 0; print "{" }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    m = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if (m != "") m = m ", "
+        m = m "\"" $(i + 1) "\": " $i
+    }
+    if (n++) printf ",\n"
+    printf "  \"%s\": {%s}", name, m
+}
+END { print "\n}" }
+' "$tmp" >"$out"
+
+cat "$out"

@@ -1,10 +1,11 @@
 #!/bin/sh
 # Verify recipe: vet, build, full test suite, then the race detector on
 # the packages with real concurrency (worker pool, parallel generation,
-# row-parallel encoder).
+# row-parallel encoder, concurrent query batches + shared decode cache,
+# frame-parallel operators).
 set -eux
 
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/parallel ./internal/vcg ./internal/codec
+go test -race ./internal/parallel ./internal/vcg ./internal/codec ./internal/vcd ./internal/queries
