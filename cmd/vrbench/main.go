@@ -11,13 +11,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/queries"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds the whole CLI body so profile-writing defers fire on every
+// exit path (os.Exit would skip them).
+func run() int {
 	exp := flag.String("exp", "all", "experiment to run (table1, table2, table9, fig2, fig5, fig6, fig7, fig8, fig9, quality, modes, all)")
 	scale := flag.Int("scale", 4, "scale factor L for comparison experiments")
 	duration := flag.Float64("duration", 1.0, "per-camera video duration in seconds (model scale)")
@@ -27,20 +33,42 @@ func main() {
 	workers := flag.Int("workers", 0, "dataset-generation worker goroutines (0 = one per CPU); bytes are identical at any count")
 	queryWorkers := flag.Int("query-workers", 0, "concurrent query instances per batch (0 = one per CPU, 1 = serial); results are identical at any count")
 	sequential := flag.Bool("sequential", false, "paper-faithful execution: one query instance at a time, no shared decode cache (overrides -query-workers)")
+	fullDecode := flag.Bool("full-decode", false, "disable range-aware decode: windowed queries slice whole-clip decodes (the pre-range baseline)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vrbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "vrbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer writeHeapProfile(*memprofile)
+	}
 
 	runners := map[string]func() error{
 		"table1":  runTable1,
 		"table2":  runTable2,
 		"table9":  func() error { return runTable9(*videos, *duration, *seed, *workers) },
 		"fig2":    func() error { return runFig2(*scale, *seed) },
-		"fig5":    func() error { return runFig5(*scale, *duration, *seed, *workers, *queryWorkers, *sequential) },
-		"fig6":    func() error { return runFig6(*duration, *seed, *workers, *queryWorkers, *sequential) },
+		"fig5":    func() error { return runFig5(*scale, *duration, *seed, *workers, *queryWorkers, *sequential, *fullDecode) },
+		"fig6":    func() error { return runFig6(*duration, *seed, *workers, *queryWorkers, *sequential, *fullDecode) },
 		"fig7":    runFig7,
 		"fig8":    func() error { return runFig8(*duration, *seed, *workers) },
 		"fig9":    func() error { return runFig9(*duration, *seed) },
 		"quality": func() error { return runQuality(*frames, *seed) },
-		"modes":   func() error { return runModes(*scale, *duration, *seed, *queryWorkers, *sequential) },
+		"modes":   func() error { return runModes(*scale, *duration, *seed, *queryWorkers, *sequential, *fullDecode) },
 	}
 	order := []string{"table1", "table2", "fig2", "table9", "fig5", "fig6", "fig7", "fig8", "fig9", "quality", "modes"}
 
@@ -49,19 +77,33 @@ func main() {
 			fmt.Printf("\n================ %s ================\n", name)
 			if err := runners[name](); err != nil {
 				fmt.Fprintf(os.Stderr, "vrbench: %s: %v\n", name, err)
-				os.Exit(1)
+				return 1
 			}
 		}
-		return
+		return 0
 	}
-	run, ok := runners[*exp]
+	runner, ok := runners[*exp]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "vrbench: unknown experiment %q (have: %s, all)\n", *exp, strings.Join(order, ", "))
-		os.Exit(2)
+		return 2
 	}
-	if err := run(); err != nil {
+	if err := runner(); err != nil {
 		fmt.Fprintf(os.Stderr, "vrbench: %v\n", err)
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vrbench: memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // settle live-heap numbers before the snapshot
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "vrbench: memprofile: %v\n", err)
 	}
 }
 
@@ -141,13 +183,13 @@ func shortCorpus(c string) string {
 
 func shortSys(s string) string { return strings.TrimSuffix(s, "like") }
 
-func runFig5(scale int, duration float64, seed uint64, workers, queryWorkers int, sequential bool) error {
+func runFig5(scale int, duration float64, seed uint64, workers, queryWorkers int, sequential, fullDecode bool) error {
 	fmt.Printf("Figure 5: runtime by query, L=%d (model scale)\n", scale)
 	fmt.Println("paper shape: NoScope fastest on Q2(c), supports only Q1/Q2(c);")
 	fmt.Println("composites/VR (Q7-Q10) cost more than micro queries; Q2(c) detector-bound")
 	res, err := core.CompareSystems(core.CompareConfig{
 		Scale: scale, Duration: duration, Seed: seed, Workers: workers,
-		QueryWorkers: queryWorkers, QuerySequential: sequential,
+		QueryWorkers: queryWorkers, QuerySequential: sequential, QueryFullDecode: fullDecode,
 	})
 	if err != nil {
 		return err
@@ -183,13 +225,13 @@ func printComparison(res *core.ComparisonResult) {
 	}
 }
 
-func runFig6(duration float64, seed uint64, workers, queryWorkers int, sequential bool) error {
+func runFig6(duration float64, seed uint64, workers, queryWorkers int, sequential, fullDecode bool) error {
 	fmt.Println("Figure 6: runtime vs scale factor per system")
 	fmt.Println("paper shape: Scanner falls behind as L grows (materialization thrashing);")
 	fmt.Println("Q4 fails on Scanner; LightDB splits Q3/Q4 batches past its 40-video limit")
 	points, err := core.ScaleSweep(core.CompareConfig{
 		Duration: duration, Seed: seed, Workers: workers,
-		QueryWorkers: queryWorkers, QuerySequential: sequential,
+		QueryWorkers: queryWorkers, QuerySequential: sequential, QueryFullDecode: fullDecode,
 		Queries:             []queries.QueryID{queries.Q1, queries.Q2a, queries.Q2c, queries.Q4, queries.Q5},
 		ScannerMemoryBudget: 6 << 20,
 	}, []int{1, 2, 4, 8})
@@ -259,11 +301,11 @@ func runQuality(frames int, seed uint64) error {
 	return nil
 }
 
-func runModes(scale int, duration float64, seed uint64, queryWorkers int, sequential bool) error {
+func runModes(scale int, duration float64, seed uint64, queryWorkers int, sequential, fullDecode bool) error {
 	fmt.Println("§6.4: write vs streaming mode (paper: deltas under 2.5%)")
 	res, err := core.WriteVsStreaming(core.CompareConfig{
 		Scale: scale, Duration: duration, Seed: seed,
-		QueryWorkers: queryWorkers, QuerySequential: sequential,
+		QueryWorkers: queryWorkers, QuerySequential: sequential, QueryFullDecode: fullDecode,
 	}, nil)
 	if err != nil {
 		return err

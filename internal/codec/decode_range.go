@@ -1,0 +1,149 @@
+package codec
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/video"
+)
+
+// This file implements GOP-bounded partial decode: producing frames
+// [first, last) of a sequence while decoding only the access units
+// that govern them. Every keyframe fully resets decoder state (intra
+// reconstruction writes all samples without reading the reference
+// planes), so decoding can seed at the keyframe governing `first` and
+// stop at `last` — frames outside the window are never reconstructed,
+// except the seed run [keyframe, first) a P-frame window depends on.
+// Output frames are byte-identical to the corresponding slice of a
+// full decode.
+
+// KeyframeBefore returns the index of the keyframe governing frame i:
+// the nearest keyframe at or before it. A malformed stream with no
+// keyframe before i returns 0 (the serial decoder then reports the
+// P-frame-before-keyframe error).
+func (e *Encoded) KeyframeBefore(i int) int {
+	if i >= len(e.Frames) {
+		i = len(e.Frames) - 1
+	}
+	for ; i > 0; i-- {
+		if e.Frames[i].Keyframe {
+			return i
+		}
+	}
+	return 0
+}
+
+// RangeCost returns the number of access units that must be decoded to
+// produce frames [first, last): the window length plus the GOP-seed run
+// in front of it. It is the "frames decoded" side of the range layer's
+// frames-decoded vs frames-requested accounting.
+func (e *Encoded) RangeCost(first, last int) int {
+	if last <= first {
+		return 0
+	}
+	return last - e.KeyframeBefore(first)
+}
+
+// DecodeRange decodes frames [first, last) of the access-unit sequence
+// aus, seeding from the governing keyframe. Frames carry their absolute
+// stream indices. An empty window returns an empty video.
+func DecodeRange(cfg Config, aus []EncodedFrame, first, last int) (*video.Video, error) {
+	if first < 0 || last > len(aus) || first > last {
+		return nil, fmt.Errorf("codec: frame range [%d, %d) outside [0, %d]", first, last, len(aus))
+	}
+	dec, err := NewDecoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := cfg.withDefaults()
+	out := video.NewVideo(c.FPS)
+	if first == last {
+		return out, nil
+	}
+	seed := first
+	for seed > 0 && !aus[seed].Keyframe {
+		seed--
+	}
+	for i := seed; i < last; i++ {
+		fr, err := dec.Decode(aus[i].Data)
+		if err != nil {
+			return nil, fmt.Errorf("codec: frame %d: %w", i, err)
+		}
+		if i < first {
+			continue // seed run: decoded for reference state only
+		}
+		out.Append(fr)
+		fr.Index = i
+	}
+	return out, nil
+}
+
+// DecodeRange decodes frames [first, last) of the sequence; see the
+// package-level DecodeRange.
+func (e *Encoded) DecodeRange(first, last int) (*video.Video, error) {
+	return DecodeRange(e.Config, e.Frames, first, last)
+}
+
+// DecodeRangeParallel is DecodeRange with GOP-parallel execution: the
+// keyframe chains covering [first, last) decode concurrently (reusing
+// the chain structure of DecodeParallel) and reassemble in stream
+// order. Output is identical to DecodeRange at every worker count.
+func (e *Encoded) DecodeRangeParallel(workers, first, last int) (*video.Video, error) {
+	if first < 0 || last > len(e.Frames) || first > last {
+		return nil, fmt.Errorf("codec: frame range [%d, %d) outside [0, %d]", first, last, len(e.Frames))
+	}
+	workers = parallel.Normalize(workers)
+	chains := e.gopChains()
+	// Keep only the chains that overlap the window.
+	var covering []int
+	for ci, start := range chains {
+		end := len(e.Frames)
+		if ci+1 < len(chains) {
+			end = chains[ci+1]
+		}
+		if start < last && end > first {
+			covering = append(covering, start)
+		}
+	}
+	if workers <= 1 || len(covering) <= 1 {
+		return e.DecodeRange(first, last)
+	}
+	decoded := make([][]*video.Frame, len(covering))
+	err := parallel.ForEach(workers, len(covering), func(ci int) error {
+		start := covering[ci]
+		end := last
+		if ci+1 < len(covering) && covering[ci+1] < end {
+			end = covering[ci+1]
+		}
+		dec, err := NewDecoder(e.Config)
+		if err != nil {
+			return err
+		}
+		out := make([]*video.Frame, 0, end-start)
+		for i := start; i < end; i++ {
+			fr, err := dec.Decode(e.Frames[i].Data)
+			if err != nil {
+				return fmt.Errorf("codec: frame %d: %w", i, err)
+			}
+			if i < first {
+				continue // seed run of the first covering chain
+			}
+			fr.Index = i
+			out = append(out, fr)
+		}
+		decoded[ci] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := video.NewVideo(e.Config.withDefaults().FPS)
+	for _, chain := range decoded {
+		for _, fr := range chain {
+			idx := fr.Index
+			out.Append(fr)
+			fr.Index = idx
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/video"
+)
+
+func rangeTestEncoded(t *testing.T, frames, gop int) (*Encoded, *video.Video) {
+	t.Helper()
+	src := video.NewVideo(10)
+	for i := 0; i < frames; i++ {
+		f := video.NewFrame(48, 32)
+		for j := range f.Y {
+			f.Y[j] = byte(i*37 + j*5)
+		}
+		for j := range f.U {
+			f.U[j] = byte(i * 11)
+			f.V[j] = byte(255 - i*7)
+		}
+		src.Append(f)
+	}
+	enc, err := EncodeVideo(src, Config{Width: 48, Height: 32, FPS: 10, QP: 20, GOP: gop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := enc.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc, full
+}
+
+func rangeFrameEqual(a, b *video.Frame) bool {
+	return a.W == b.W && a.H == b.H && a.Index == b.Index &&
+		bytes.Equal(a.Y, b.Y) && bytes.Equal(a.U, b.U) && bytes.Equal(a.V, b.V)
+}
+
+// TestDecodeRangeByteIdentical checks every window of a multi-GOP
+// stream against the corresponding slice of a full decode, on both the
+// serial and the GOP-parallel path.
+func TestDecodeRangeByteIdentical(t *testing.T) {
+	enc, full := rangeTestEncoded(t, 13, 4)
+	n := len(enc.Frames)
+	for first := 0; first <= n; first++ {
+		for last := first; last <= n; last++ {
+			for _, workers := range []int{1, 4} {
+				got, err := enc.DecodeRangeParallel(workers, first, last)
+				if err != nil {
+					t.Fatalf("[%d, %d) workers=%d: %v", first, last, workers, err)
+				}
+				if len(got.Frames) != last-first {
+					t.Fatalf("[%d, %d) workers=%d: %d frames", first, last, workers, len(got.Frames))
+				}
+				for i, f := range got.Frames {
+					if !rangeFrameEqual(f, full.Frames[first+i]) {
+						t.Fatalf("[%d, %d) workers=%d: frame %d differs from full decode", first, last, workers, first+i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKeyframeBeforeAndRangeCost(t *testing.T) {
+	enc, _ := rangeTestEncoded(t, 13, 4) // keyframes at 0, 4, 8, 12
+	wantKey := []int{0, 0, 0, 0, 4, 4, 4, 4, 8, 8, 8, 8, 12}
+	for i, want := range wantKey {
+		if got := enc.KeyframeBefore(i); got != want {
+			t.Errorf("KeyframeBefore(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := enc.RangeCost(5, 7); got != 3 { // seeds at 4
+		t.Errorf("RangeCost(5, 7) = %d, want 3", got)
+	}
+	if got := enc.RangeCost(8, 9); got != 1 { // window opens on a keyframe
+		t.Errorf("RangeCost(8, 9) = %d, want 1", got)
+	}
+	if got := enc.RangeCost(3, 3); got != 0 {
+		t.Errorf("RangeCost(3, 3) = %d, want 0", got)
+	}
+}
+
+func TestDecodeRangeBounds(t *testing.T) {
+	enc, _ := rangeTestEncoded(t, 5, 4)
+	for _, r := range [][2]int{{-1, 3}, {0, 6}, {4, 2}} {
+		if _, err := enc.DecodeRange(r[0], r[1]); err == nil {
+			t.Errorf("DecodeRange(%d, %d) succeeded, want error", r[0], r[1])
+		}
+		if _, err := enc.DecodeRangeParallel(4, r[0], r[1]); err == nil {
+			t.Errorf("DecodeRangeParallel(%d, %d) succeeded, want error", r[0], r[1])
+		}
+	}
+	empty, err := enc.DecodeRange(2, 2)
+	if err != nil || len(empty.Frames) != 0 {
+		t.Fatalf("empty window: %v, %d frames", err, len(empty.Frames))
+	}
+}

@@ -15,38 +15,60 @@ func (c *Counter) Add(delta int64) { c.n.Add(delta) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.n.Load() }
 
-// CacheCounters groups the hit/miss/eviction counters a shared cache
-// exports.
+// CacheCounters groups the counters a shared cache exports: lookup
+// hit/miss/eviction counts plus the range-decode accounting pair —
+// FramesRequested is how many frames queries asked for, FramesDecoded
+// how many the cache actually reconstructed to serve them (window
+// frames plus GOP-seed runs; ≤ requested when views overlap, ≥ when
+// windows open mid-GOP).
 type CacheCounters struct {
-	Hits      Counter
-	Misses    Counter
-	Evictions Counter
+	Hits            Counter
+	Misses          Counter
+	Evictions       Counter
+	FramesRequested Counter
+	FramesDecoded   Counter
 }
 
 // Snapshot returns an immutable copy of the current counts.
 func (c *CacheCounters) Snapshot() CacheStats {
 	return CacheStats{
-		Hits:      c.Hits.Value(),
-		Misses:    c.Misses.Value(),
-		Evictions: c.Evictions.Value(),
+		Hits:            c.Hits.Value(),
+		Misses:          c.Misses.Value(),
+		Evictions:       c.Evictions.Value(),
+		FramesRequested: c.FramesRequested.Value(),
+		FramesDecoded:   c.FramesDecoded.Value(),
 	}
 }
 
 // CacheStats is a point-in-time snapshot of CacheCounters.
 type CacheStats struct {
-	Hits      int64
-	Misses    int64
-	Evictions int64
+	Hits            int64
+	Misses          int64
+	Evictions       int64
+	FramesRequested int64
+	FramesDecoded   int64
 }
 
 // Sub returns the per-interval delta s − prev, for reporting one run's
 // cache behavior out of cumulative counters.
 func (s CacheStats) Sub(prev CacheStats) CacheStats {
 	return CacheStats{
-		Hits:      s.Hits - prev.Hits,
-		Misses:    s.Misses - prev.Misses,
-		Evictions: s.Evictions - prev.Evictions,
+		Hits:            s.Hits - prev.Hits,
+		Misses:          s.Misses - prev.Misses,
+		Evictions:       s.Evictions - prev.Evictions,
+		FramesRequested: s.FramesRequested - prev.FramesRequested,
+		FramesDecoded:   s.FramesDecoded - prev.FramesDecoded,
 	}
+}
+
+// DecodeRatio returns frames decoded per frame requested — the range
+// layer's amplification factor (1.0 = perfectly aligned windows) — or 0
+// when nothing was requested.
+func (s CacheStats) DecodeRatio() float64 {
+	if s.FramesRequested == 0 {
+		return 0
+	}
+	return float64(s.FramesDecoded) / float64(s.FramesRequested)
 }
 
 // HitRate returns the fraction of lookups served from the cache, or 0

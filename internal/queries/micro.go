@@ -46,26 +46,9 @@ func RunQ1(v *video.Video, p Params) (*video.Video, error) {
 	if err := (&p).Validate(Q1, widthOf(v), heightOf(v), v.Duration()); err != nil {
 		return nil, err
 	}
-	f1 := int(p.T1 * float64(v.FPS))
-	f2 := int(math.Ceil(p.T2 * float64(v.FPS)))
-	if f2 > len(v.Frames) {
-		f2 = len(v.Frames)
-	}
-	n := f2 - f1
-	if n < 0 {
-		n = 0
-	}
-	frames, _ := parallel.Map(parallel.Default(), n, func(i int) (*video.Frame, error) {
-		return v.Frames[f1+i].Crop(p.X1, p.Y1, p.X2, p.Y2), nil
-	})
-	out := video.NewVideo(v.FPS)
-	for _, f := range frames {
-		out.Append(f)
-	}
-	if len(out.Frames) == 0 {
-		return nil, fmt.Errorf("queries: Q1 temporal range [%g, %g) selects no frames", p.T1, p.T2)
-	}
-	return out, nil
+	f1, f2 := frameSpan(p.T1, p.T2, v.FPS, len(v.Frames))
+	window := &video.Video{FPS: v.FPS, Frames: v.Frames[f1:f2]}
+	return RunQ1On(window, p)
 }
 
 // RunQ2a converts the input to grayscale by dropping chroma: the pixel

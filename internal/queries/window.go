@@ -1,0 +1,63 @@
+package queries
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/parallel"
+	"repro/internal/video"
+)
+
+// FrameWindow reports the temporal frame window [first, last) a query
+// instance touches on an input with the given frame rate and frame
+// count — the plan-level declaration the range-aware decode layer
+// consumes. windowed=false means the query reads the full clip (and
+// first/last cover it); engines must then take the whole-video path.
+//
+// Only the select/crop family (Q1) draws a [t1, t2) window in Table 3;
+// every other benchmark query is defined over the full input.
+func FrameWindow(q QueryID, p Params, fps, frames int) (first, last int, windowed bool) {
+	switch q {
+	case Q1:
+		first, last = frameSpan(p.T1, p.T2, fps, frames)
+		return first, last, true
+	}
+	return 0, frames, false
+}
+
+// frameSpan converts a [t1, t2) second window to frame indices, exactly
+// as RunQ1 sliced a decoded clip: first = ⌊t1·fps⌋, last = ⌈t2·fps⌉,
+// clamped to the clip.
+func frameSpan(t1, t2 float64, fps, frames int) (first, last int) {
+	first = int(t1 * float64(fps))
+	last = int(math.Ceil(t2 * float64(fps)))
+	if last > frames {
+		last = frames
+	}
+	if first > frames {
+		first = frames
+	}
+	if last < first {
+		last = first
+	}
+	return first, last
+}
+
+// RunQ1On applies Q1's spatial crop to an already temporally-windowed
+// video (frames corresponding to the instance's [t1, t2) window, as
+// declared by FrameWindow). Callers validate parameters against the
+// full clip themselves; the output is byte-identical to the
+// corresponding RunQ1 result on the whole input.
+func RunQ1On(v *video.Video, p Params) (*video.Video, error) {
+	frames, _ := parallel.Map(parallel.Default(), len(v.Frames), func(i int) (*video.Frame, error) {
+		return v.Frames[i].Crop(p.X1, p.Y1, p.X2, p.Y2), nil
+	})
+	out := video.NewVideo(v.FPS)
+	for _, f := range frames {
+		out.Append(f)
+	}
+	if len(out.Frames) == 0 {
+		return nil, fmt.Errorf("queries: Q1 temporal range [%g, %g) selects no frames", p.T1, p.T2)
+	}
+	return out, nil
+}

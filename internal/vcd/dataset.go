@@ -40,6 +40,10 @@ type Dataset struct {
 	// staged inputs carry the dataset as their vdbms.DecodedSource so
 	// every engine decode routes through it.
 	decoded *decodedCache
+	// fullDecode forces ranged requests onto the pre-range whole-clip
+	// decode path (decode all, slice afterwards) — the baseline the
+	// equivalence tests and range benchmarks compare against.
+	fullDecode bool
 }
 
 // LoadDataset opens a dataset from a store written by the VCG. The
@@ -112,10 +116,13 @@ func (d *Dataset) Input(cameraID string) (*vdbms.Input, error) {
 
 // configureDecodedCache installs (or disables) the shared decoded-input
 // cache for a run. budget < 0 disables the cache, 0 selects
-// DefaultDecodedCacheBytes. Reconfiguring resets counters.
-func (d *Dataset) configureDecodedCache(budget int64) {
+// DefaultDecodedCacheBytes. fullDecode forces ranged requests onto the
+// whole-clip decode path (the pre-range baseline). Reconfiguring resets
+// counters.
+func (d *Dataset) configureDecodedCache(budget int64, fullDecode bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.fullDecode = fullDecode
 	if budget < 0 {
 		d.decoded = nil
 		return
@@ -123,75 +130,155 @@ func (d *Dataset) configureDecodedCache(budget int64) {
 	d.decoded = newDecodedCache(budget)
 }
 
-func (d *Dataset) decodedCache() *decodedCache {
+func (d *Dataset) decodedCache() (*decodedCache, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.decoded
+	return d.decoded, d.fullDecode
+}
+
+// decodeFull decodes an input's whole payload — the one full-clip
+// decode path behind every source method.
+func decodeFull(in *vdbms.Input) (*video.Video, error) {
+	return vdbms.DecodeAll(in.Encoded)
+}
+
+// fillFor returns the cache fill function for an input: whole-clip
+// requests take the full GOP-parallel decode, partial windows the
+// GOP-bounded range decode.
+func fillFor(in *vdbms.Input) func(lo, hi int) (*video.Video, error) {
+	return func(lo, hi int) (*video.Video, error) {
+		if lo == 0 && hi == len(in.Encoded.Frames) {
+			return decodeFull(in)
+		}
+		return vdbms.DecodeRange(in.Encoded, lo, hi)
+	}
 }
 
 // Decoded implements vdbms.DecodedSource: decode through the shared
 // cache when enabled, directly otherwise.
 func (d *Dataset) Decoded(in *vdbms.Input) (*video.Video, error) {
-	c := d.decodedCache()
+	c, _ := d.decodedCache()
 	if c == nil {
-		return vdbms.DecodeAll(in.Encoded)
+		return decodeFull(in)
 	}
-	return c.acquire(in.Name, func() (*video.Video, error) {
-		return vdbms.DecodeAll(in.Encoded)
-	})
+	return c.acquire(in.Name, 0, len(in.Encoded.Frames), nil, fillFor(in))
+}
+
+// DecodedRange implements vdbms.RangedDecodedSource: serve frames
+// [first, last) of an input from the interval-keyed cache, decoding
+// from the governing keyframe only when no resident window covers the
+// request. In full-decode mode (the pre-range baseline) the window is
+// sliced out of a whole-clip decode instead.
+func (d *Dataset) DecodedRange(in *vdbms.Input, first, last int) (*video.Video, error) {
+	n := len(in.Encoded.Frames)
+	if first == 0 && last == n {
+		return d.Decoded(in)
+	}
+	c, full := d.decodedCache()
+	if full {
+		v, err := d.Decoded(in)
+		if err != nil {
+			return nil, err
+		}
+		return sliceDecoded(v, first, last)
+	}
+	if c == nil {
+		return vdbms.DecodeRange(in.Encoded, first, last)
+	}
+	if first >= last {
+		// Degenerate window: validate bounds without touching the cache.
+		return vdbms.DecodeRange(in.Encoded, first, last)
+	}
+	return c.acquire(in.Name, first, last, in.Encoded.KeyframeBefore, fillFor(in))
 }
 
 // DecodedShared implements vdbms.SharedDecodedSource: decode through
 // the shared cache when one is active, reporting ok=false otherwise so
 // streaming engines keep their own incremental path in sequential mode.
 func (d *Dataset) DecodedShared(in *vdbms.Input) (*video.Video, bool, error) {
-	c := d.decodedCache()
+	c, _ := d.decodedCache()
 	if c == nil {
 		return nil, false, nil
 	}
-	v, err := c.acquire(in.Name, func() (*video.Video, error) {
-		return vdbms.DecodeAll(in.Encoded)
-	})
+	v, err := d.Decoded(in)
+	return v, true, err
+}
+
+// DecodedSharedRange implements vdbms.SharedRangedDecodedSource: the
+// ranged analogue of DecodedShared.
+func (d *Dataset) DecodedSharedRange(in *vdbms.Input, first, last int) (*video.Video, bool, error) {
+	c, _ := d.decodedCache()
+	if c == nil {
+		return nil, false, nil
+	}
+	v, err := d.DecodedRange(in, first, last)
 	return v, true, err
 }
 
 // DecodedIfCached implements vdbms.CachedDecodedSource.
 func (d *Dataset) DecodedIfCached(in *vdbms.Input) (*video.Video, bool) {
-	c := d.decodedCache()
+	c, _ := d.decodedCache()
 	if c == nil {
 		return nil, false
 	}
-	return c.peek(in.Name)
+	return c.peek(in.Name, 0, len(in.Encoded.Frames))
+}
+
+// sliceDecoded views frames [first, last) of a whole-clip decode (the
+// full-decode baseline path).
+func sliceDecoded(v *video.Video, first, last int) (*video.Video, error) {
+	if first < 0 || last > len(v.Frames) || first > last {
+		return nil, fmt.Errorf("vcd: frame range [%d, %d) outside [0, %d]", first, last, len(v.Frames))
+	}
+	return &video.Video{FPS: v.FPS, Frames: v.Frames[first:last]}, nil
 }
 
 // DecodedCacheStats snapshots the shared decoded-input cache counters
 // (zero stats when the cache is disabled).
 func (d *Dataset) DecodedCacheStats() metrics.CacheStats {
-	c := d.decodedCache()
+	c, _ := d.decodedCache()
 	if c == nil {
 		return metrics.CacheStats{}
 	}
 	return c.stats()
 }
 
-// pinInputs pins an instance's inputs in the decoded cache for the span
-// of its execution so concurrent instances sharing an input cannot have
-// it evicted out from under them. Returns the matching unpin.
+// pinInputs pins the frame windows an instance declares on its inputs
+// in the decoded cache for the span of its execution, so concurrent
+// instances sharing (part of) an input cannot have the covering window
+// evicted out from under them. Returns the matching unpin.
 func (d *Dataset) pinInputs(inst *vdbms.QueryInstance) func() {
-	c := d.decodedCache()
+	c, _ := d.decodedCache()
 	if c == nil {
 		return func() {}
 	}
-	names := make([]string, 0, len(inst.Inputs))
+	type pinned struct {
+		name   string
+		lo, hi int
+	}
+	pins := make([]pinned, 0, len(inst.Inputs))
 	for _, in := range inst.Inputs {
-		c.pin(in.Name)
-		names = append(names, in.Name)
+		lo, hi := instanceWindow(inst, in)
+		c.pin(in.Name, lo, hi)
+		pins = append(pins, pinned{in.Name, lo, hi})
 	}
 	return func() {
-		for _, n := range names {
-			c.unpin(n)
+		for _, p := range pins {
+			c.unpin(p.name, p.lo, p.hi)
 		}
 	}
+}
+
+// instanceWindow returns the frame window an instance declares on an
+// input — the plan-level range the decode layer serves. Degenerate
+// windows pin the whole clip (the conservative choice).
+func instanceWindow(inst *vdbms.QueryInstance, in *vdbms.Input) (lo, hi int) {
+	n := len(in.Encoded.Frames)
+	lo, hi, windowed := queries.FrameWindow(inst.Query, inst.Params, in.Encoded.Config.FPS, n)
+	if !windowed || hi <= lo {
+		return 0, n
+	}
+	return lo, hi
 }
 
 // TrafficCameraIDs returns the dataset's traffic camera IDs in stable

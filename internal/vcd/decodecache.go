@@ -12,48 +12,67 @@ import (
 const DefaultDecodedCacheBytes = 256 << 20
 
 // decodedCache is the driver's shared decoded-input cache: decoded
-// videos keyed by input ID, ref-counted (pins) and byte-budgeted with
-// LRU eviction. Fills are single-flight — when concurrent instances
-// need the same input, exactly one decodes it and the rest wait — and
-// every acquire returns a view (fresh frame headers over shared plane
-// storage) so consumers never write to each other's frames.
+// frame windows keyed by (input ID, interval), byte-budgeted with LRU
+// eviction and protected by window-granular ref-counted pins. A lookup
+// hits when any resident window covers the requested interval; a miss
+// decodes the keyframe-aligned request and coalesces it with every
+// resident window it overlaps into one union entry, so an input's
+// windows never fragment into overlapping copies. Fills are
+// single-flight — concurrent requests covered by an in-flight window
+// wait for it instead of decoding — and every acquire returns a view
+// (fresh frame headers over shared plane storage) so consumers never
+// write to each other's frames.
 type decodedCache struct {
 	mu      sync.Mutex
 	budget  int64
 	used    int64
 	tick    int64
-	entries map[string]*decodedEntry
+	entries map[string][]*decodedEntry
+	pins    map[string][]*pinWindow
 
 	counters metrics.CacheCounters
 }
 
-// decodedEntry is one cache slot. A nil done channel means no fill has
-// started (a pin placeholder). Once done is closed, video/err/bytes are
-// immutable: waiters read them after <-done without the lock. A failed
-// fill is never resurrected — a retry replaces the entry.
+// decodedEntry is one resident frame window [lo, hi) of an input. Once
+// done is closed, video/err/bytes are immutable: waiters read them
+// after <-done without the lock. video holds exactly hi−lo frames in
+// stream order (Frame.Index carries absolute indices). A failed fill is
+// never resurrected — a retry creates a fresh entry.
 type decodedEntry struct {
-	name  string
-	done  chan struct{}
-	video *video.Video
-	bytes int64
-	err   error
-	pins  int
-	lru   int64
+	name   string
+	lo, hi int
+	done   chan struct{}
+	video  *video.Video
+	bytes  int64
+	err    error
+	lru    int64
+}
+
+// pinWindow is a ref-counted frame interval referenced by executing
+// instances: resident windows overlapping a pinned interval of their
+// input are never evicted.
+type pinWindow struct {
+	lo, hi int
+	count  int
 }
 
 func newDecodedCache(budget int64) *decodedCache {
 	if budget <= 0 {
 		budget = DefaultDecodedCacheBytes
 	}
-	return &decodedCache{budget: budget, entries: make(map[string]*decodedEntry)}
+	return &decodedCache{
+		budget:  budget,
+		entries: make(map[string][]*decodedEntry),
+		pins:    make(map[string][]*pinWindow),
+	}
 }
+
+func (e *decodedEntry) covers(lo, hi int) bool   { return e.lo <= lo && hi <= e.hi }
+func (e *decodedEntry) overlaps(lo, hi int) bool { return e.lo < hi && lo < e.hi }
 
 // filled reports whether the entry's fill completed successfully.
 // Callers hold the lock.
 func (e *decodedEntry) filled() bool {
-	if e.done == nil {
-		return false
-	}
 	select {
 	case <-e.done:
 		return e.err == nil
@@ -65,9 +84,6 @@ func (e *decodedEntry) filled() bool {
 // failed reports whether the entry's fill completed with an error.
 // Callers hold the lock.
 func (e *decodedEntry) failed() bool {
-	if e.done == nil {
-		return false
-	}
 	select {
 	case <-e.done:
 		return e.err != nil
@@ -76,130 +92,229 @@ func (e *decodedEntry) failed() bool {
 	}
 }
 
-// acquire returns the decoded video for name, filling it via decode
-// exactly once across concurrent callers. The returned video is a
-// per-caller view; its plane storage is shared and must be treated as
-// read-only.
-func (c *decodedCache) acquire(name string, decode func() (*video.Video, error)) (*video.Video, error) {
+// acquire returns frames [lo, hi) of input name (lo < hi), decoding at
+// most once across concurrent callers per window. align maps the window
+// start to its decode seed position — the governing keyframe — so
+// stored windows begin on intra frames and the frames-decoded counter
+// is exact; nil align is the identity (whole-clip fills). decode is
+// called with the aligned window to reconstruct. The returned video is
+// a per-caller view of exactly hi−lo frames; its plane storage is
+// shared and must be treated as read-only.
+func (c *decodedCache) acquire(name string, lo, hi int, align func(int) int, decode func(lo, hi int) (*video.Video, error)) (*video.Video, error) {
+	c.counters.FramesRequested.Add(int64(hi - lo))
 	c.mu.Lock()
 	c.tick++
-	e, ok := c.entries[name]
-	if ok && e.done != nil && !e.failed() {
-		// A fill finished or is in flight: either way this caller skips
-		// a decode.
+	if e := c.coveringLocked(name, lo, hi); e != nil {
+		// A covering fill finished or is in flight: either way this
+		// caller skips a decode.
 		e.lru = c.tick
-		done := e.done
 		c.mu.Unlock()
 		c.counters.Hits.Inc()
-		<-done
+		<-e.done
 		if e.err != nil {
 			return nil, e.err
 		}
-		return viewOf(e.video), nil
+		return viewRange(e.video, lo-e.lo, hi-e.lo), nil
 	}
-	switch {
-	case !ok:
-		e = &decodedEntry{name: name}
-		c.entries[name] = e
-	case e.done != nil:
-		// Previous fill failed: retry on a fresh slot, carrying pins.
-		e = &decodedEntry{name: name, pins: e.pins}
-		c.entries[name] = e
+	// Miss: decode the keyframe-aligned request and coalesce it with
+	// every resident window it overlaps into one union entry. Absorbed
+	// entries leave the map now — concurrent requests they covered
+	// route to the union and wait — and contribute their frames to the
+	// union by pointer, so no pixels are copied or re-decoded.
+	alo := lo
+	if align != nil {
+		alo = align(lo)
 	}
-	e.done = make(chan struct{})
-	e.lru = c.tick
+	ulo, uhi := alo, hi
+	var absorbed []*decodedEntry
+	kept := c.entries[name][:0]
+	for _, e := range c.entries[name] {
+		if e.filled() && e.overlaps(alo, hi) {
+			if e.lo < ulo {
+				ulo = e.lo
+			}
+			if e.hi > uhi {
+				uhi = e.hi
+			}
+			absorbed = append(absorbed, e)
+			c.used -= e.bytes
+			continue
+		}
+		kept = append(kept, e)
+	}
+	e := &decodedEntry{name: name, lo: ulo, hi: uhi, done: make(chan struct{}), lru: c.tick}
+	c.entries[name] = append(kept, e)
 	c.mu.Unlock()
 	c.counters.Misses.Inc()
 
-	v, err := decode()
+	v, err := decode(alo, hi)
+	if err == nil {
+		c.counters.FramesDecoded.Add(int64(hi - alo))
+		v = stitchUnion(v, alo, absorbed, ulo, uhi)
+	}
 	c.mu.Lock()
 	e.video, e.err = v, err
 	if err == nil {
 		e.bytes = videoBytes(v)
 		c.used += e.bytes
 		c.evictLocked(e)
-	} else if e.pins == 0 {
-		// Failed, unpinned fills vanish so a later acquire retries.
-		delete(c.entries, name)
+	} else {
+		// Failed fills vanish so a later acquire retries.
+		c.removeLocked(e)
 	}
 	close(e.done)
 	c.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	return viewOf(v), nil
+	return viewRange(v, lo-ulo, hi-ulo), nil
 }
 
-// peek returns a view of the decoded video only if it is already
-// resident; it never triggers a fill and counts neither hit nor miss
-// (the caller will decode through its own path on a cold cache).
-func (c *decodedCache) peek(name string) (*video.Video, bool) {
+// stitchUnion assembles the union window [ulo, uhi) from the freshly
+// decoded frames (starting at absolute index alo) and the absorbed
+// resident windows, sharing frame storage throughout. Every slot is
+// covered: each absorbed window overlaps the fresh one, so the union
+// has no interior gaps.
+func stitchUnion(fresh *video.Video, alo int, absorbed []*decodedEntry, ulo, uhi int) *video.Video {
+	if ulo == alo && uhi == alo+len(fresh.Frames) {
+		return fresh
+	}
+	frames := make([]*video.Frame, uhi-ulo)
+	for _, e := range absorbed {
+		for i, f := range e.video.Frames {
+			frames[e.lo+i-ulo] = f
+		}
+	}
+	for i, f := range fresh.Frames {
+		frames[alo+i-ulo] = f
+	}
+	return &video.Video{FPS: fresh.FPS, Frames: frames}
+}
+
+// coveringLocked returns an entry covering [lo, hi) whose fill
+// succeeded or is still in flight.
+func (c *decodedCache) coveringLocked(name string, lo, hi int) *decodedEntry {
+	for _, e := range c.entries[name] {
+		if e.covers(lo, hi) && !e.failed() {
+			return e
+		}
+	}
+	return nil
+}
+
+// peek returns a view of frames [lo, hi) only if a resident window
+// already covers them; it never triggers a fill and counts neither hit
+// nor miss (the caller will decode through its own path on a cold
+// cache).
+func (c *decodedCache) peek(name string, lo, hi int) (*video.Video, bool) {
 	c.mu.Lock()
-	e, ok := c.entries[name]
-	if !ok || !e.filled() {
+	var e *decodedEntry
+	for _, cand := range c.entries[name] {
+		if cand.covers(lo, hi) && cand.filled() {
+			e = cand
+			break
+		}
+	}
+	if e == nil {
 		c.mu.Unlock()
 		return nil, false
 	}
 	c.tick++
 	e.lru = c.tick
-	v := e.video
 	c.mu.Unlock()
 	c.counters.Hits.Inc()
-	return viewOf(v), true
+	return viewRange(e.video, lo-e.lo, hi-e.lo), true
 }
 
-// pin marks name as referenced by an executing instance: pinned entries
-// are never evicted, whether or not their fill has happened yet.
-func (c *decodedCache) pin(name string) {
+// pin marks frames [lo, hi) of name as referenced by an executing
+// instance: resident windows overlapping a pinned interval are never
+// evicted, whether or not their fill has happened yet.
+func (c *decodedCache) pin(name string, lo, hi int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[name]
-	if !ok {
-		e = &decodedEntry{name: name}
-		c.entries[name] = e
+	for _, p := range c.pins[name] {
+		if p.lo == lo && p.hi == hi {
+			p.count++
+			return
+		}
 	}
-	e.pins++
+	c.pins[name] = append(c.pins[name], &pinWindow{lo: lo, hi: hi, count: 1})
 }
 
-// unpin releases one pin. Unpinned slots that hold no decoded video
-// (placeholders, failed fills) are dropped; filled entries stay
-// resident for reuse until evicted by budget.
-func (c *decodedCache) unpin(name string) {
+// unpin releases one pin on frames [lo, hi) of name.
+func (c *decodedCache) unpin(name string, lo, hi int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[name]
-	if !ok {
+	wins := c.pins[name]
+	for i, p := range wins {
+		if p.lo != lo || p.hi != hi {
+			continue
+		}
+		p.count--
+		if p.count <= 0 {
+			wins[i] = wins[len(wins)-1]
+			wins = wins[:len(wins)-1]
+			if len(wins) == 0 {
+				delete(c.pins, name)
+			} else {
+				c.pins[name] = wins
+			}
+		}
 		return
 	}
-	if e.pins > 0 {
-		e.pins--
-	}
-	if e.pins == 0 && (e.done == nil || e.failed()) {
-		delete(c.entries, name)
-	}
 }
 
-// evictLocked drops least-recently-used, unpinned, filled entries until
+// pinnedLocked reports whether any pinned interval of the entry's input
+// overlaps its window.
+func (c *decodedCache) pinnedLocked(e *decodedEntry) bool {
+	for _, p := range c.pins[e.name] {
+		if p.lo < e.hi && e.lo < p.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// evictLocked drops least-recently-used, unpinned, filled windows until
 // the cache fits its budget. The just-filled entry keep is exempt so a
-// single oversized input still caches (soft budget: when everything
+// single oversized window still caches (soft budget: when everything
 // else is pinned the cache may transiently overflow).
 func (c *decodedCache) evictLocked(keep *decodedEntry) {
 	for c.used > c.budget {
 		var victim *decodedEntry
-		for _, e := range c.entries {
-			if e == keep || e.pins > 0 || !e.filled() {
-				continue
-			}
-			if victim == nil || e.lru < victim.lru {
-				victim = e
+		for _, list := range c.entries {
+			for _, e := range list {
+				if e == keep || !e.filled() || c.pinnedLocked(e) {
+					continue
+				}
+				if victim == nil || e.lru < victim.lru {
+					victim = e
+				}
 			}
 		}
 		if victim == nil {
 			return
 		}
 		c.used -= victim.bytes
-		delete(c.entries, victim.name)
+		c.removeLocked(victim)
 		c.counters.Evictions.Inc()
+	}
+}
+
+// removeLocked detaches an entry from its input's window list.
+func (c *decodedCache) removeLocked(victim *decodedEntry) {
+	list := c.entries[victim.name]
+	for i, e := range list {
+		if e == victim {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(c.entries, victim.name)
+	} else {
+		c.entries[victim.name] = list
 	}
 }
 
@@ -208,17 +323,20 @@ func (c *decodedCache) stats() metrics.CacheStats {
 	return c.counters.Snapshot()
 }
 
-// viewOf returns a per-consumer view of a cached video: fresh Frame
-// headers (so index stamping by one consumer never races another) over
-// shared, read-only plane storage.
-func viewOf(v *video.Video) *video.Video {
-	out := &video.Video{FPS: v.FPS, Frames: make([]*video.Frame, len(v.Frames))}
-	for i, f := range v.Frames {
-		g := *f
-		out.Frames[i] = &g
+// viewRange returns a per-consumer view of frames [from, to) of a
+// cached video: fresh Frame headers (so index stamping by one consumer
+// never races another) over shared, read-only plane storage.
+func viewRange(v *video.Video, from, to int) *video.Video {
+	out := &video.Video{FPS: v.FPS, Frames: make([]*video.Frame, to-from)}
+	for i := from; i < to; i++ {
+		g := *v.Frames[i]
+		out.Frames[i-from] = &g
 	}
 	return out
 }
+
+// viewOf is a whole-video viewRange.
+func viewOf(v *video.Video) *video.Video { return viewRange(v, 0, len(v.Frames)) }
 
 // videoBytes is the cache accounting size of a decoded video.
 func videoBytes(v *video.Video) int64 {

@@ -22,6 +22,14 @@ func cacheTestVideo(n, w, h int, seed byte) *video.Video {
 	return v
 }
 
+// windowFill serves cache fills by slicing a prebuilt source video, the
+// test stand-in for a range decode.
+func windowFill(src *video.Video) func(lo, hi int) (*video.Video, error) {
+	return func(lo, hi int) (*video.Video, error) {
+		return &video.Video{FPS: src.FPS, Frames: src.Frames[lo:hi]}, nil
+	}
+}
+
 func TestDecodedCacheSingleFlight(t *testing.T) {
 	c := newDecodedCache(1 << 30)
 	var decodes atomic.Int64
@@ -34,7 +42,7 @@ func TestDecodedCacheSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := c.acquire("in", func() (*video.Video, error) {
+			v, err := c.acquire("in", 0, 4, nil, func(lo, hi int) (*video.Video, error) {
 				decodes.Add(1)
 				return src, nil
 			})
@@ -54,6 +62,10 @@ func TestDecodedCacheSingleFlight(t *testing.T) {
 	if st.Hits != callers-1 || st.Misses != 1 {
 		t.Fatalf("stats = %+v, want %d hits / 1 miss", st, callers-1)
 	}
+	if st.FramesRequested != callers*4 || st.FramesDecoded != 4 {
+		t.Fatalf("frames = %d requested / %d decoded, want %d / 4",
+			st.FramesRequested, st.FramesDecoded, callers*4)
+	}
 	for i, v := range results {
 		if len(v.Frames) != 4 {
 			t.Fatalf("caller %d: %d frames, want 4", i, len(v.Frames))
@@ -69,6 +81,98 @@ func TestDecodedCacheSingleFlight(t *testing.T) {
 	}
 }
 
+func TestDecodedCacheWindowHitAndAlignment(t *testing.T) {
+	src := cacheTestVideo(12, 32, 16, 3)
+	c := newDecodedCache(1 << 30)
+	align4 := func(i int) int { return i - i%4 } // GOP-4 keyframe alignment
+
+	v, err := c.acquire("in", 6, 10, align4, windowFill(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Frames) != 4 || &v.Frames[0].Y[0] != &src.Frames[6].Y[0] {
+		t.Fatalf("window view wrong: %d frames", len(v.Frames))
+	}
+	// The stored window is keyframe-aligned [4, 10): requests inside it
+	// hit without decoding, including the seed run frames.
+	if _, err := c.acquire("in", 4, 9, align4, windowFill(src)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if st.FramesRequested != 4+5 || st.FramesDecoded != 6 {
+		t.Fatalf("frames = %d requested / %d decoded, want 9 / 6",
+			st.FramesRequested, st.FramesDecoded)
+	}
+	// A window outside misses again.
+	if _, err := c.acquire("in", 0, 2, align4, windowFill(src)); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.stats(); st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2", st.Misses)
+	}
+}
+
+func TestDecodedCacheWindowCoalescing(t *testing.T) {
+	src := cacheTestVideo(12, 32, 16, 5)
+	c := newDecodedCache(1 << 30)
+	fill := windowFill(src)
+
+	mustAcquire := func(lo, hi int) *video.Video {
+		t.Helper()
+		v, err := c.acquire("in", lo, hi, nil, fill)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v.Frames) != hi-lo {
+			t.Fatalf("[%d, %d): %d frames", lo, hi, len(v.Frames))
+		}
+		for i, f := range v.Frames {
+			if &f.Y[0] != &src.Frames[lo+i].Y[0] {
+				t.Fatalf("[%d, %d): frame %d maps to wrong source frame", lo, hi, i)
+			}
+		}
+		return v
+	}
+
+	mustAcquire(0, 4)
+	mustAcquire(8, 12) // disjoint: two resident windows
+	c.mu.Lock()
+	nwin := len(c.entries["in"])
+	c.mu.Unlock()
+	if nwin != 2 {
+		t.Fatalf("resident windows = %d, want 2", nwin)
+	}
+	// A request overlapping both coalesces everything into one union
+	// window [0, 12) — only the request itself is decoded.
+	mustAcquire(2, 10)
+	c.mu.Lock()
+	nwin = len(c.entries["in"])
+	var lo, hi int
+	if nwin == 1 {
+		lo, hi = c.entries["in"][0].lo, c.entries["in"][0].hi
+	}
+	used := c.used
+	c.mu.Unlock()
+	if nwin != 1 || lo != 0 || hi != 12 {
+		t.Fatalf("after coalesce: %d windows [%d, %d), want 1 window [0, 12)", nwin, lo, hi)
+	}
+	if want := videoBytes(src); used != want {
+		t.Fatalf("used = %d after coalesce, want %d", used, want)
+	}
+	// The union serves any sub-window without further decode.
+	mustAcquire(0, 12)
+	st := c.stats()
+	if st.Misses != 3 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 3 misses / 1 hit", st)
+	}
+	if st.FramesDecoded != 4+4+8 {
+		t.Fatalf("frames decoded = %d, want 16", st.FramesDecoded)
+	}
+}
+
 func TestDecodedCacheLRUEviction(t *testing.T) {
 	one := cacheTestVideo(1, 32, 16, 0) // 32*16*1.5 = 768 bytes per video
 	per := videoBytes(one)
@@ -76,20 +180,20 @@ func TestDecodedCacheLRUEviction(t *testing.T) {
 
 	for i := 0; i < 3; i++ {
 		name := fmt.Sprintf("in%d", i)
-		if _, err := c.acquire(name, func() (*video.Video, error) {
+		if _, err := c.acquire(name, 0, 1, nil, func(lo, hi int) (*video.Video, error) {
 			return cacheTestVideo(1, 32, 16, byte(i)), nil
 		}); err != nil {
 			t.Fatalf("acquire %s: %v", name, err)
 		}
 	}
 	// in0 was least recently used and must be gone.
-	if _, ok := c.peek("in0"); ok {
+	if _, ok := c.peek("in0", 0, 1); ok {
 		t.Fatal("in0 survived eviction")
 	}
-	if _, ok := c.peek("in1"); !ok {
+	if _, ok := c.peek("in1", 0, 1); !ok {
 		t.Fatal("in1 evicted, want resident")
 	}
-	if _, ok := c.peek("in2"); !ok {
+	if _, ok := c.peek("in2", 0, 1); !ok {
 		t.Fatal("in2 evicted, want resident")
 	}
 	st := c.stats()
@@ -101,54 +205,84 @@ func TestDecodedCacheLRUEviction(t *testing.T) {
 	}
 }
 
-func TestDecodedCachePinnedSurvivesEviction(t *testing.T) {
+func TestDecodedCachePinnedWindowSurvivesEviction(t *testing.T) {
 	one := cacheTestVideo(1, 32, 16, 0)
 	per := videoBytes(one)
 	c := newDecodedCache(per) // room for exactly one entry
 
-	c.pin("pinned")
-	if _, err := c.acquire("pinned", func() (*video.Video, error) {
+	c.pin("pinned", 0, 1)
+	if _, err := c.acquire("pinned", 0, 1, nil, func(lo, hi int) (*video.Video, error) {
 		return cacheTestVideo(1, 32, 16, 1), nil
 	}); err != nil {
 		t.Fatal(err)
 	}
-	// Filling a second entry overflows the budget, but the pinned entry
-	// must not be the victim.
-	if _, err := c.acquire("other", func() (*video.Video, error) {
+	// Filling a second entry overflows the budget, but the window
+	// overlapping the pin must not be the victim.
+	if _, err := c.acquire("other", 0, 1, nil, func(lo, hi int) (*video.Video, error) {
 		return cacheTestVideo(1, 32, 16, 2), nil
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.peek("pinned"); !ok {
+	if _, ok := c.peek("pinned", 0, 1); !ok {
 		t.Fatal("pinned entry evicted")
 	}
-	c.unpin("pinned")
+	c.unpin("pinned", 0, 1)
 	// Now a third fill can evict it.
-	if _, err := c.acquire("third", func() (*video.Video, error) {
+	if _, err := c.acquire("third", 0, 1, nil, func(lo, hi int) (*video.Video, error) {
 		return cacheTestVideo(1, 32, 16, 3), nil
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.peek("pinned"); ok {
+	if _, ok := c.peek("pinned", 0, 1); ok {
 		t.Fatal("unpinned entry survived eviction pressure")
+	}
+}
+
+func TestDecodedCachePinProtectsOverlapOnly(t *testing.T) {
+	src := cacheTestVideo(8, 32, 16, 0)
+	per := videoBytes(&video.Video{FPS: 30, Frames: src.Frames[:4]})
+	c := newDecodedCache(per) // room for one 4-frame window
+
+	c.pin("in", 2, 3) // protects any window overlapping frame 2
+	if _, err := c.acquire("in", 0, 4, nil, windowFill(src)); err != nil {
+		t.Fatal(err)
+	}
+	// A disjoint window of the same input overflows the budget; the
+	// pinned-overlap window survives and the new one is kept (soft
+	// budget exempts the just-filled entry).
+	if _, err := c.acquire("in", 4, 8, nil, windowFill(src)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.peek("in", 0, 4); !ok {
+		t.Fatal("pin-overlapping window evicted")
+	}
+	// The disjoint window is unprotected: the next fill evicts it.
+	if _, err := c.acquire("other", 0, 4, nil, windowFill(src)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.peek("in", 4, 8); ok {
+		t.Fatal("non-overlapping window survived eviction pressure")
+	}
+	if _, ok := c.peek("in", 0, 4); !ok {
+		t.Fatal("pin-overlapping window evicted under later pressure")
 	}
 }
 
 func TestDecodedCachePeekNeverFills(t *testing.T) {
 	c := newDecodedCache(1 << 20)
-	if _, ok := c.peek("cold"); ok {
+	if _, ok := c.peek("cold", 0, 1); ok {
 		t.Fatal("peek returned a video for a cold key")
 	}
 	st := c.stats()
 	if st.Hits != 0 || st.Misses != 0 {
 		t.Fatalf("cold peek moved counters: %+v", st)
 	}
-	if _, err := c.acquire("cold", func() (*video.Video, error) {
+	if _, err := c.acquire("cold", 0, 1, nil, func(lo, hi int) (*video.Video, error) {
 		return cacheTestVideo(1, 32, 16, 9), nil
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.peek("cold"); !ok {
+	if _, ok := c.peek("cold", 0, 1); !ok {
 		t.Fatal("peek missed a resident entry")
 	}
 	if st := c.stats(); st.Hits != 1 {
@@ -159,13 +293,13 @@ func TestDecodedCachePeekNeverFills(t *testing.T) {
 func TestDecodedCacheFailedFillRetries(t *testing.T) {
 	c := newDecodedCache(1 << 20)
 	boom := errors.New("decode failed")
-	if _, err := c.acquire("in", func() (*video.Video, error) {
+	if _, err := c.acquire("in", 0, 2, nil, func(lo, hi int) (*video.Video, error) {
 		return nil, boom
 	}); !errors.Is(err, boom) {
 		t.Fatalf("first acquire err = %v, want %v", err, boom)
 	}
 	// The failure is not cached: the next acquire re-runs decode.
-	v, err := c.acquire("in", func() (*video.Video, error) {
+	v, err := c.acquire("in", 0, 2, nil, func(lo, hi int) (*video.Video, error) {
 		return cacheTestVideo(2, 32, 16, 5), nil
 	})
 	if err != nil {
@@ -181,32 +315,32 @@ func TestDecodedCacheFailedFillRetries(t *testing.T) {
 
 func TestDecodedCacheFailedFillRetriesWhilePinned(t *testing.T) {
 	c := newDecodedCache(1 << 20)
-	c.pin("in")
+	c.pin("in", 0, 1)
 	boom := errors.New("decode failed")
-	if _, err := c.acquire("in", func() (*video.Video, error) {
+	if _, err := c.acquire("in", 0, 1, nil, func(lo, hi int) (*video.Video, error) {
 		return nil, boom
 	}); !errors.Is(err, boom) {
 		t.Fatalf("first acquire err = %v, want %v", err, boom)
 	}
-	if _, err := c.acquire("in", func() (*video.Video, error) {
+	if _, err := c.acquire("in", 0, 1, nil, func(lo, hi int) (*video.Video, error) {
 		return cacheTestVideo(1, 32, 16, 5), nil
 	}); err != nil {
 		t.Fatalf("pinned retry acquire: %v", err)
 	}
-	c.unpin("in")
-	if _, ok := c.peek("in"); !ok {
+	c.unpin("in", 0, 1)
+	if _, ok := c.peek("in", 0, 1); !ok {
 		t.Fatal("successful retry not resident")
 	}
 }
 
 func TestDecodedCacheHitRate(t *testing.T) {
 	c := newDecodedCache(1 << 20)
-	fill := func() (*video.Video, error) { return cacheTestVideo(1, 32, 16, 1), nil }
-	if _, err := c.acquire("a", fill); err != nil {
+	fill := func(lo, hi int) (*video.Video, error) { return cacheTestVideo(1, 32, 16, 1), nil }
+	if _, err := c.acquire("a", 0, 1, nil, fill); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := c.acquire("a", fill); err != nil {
+		if _, err := c.acquire("a", 0, 1, nil, fill); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,84 @@
+package vcd
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/queries"
+	"repro/internal/vdbms"
+	"repro/internal/vdbms/lightdblike"
+	"repro/internal/vdbms/noscopelike"
+	"repro/internal/vdbms/scannerlike"
+	"repro/internal/vfs"
+)
+
+// runWindowed executes the time-windowed micro query batch (Q1 is the
+// only benchmark query whose plan declares a frame window) in write mode
+// so every persisted byte is comparable across configurations.
+func runWindowed(t *testing.T, ds *Dataset, sys vdbms.System, opt Options) runOutcome {
+	t.Helper()
+	store := vfs.NewMemory()
+	opt.Queries = []queries.QueryID{queries.Q1}
+	opt.InstancesPerScale = 3
+	opt.Seed = 42
+	opt.Mode = WriteMode
+	opt.ResultStore = store
+	opt.Validate = true
+	report, err := Run(ds, sys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runOutcome{report: report, store: store}
+}
+
+// TestRunRangeDecodeEquivalence is the range-aware decode contract: for
+// time-windowed queries, serving a window by GOP-bounded partial decode
+// must be observably identical — per-instance results, validation
+// verdicts, and persisted result bytes — to the pre-change baseline that
+// decodes whole clips and slices (Options.FullDecode). All three engine
+// families are covered because each reaches the window by a different
+// route: scannerlike ingests ranged tables, lightdblike seeks its
+// incremental decoder to the governing keyframe, and noscopelike decodes
+// the declared range up front.
+func TestRunRangeDecodeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-configuration benchmark run in -short mode")
+	}
+	ds := testDataset(t)
+	engines := []struct {
+		name string
+		mk   func() vdbms.System
+	}{
+		{"scannerlike", func() vdbms.System { return scannerlike.New(scannerlike.Options{}) }},
+		{"lightdblike", func() vdbms.System { return lightdblike.New(lightdblike.Options{}) }},
+		{"noscopelike", func() vdbms.System { return noscopelike.NewDefault() }},
+	}
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			baseline := runWindowed(t, ds, eng.mk(), Options{Workers: 1, FullDecode: true})
+
+			ranged := runWindowed(t, ds, eng.mk(), Options{Workers: 1})
+			compareOutcomes(t, "range/workers=1", baseline, ranged)
+
+			// Every windowed request through the full-decode path costs a
+			// whole clip, so the ranged run can never request more frames.
+			fullSt := baseline.report.DecodedCache
+			rangeSt := ranged.report.DecodedCache
+			if rangeSt.FramesRequested == 0 {
+				t.Error("ranged run requested no frames through the decoded cache")
+			}
+			if rangeSt.FramesRequested > fullSt.FramesRequested {
+				t.Errorf("ranged run requested %d frames, full-decode baseline %d",
+					rangeSt.FramesRequested, fullSt.FramesRequested)
+			}
+
+			wide := runWindowed(t, ds, eng.mk(), Options{Workers: 8})
+			compareOutcomes(t, "range/workers=8", baseline, wide)
+
+			prev := runtime.GOMAXPROCS(1)
+			pinned := runWindowed(t, ds, eng.mk(), Options{Workers: 8})
+			runtime.GOMAXPROCS(prev)
+			compareOutcomes(t, "range/workers=8/GOMAXPROCS=1", baseline, pinned)
+		})
+	}
+}

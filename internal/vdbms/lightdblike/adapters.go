@@ -27,12 +27,11 @@ func (e *Engine) runQ1(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
 	// Express the pixel crop as an angular Select, then map back.
 	sel := pixelRectToAngles(in.Camera(), p.X1, p.Y1, p.X2, p.Y2, cfg.Width, cfg.Height)
 	x1, y1, x2, y2 := anglesToPixelRect(in.Camera(), sel, cfg.Width, cfg.Height)
-	f1 := int(p.T1 * float64(cfg.FPS))
-	f2 := int(math.Ceil(p.T2 * float64(cfg.FPS)))
-	out, err := e.streamMap(in, func(i int, f *video.Frame) (*video.Frame, error) {
-		if i < f1 || i >= f2 {
-			return nil, nil // lazily skipped
-		}
+	// The temporal Select is part of the plan: only the declared frame
+	// window streams through the decoder instead of lazily skipping
+	// frames after decode.
+	f1, f2, _ := queries.FrameWindow(inst.Query, p, cfg.FPS, len(in.Encoded.Frames))
+	out, err := e.streamMapRange(in, f1, f2, func(i int, f *video.Frame) (*video.Frame, error) {
 		return f.Crop(x1, y1, x2, y2), nil
 	})
 	if err != nil {

@@ -11,16 +11,25 @@ import (
 // decodeCache memoizes recently decoded inputs, keyed by content
 // identity (a hash over the encoded payload), with LRU eviction. The
 // cache is what lets repeated inputs (duplicated corpora) skip decode
-// work entirely.
+// work entirely. Entries carry the frame window they hold — with
+// range-aware decode an input may have been only partially decoded, and
+// a partial window must never satisfy a later wider request.
 type decodeCache struct {
 	mu      sync.Mutex
 	cap     int
-	entries map[uint64]*video.Video
+	entries map[uint64]*cacheEntry
 	order   []uint64 // LRU order: oldest first
 }
 
+// cacheEntry holds the decoded frame window [lo, hi) of one input;
+// frames carry their absolute stream indices.
+type cacheEntry struct {
+	v      *video.Video
+	lo, hi int
+}
+
 func newDecodeCache(capacity int) *decodeCache {
-	return &decodeCache{cap: capacity, entries: make(map[uint64]*video.Video)}
+	return &decodeCache{cap: capacity, entries: make(map[uint64]*cacheEntry)}
 }
 
 // key hashes the input's encoded content. The first and last access
@@ -42,25 +51,34 @@ func (c *decodeCache) key(in *vdbms.Input) uint64 {
 	return h.Sum64()
 }
 
-func (c *decodeCache) get(in *vdbms.Input) (*video.Video, bool) {
+// get returns frames [lo, hi) when the cached window covers them. The
+// returned video's frames are shared and read-only.
+func (c *decodeCache) get(in *vdbms.Input, lo, hi int) (*video.Video, bool) {
 	k := c.key(in)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	v, ok := c.entries[k]
-	if ok {
-		c.touch(k)
+	e, ok := c.entries[k]
+	if !ok || e.lo > lo || hi > e.hi {
+		return nil, false
 	}
-	return v, ok
+	c.touch(k)
+	return &video.Video{FPS: e.v.FPS, Frames: e.v.Frames[lo-e.lo : hi-e.lo]}, true
 }
 
-func (c *decodeCache) put(in *vdbms.Input, v *video.Video) {
+// put memoizes the decoded window [lo, hi) of an input. A resident
+// entry is replaced only when the new window covers it, so a narrow
+// decode never shadows a wider one.
+func (c *decodeCache) put(in *vdbms.Input, v *video.Video, lo, hi int) {
 	if c.cap <= 0 {
 		return
 	}
 	k := c.key(in)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.entries[k]; ok {
+	if e, ok := c.entries[k]; ok {
+		if lo <= e.lo && e.hi <= hi {
+			e.v, e.lo, e.hi = v, lo, hi
+		}
 		c.touch(k)
 		return
 	}
@@ -69,7 +87,7 @@ func (c *decodeCache) put(in *vdbms.Input, v *video.Video) {
 		c.order = c.order[1:]
 		delete(c.entries, oldest)
 	}
-	c.entries[k] = v
+	c.entries[k] = &cacheEntry{v: v, lo: lo, hi: hi}
 	c.order = append(c.order, k)
 }
 

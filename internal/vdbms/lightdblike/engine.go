@@ -118,10 +118,28 @@ func (e *Engine) Execute(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
 // decoded inputs are served from the decode cache without touching the
 // codec.
 func (e *Engine) streamMap(in *vdbms.Input, transform func(i int, f *video.Frame) (*video.Frame, error)) (*video.Video, error) {
+	return e.streamMapRange(in, 0, len(in.Encoded.Frames), transform)
+}
+
+// streamMapRange is streamMap restricted to the frame window [lo, hi)
+// the plan declared: frames outside the window are never decoded
+// (except the GOP seed run in front of it). transform receives absolute
+// stream indices.
+func (e *Engine) streamMapRange(in *vdbms.Input, lo, hi int, transform func(i int, f *video.Frame) (*video.Frame, error)) (*video.Video, error) {
+	n := len(in.Encoded.Frames)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if hi < lo {
+		hi = lo
+	}
 	out := video.NewVideo(in.Encoded.Config.FPS)
-	if cached, ok := e.cache.get(in); ok {
+	if cached, ok := e.cache.get(in, lo, hi); ok {
 		for i, f := range cached.Frames {
-			g, err := transform(i, f)
+			g, err := transform(lo+i, f)
 			if err != nil {
 				return nil, err
 			}
@@ -132,17 +150,17 @@ func (e *Engine) streamMap(in *vdbms.Input, transform func(i int, f *video.Frame
 		return out, nil
 	}
 	// When the driver runs with its shared decoded-input cache, use it
-	// as the decode layer: concurrent instances over the same input
+	// as the decode layer: concurrent instances over the same window
 	// decode it exactly once (single-flight) and the cache's byte budget
 	// bounds residency. With no active cache — the paper-faithful
 	// sequential mode — the engine keeps its streaming (memory-flat)
 	// path below and never forces a materialization itself.
-	if shared, ok, err := vdbms.DecodeShared(in); ok || err != nil {
+	if shared, ok, err := vdbms.DecodeSharedRange(in, lo, hi); ok || err != nil {
 		if err != nil {
 			return nil, err
 		}
 		for i, f := range shared.Frames {
-			g, err := transform(i, f)
+			g, err := transform(lo+i, f)
 			if err != nil {
 				return nil, err
 			}
@@ -152,22 +170,36 @@ func (e *Engine) streamMap(in *vdbms.Input, transform func(i int, f *video.Frame
 		}
 		return out, nil
 	}
+	// Streaming fallback: seek to the keyframe governing the window
+	// start, decode the seed run for reference state only, and stop at
+	// the window end — frames past hi are never touched.
 	dec, err := newStreamDecoder(in)
 	if err != nil {
 		return nil, err
 	}
+	seed := 0
+	if lo < hi {
+		seed = in.Encoded.KeyframeBefore(lo)
+	}
+	dec.pos = seed
 	decoded := video.NewVideo(in.Encoded.Config.FPS)
-	for i := 0; ; i++ {
+	for dec.pos < hi {
 		f, ok, err := dec.next()
 		if err != nil {
 			return nil, err
 		}
 		if !ok {
-			e.cache.put(in, decoded)
-			return out, nil
+			break
 		}
+		idx := f.Index
 		decoded.Append(f.Clone())
-		g, err := transform(i, f)
+		// Append stamps window-relative indices; cached frames must keep
+		// their absolute ones (the detector seeds its RNG from them).
+		decoded.Frames[len(decoded.Frames)-1].Index = idx
+		if idx < lo {
+			continue // seed run
+		}
+		g, err := transform(idx, f)
 		if err != nil {
 			return nil, err
 		}
@@ -175,6 +207,8 @@ func (e *Engine) streamMap(in *vdbms.Input, transform func(i int, f *video.Frame
 			out.Append(g)
 		}
 	}
+	e.cache.put(in, decoded, seed, dec.pos)
+	return out, nil
 }
 
 // streamDecoder decodes an input incrementally.

@@ -104,7 +104,7 @@ func TestDecodeCacheKeyedByContent(t *testing.T) {
 	// hit the same cache entry.
 	dup := *in
 	dup.Name = in.Name + "-dup"
-	if _, hit := e.cache.get(in); hit {
+	if _, hit := e.cache.get(in, 0, len(in.Encoded.Frames)); hit {
 		t.Fatal("cache unexpectedly warm")
 	}
 	if err := e.Execute(&vdbms.QueryInstance{
@@ -112,7 +112,7 @@ func TestDecodeCacheKeyedByContent(t *testing.T) {
 	}, vdbmstest.NewCollectSink()); err != nil {
 		t.Fatal(err)
 	}
-	if _, hit := e.cache.get(&dup); !hit {
+	if _, hit := e.cache.get(&dup, 0, len(dup.Encoded.Frames)); !hit {
 		t.Error("content-identical duplicate missed the decode cache")
 	}
 }
@@ -123,10 +123,10 @@ func TestDecodeCacheLRUEviction(t *testing.T) {
 	a, b := fx.Traffic(0), fx.Traffic(1)
 	e.Execute(&vdbms.QueryInstance{Query: queries.Q2a, Inputs: []*vdbms.Input{a}}, vdbmstest.NewCollectSink())
 	e.Execute(&vdbms.QueryInstance{Query: queries.Q2a, Inputs: []*vdbms.Input{b}}, vdbmstest.NewCollectSink())
-	if _, hit := e.cache.get(a); hit {
+	if _, hit := e.cache.get(a, 0, len(a.Encoded.Frames)); hit {
 		t.Error("LRU should have evicted the first input")
 	}
-	if _, hit := e.cache.get(b); !hit {
+	if _, hit := e.cache.get(b, 0, len(b.Encoded.Frames)); !hit {
 		t.Error("most recent input should be cached")
 	}
 }

@@ -16,11 +16,19 @@ import (
 func (e *Engine) runQ1(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
 	in := inst.Inputs[0]
 	p := inst.Params
-	v, err := vdbms.DecodeInput(in)
+	cfg := in.Encoded.Config
+	n := len(in.Encoded.Frames)
+	// Validate against the whole clip's geometry, then decode only the
+	// frame window the plan declares.
+	if err := (&p).Validate(queries.Q1, cfg.Width, cfg.Height, float64(n)/float64(cfg.FPS)); err != nil {
+		return err
+	}
+	f1, f2, _ := queries.FrameWindow(inst.Query, p, cfg.FPS, n)
+	v, err := vdbms.DecodeInputRange(in, f1, f2)
 	if err != nil {
 		return err
 	}
-	out, err := queries.RunQ1(v, p)
+	out, err := queries.RunQ1On(v, p)
 	if err != nil {
 		return err
 	}

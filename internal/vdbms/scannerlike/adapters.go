@@ -8,7 +8,6 @@ package scannerlike
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/alpr"
 	"repro/internal/detect"
@@ -35,19 +34,16 @@ func resizeKernel(f *video.Frame, x1, y1, x2, y2, outW, outH int) *video.Frame {
 func (e *Engine) runQ1(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
 	in := inst.Inputs[0]
 	p := inst.Params
-	t, err := e.loadTable(inst.Query, in)
+	fps := in.Encoded.Config.FPS
+	// The [t1, t2) window is part of the plan: ingest only its frames.
+	f1, f2, _ := queries.FrameWindow(inst.Query, p, fps, len(in.Encoded.Frames))
+	t, err := e.loadTableRange(inst.Query, in, f1, f2)
 	if err != nil {
 		return err
 	}
 	defer t.release()
-	fps := in.Encoded.Config.FPS
-	f1 := int(p.T1 * float64(fps))
-	f2 := int(math.Ceil(p.T2 * float64(fps)))
-	if f2 > t.len() {
-		f2 = t.len()
-	}
 	var selected []*video.Frame
-	for i := f1; i < f2; i++ {
+	for i := 0; i < t.len(); i++ {
 		f, err := t.row(i)
 		if err != nil {
 			return err

@@ -312,22 +312,35 @@ func (e *Engine) mapTable(q queries.QueryID, in *table, kernel func(*video.Frame
 // into spill-and-page-in thrashing) as the benchmark's scale factor
 // grows.
 func (e *Engine) loadTable(q queries.QueryID, in *vdbms.Input) (*table, error) {
+	return e.loadTableRange(q, in, 0, len(in.Encoded.Frames))
+}
+
+// loadTableRange ingests only the frame window [lo, hi) an instance
+// declared up front — Scanner's eager model still materializes the
+// window as a table, but frames outside it are never decoded. Windowed
+// tables get their own ingest-cache slot so a partial ingest can never
+// satisfy a later whole-clip load.
+func (e *Engine) loadTableRange(q queries.QueryID, in *vdbms.Input, lo, hi int) (*table, error) {
+	key := in.Name
+	if lo != 0 || hi != len(in.Encoded.Frames) {
+		key = fmt.Sprintf("%s#%d-%d", in.Name, lo, hi)
+	}
 	e.mu.Lock()
-	if ent, ok := e.ingest[in.Name]; ok {
+	if ent, ok := e.ingest[key]; ok {
 		e.mu.Unlock()
 		<-ent.done
 		return ent.t, ent.err
 	}
 	ent := &ingestEntry{done: make(chan struct{})}
-	e.ingest[in.Name] = ent
+	e.ingest[key] = ent
 	e.mu.Unlock()
 
-	ent.t, ent.err = e.fillTable(q, in)
+	ent.t, ent.err = e.fillTable(q, in, lo, hi)
 	if ent.err != nil {
 		// Failed ingests are not cached: a later instance retries (and
 		// reports the failure under its own query).
 		e.mu.Lock()
-		delete(e.ingest, in.Name)
+		delete(e.ingest, key)
 		e.mu.Unlock()
 	}
 	close(ent.done)
@@ -335,8 +348,8 @@ func (e *Engine) loadTable(q queries.QueryID, in *vdbms.Input) (*table, error) {
 }
 
 // fillTable decodes and materializes one ingest table.
-func (e *Engine) fillTable(q queries.QueryID, in *vdbms.Input) (*table, error) {
-	v, err := vdbms.DecodeInput(in)
+func (e *Engine) fillTable(q queries.QueryID, in *vdbms.Input, lo, hi int) (*table, error) {
+	v, err := vdbms.DecodeInputRange(in, lo, hi)
 	if err != nil {
 		return nil, err
 	}

@@ -67,6 +67,22 @@ type SharedDecodedSource interface {
 	DecodedShared(in *Input) (v *video.Video, ok bool, err error)
 }
 
+// RangedDecodedSource is optionally implemented by sources that can
+// serve a frame window [first, last) of an input without decoding the
+// whole clip — the VCD's interval-keyed decoded cache. The returned
+// video holds exactly last−first frames (stream order, absolute
+// indices); its plane storage is shared and read-only like Decoded's.
+type RangedDecodedSource interface {
+	DecodedRange(in *Input, first, last int) (*video.Video, error)
+}
+
+// SharedRangedDecodedSource is the ranged analogue of
+// SharedDecodedSource: decode a frame window through the shared cache
+// when one is active, ok=false otherwise.
+type SharedRangedDecodedSource interface {
+	DecodedSharedRange(in *Input, first, last int) (v *video.Video, ok bool, err error)
+}
+
 // Camera returns the input's originating camera.
 func (in *Input) Camera() *vcity.Camera { return in.Env.Camera }
 
@@ -199,4 +215,66 @@ func DecodeShared(in *Input) (*video.Video, bool, error) {
 // reassemble in order, byte-identical to serial decode.
 func DecodeAll(enc *codec.Encoded) (*video.Video, error) {
 	return enc.DecodeParallel(parallel.Default())
+}
+
+// DecodeRange decodes frames [first, last) of an encoded payload with
+// GOP-parallel partial decode: only the keyframe chains covering the
+// window run, and frames are byte-identical to the corresponding
+// DecodeAll slice.
+func DecodeRange(enc *codec.Encoded, first, last int) (*video.Video, error) {
+	return enc.DecodeRangeParallel(parallel.Default(), first, last)
+}
+
+// DecodeInputRange decodes the frame window [first, last) of an input,
+// declared up front by the query plan (queries.FrameWindow). Inputs
+// staged with a range-capable source are served from the VCD's
+// interval-keyed decoded cache; a full-clip window takes the existing
+// whole-video path unchanged; otherwise the payload's covering GOPs
+// decode directly.
+func DecodeInputRange(in *Input, first, last int) (*video.Video, error) {
+	if first == 0 && last == len(in.Encoded.Frames) {
+		return DecodeInput(in)
+	}
+	if src, ok := in.Source.(RangedDecodedSource); ok {
+		return src.DecodedRange(in, first, last)
+	}
+	if in.Source != nil {
+		// Full-decode-only source: slice its whole-clip decode.
+		v, err := in.Source.Decoded(in)
+		if err != nil {
+			return nil, err
+		}
+		return sliceVideo(v, first, last)
+	}
+	return DecodeRange(in.Encoded, first, last)
+}
+
+// DecodeSharedRange decodes a frame window through the input source's
+// shared decoded-input cache when one is active. ok=false means no
+// cache is active and the caller should use its own (seek-capable)
+// decode path.
+func DecodeSharedRange(in *Input, first, last int) (*video.Video, bool, error) {
+	if first == 0 && last == len(in.Encoded.Frames) {
+		return DecodeShared(in)
+	}
+	if src, ok := in.Source.(SharedRangedDecodedSource); ok {
+		return src.DecodedSharedRange(in, first, last)
+	}
+	if src, ok := in.Source.(SharedDecodedSource); ok {
+		v, active, err := src.DecodedShared(in)
+		if !active || err != nil {
+			return nil, active, err
+		}
+		v, err = sliceVideo(v, first, last)
+		return v, true, err
+	}
+	return nil, false, nil
+}
+
+// sliceVideo views frames [first, last) of a decoded clip.
+func sliceVideo(v *video.Video, first, last int) (*video.Video, error) {
+	if first < 0 || last > len(v.Frames) || first > last {
+		return nil, fmt.Errorf("vdbms: frame range [%d, %d) outside [0, %d]", first, last, len(v.Frames))
+	}
+	return &video.Video{FPS: v.FPS, Frames: v.Frames[first:last]}, nil
 }

@@ -1,32 +1,40 @@
 #!/bin/sh
-# Bench recipe: run the query-execution tentpole benchmarks (batch
-# serial vs parallel with the shared decode cache, GOP-parallel decode)
-# and record them in BENCH_query.json (name -> ns/op, B/op, extra
-# metrics) so the perf trajectory is tracked from PR to PR.
+# Bench recipe: run the query-execution benchmarks (batch serial vs
+# parallel with the shared decode cache, GOP-parallel decode) into
+# BENCH_query.json, and the range-aware decode benchmarks (short-window
+# batch vs full-clip decode: frames-decoded ratio and wall-clock
+# speedup) into BENCH_range.json, so the perf trajectory is tracked
+# from PR to PR. JSON shape: name -> ns/op, B/op, extra metrics.
 set -eu
 cd "$(dirname "$0")/.."
 
-out=BENCH_query.json
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
+# emit_json converts `go test -bench` output on stdin to a JSON object.
+emit_json() {
+    awk '
+    BEGIN { n = 0; print "{" }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        m = ""
+        for (i = 3; i + 1 <= NF; i += 2) {
+            if (m != "") m = m ", "
+            m = m "\"" $(i + 1) "\": " $i
+        }
+        if (n++) printf ",\n"
+        printf "  \"%s\": {%s}", name, m
+    }
+    END { print "\n}" }
+    '
+}
+
 go test -run '^$' -bench '^BenchmarkRunBatch$' -benchtime 3x -benchmem . >"$tmp"
 go test -run '^$' -bench '^BenchmarkDecodeParallel$' -benchmem ./internal/codec >>"$tmp"
+emit_json <"$tmp" >BENCH_query.json
 
-awk '
-BEGIN { n = 0; print "{" }
-/^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)
-    m = ""
-    for (i = 3; i + 1 <= NF; i += 2) {
-        if (m != "") m = m ", "
-        m = m "\"" $(i + 1) "\": " $i
-    }
-    if (n++) printf ",\n"
-    printf "  \"%s\": {%s}", name, m
-}
-END { print "\n}" }
-' "$tmp" >"$out"
+go test -run '^$' -bench '^BenchmarkDecodeRange$' -benchtime 3x ./internal/codec >"$tmp"
+emit_json <"$tmp" >BENCH_range.json
 
-cat "$out"
+cat BENCH_query.json BENCH_range.json

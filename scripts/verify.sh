@@ -1,11 +1,14 @@
 #!/bin/sh
 # Verify recipe: vet, build, full test suite, then the race detector on
 # the packages with real concurrency (worker pool, parallel generation,
-# row-parallel encoder, concurrent query batches + shared decode cache,
-# frame-parallel operators).
+# row-parallel encoder, concurrent query batches, frame-parallel
+# operators, and the interval-keyed range decode cache — single-flight
+# fills, window coalescing, and pinned-window eviction are all
+# exercised under -race via ./internal/vcd).
 set -eux
 
 go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/parallel ./internal/vcg ./internal/codec ./internal/vcd ./internal/queries
+go test -race -run 'TestDecodedCache|TestRunRangeDecodeEquivalence' ./internal/vcd
