@@ -9,12 +9,14 @@ package visualroad
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/detect"
+	"repro/internal/metrics"
 	"repro/internal/queries"
 	"repro/internal/render"
 	"repro/internal/vcd"
@@ -25,6 +27,17 @@ import (
 	"repro/internal/vfs"
 	"repro/internal/video"
 )
+
+// obsEnabled turns the metrics registry on when the benchmark runs with
+// VR_OBS=1; scripts/bench.sh invokes the hot benchmarks both ways to
+// measure instrumentation overhead for BENCH_obs.json.
+func obsEnabled(b *testing.B) {
+	b.Helper()
+	if os.Getenv("VR_OBS") == "1" {
+		metrics.SetEnabled(true)
+		b.Cleanup(func() { metrics.SetEnabled(false) })
+	}
+}
 
 // benchDataset lazily generates one shared model-scale dataset.
 var benchDataset struct {
@@ -205,6 +218,7 @@ func BenchmarkFigure9(b *testing.B) {
 // On a single-CPU host the speedup is purely avoided work; with more
 // cores the worker pool overlaps the remaining compute as well.
 func BenchmarkRunBatch(b *testing.B) {
+	obsEnabled(b)
 	ds := sharedDataset(b)
 	configs := []struct {
 		name      string

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/detect"
+	"repro/internal/metrics"
 	"repro/internal/queries"
 	"repro/internal/vcd"
 	"repro/internal/vdbms"
@@ -45,7 +46,22 @@ func main() {
 	online := flag.Bool("online", false, "online mode: deliver inputs as live-paced streams (Q1/Q2a/Q2c/Q5)")
 	transport := flag.String("transport", "pipe", "online transport: pipe or rtp")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON (for downstream tooling)")
+	metricsJSON := flag.String("metrics-json", "", "write pipeline telemetry (stage histograms, gauges, cache stats) as JSON to this file")
+	reportFlag := flag.Bool("report", false, "print the stage-breakdown telemetry table after the run")
+	debugAddr := flag.String("debug-addr", "", "serve live telemetry and pprof handlers on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *metricsJSON != "" || *reportFlag || *debugAddr != "" {
+		metrics.SetEnabled(true)
+	}
+	if *debugAddr != "" {
+		addr, closeFn, err := metrics.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vcd: serving telemetry on http://%s/debug/metrics\n", addr)
+		defer closeFn()
+	}
 
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "vcd: -data is required")
@@ -105,6 +121,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *metricsJSON != "" {
+		if err := writeTelemetryArtifact(*metricsJSON, report); err != nil {
+			fatal(err)
+		}
+	}
+	if *reportFlag && report.Telemetry != nil {
+		// The table goes to stderr under -json so the JSON stream stays
+		// machine-parseable.
+		w := os.Stdout
+		if *jsonOut {
+			w = os.Stderr
+		}
+		fmt.Fprintln(w, "\n---- pipeline telemetry ----")
+		report.Telemetry.WriteTable(w)
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -116,6 +147,46 @@ func main() {
 	printReport(report, *validate)
 }
 
+// telemetryArtifact is the -metrics-json schema: the run's telemetry
+// plus each query batch's interval record.
+type telemetryArtifact struct {
+	System       string                        `json:"system"`
+	Scale        int                           `json:"scale"`
+	DecodedCache metrics.CacheTelemetry        `json:"decoded_cache"`
+	Run          *metrics.Telemetry            `json:"run"`
+	Queries      map[string]*metrics.Telemetry `json:"queries"`
+}
+
+// writeTelemetryArtifact serializes the run's telemetry atomically
+// (temp file + rename, so a crash never leaves a truncated artifact).
+func writeTelemetryArtifact(path string, r *vcd.RunReport) error {
+	art := telemetryArtifact{
+		System:       r.System,
+		Scale:        r.Scale,
+		DecodedCache: r.DecodedCache.Report(),
+		Run:          r.Telemetry,
+		Queries:      map[string]*metrics.Telemetry{},
+	}
+	for i := range r.Queries {
+		if qr := &r.Queries[i]; qr.Telemetry != nil {
+			art.Queries[string(qr.Query)] = qr.Telemetry
+		}
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
 // reportJSON is the machine-readable benchmark report: the global
 // election (scale, resolution, mode) plus per-query runtime, throughput,
 // and validation descriptive statistics, as §3.2 requires evaluators to
@@ -125,7 +196,13 @@ type reportJSON struct {
 	Scale     int         `json:"scale"`
 	Mode      string      `json:"mode"`
 	ElapsedMS float64     `json:"elapsed_ms"`
-	Queries   []queryJSON `json:"queries"`
+	// DecodedCache carries the shared decoded-input cache counters with
+	// their derived hit-rate and decode-ratio.
+	DecodedCache metrics.CacheTelemetry `json:"decoded_cache"`
+	// Telemetry is the run's stage-level observability record, present
+	// when metrics are enabled (-metrics-json / -report / -debug-addr).
+	Telemetry *metrics.Telemetry `json:"telemetry,omitempty"`
+	Queries   []queryJSON        `json:"queries"`
 }
 
 type queryJSON struct {
@@ -142,6 +219,9 @@ type queryJSON struct {
 	PSNRMean       float64 `json:"psnr_mean_db"`
 	PSNRMin        float64 `json:"psnr_min_db"`
 	SemanticPct    float64 `json:"semantic_pct"`
+	// Telemetry is the batch's observability record, present when
+	// metrics are enabled.
+	Telemetry *metrics.Telemetry `json:"telemetry,omitempty"`
 }
 
 func summarizeReport(r *vcd.RunReport) reportJSON {
@@ -151,7 +231,9 @@ func summarizeReport(r *vcd.RunReport) reportJSON {
 	}
 	out := reportJSON{
 		System: r.System, Scale: r.Scale, Mode: mode,
-		ElapsedMS: r.Elapsed.Seconds() * 1000,
+		ElapsedMS:    r.Elapsed.Seconds() * 1000,
+		DecodedCache: r.DecodedCache.Report(),
+		Telemetry:    r.Telemetry,
 	}
 	for _, qr := range r.Queries {
 		out.Queries = append(out.Queries, queryJSON{
@@ -168,6 +250,7 @@ func summarizeReport(r *vcd.RunReport) reportJSON {
 			PSNRMean:       qr.Validation.PSNR.Mean,
 			PSNRMin:        qr.Validation.PSNR.Min,
 			SemanticPct:    qr.Validation.SemanticPassRate() * 100,
+			Telemetry:      qr.Telemetry,
 		})
 	}
 	return out

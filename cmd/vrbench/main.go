@@ -11,11 +11,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/queries"
 )
 
@@ -34,36 +33,59 @@ func run() int {
 	queryWorkers := flag.Int("query-workers", 0, "concurrent query instances per batch (0 = one per CPU, 1 = serial); results are identical at any count")
 	sequential := flag.Bool("sequential", false, "paper-faithful execution: one query instance at a time, no shared decode cache (overrides -query-workers)")
 	fullDecode := flag.Bool("full-decode", false, "disable range-aware decode: windowed queries slice whole-clip decodes (the pre-range baseline)")
+	validate := flag.Bool("validate", false, "validate comparison results against the reference implementation (fig5/fig6)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	metricsJSON := flag.String("metrics-json", "", "write pipeline telemetry (stage histograms, gauges, cache stats) as JSON to this file")
+	reportFlag := flag.Bool("report", false, "print the stage-breakdown telemetry table after the experiments")
+	debugAddr := flag.String("debug-addr", "", "serve live telemetry and pprof handlers on this address (e.g. localhost:6060)")
+	traceFile := flag.String("trace", "", "write a Go execution trace to this file (stage spans appear as user regions)")
 	flag.Parse()
 
+	if *metricsJSON != "" || *reportFlag || *debugAddr != "" {
+		metrics.SetEnabled(true)
+	}
+	if *debugAddr != "" {
+		addr, closeFn, err := metrics.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vrbench: debug-addr: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "vrbench: serving telemetry on http://%s/debug/metrics\n", addr)
+		defer func() {
+			if err := closeFn(); err != nil {
+				fmt.Fprintf(os.Stderr, "vrbench: debug-addr: close: %v\n", err)
+			}
+		}()
+	}
+	if *traceFile != "" {
+		stop, err := startTrace(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vrbench: trace: %v\n", err)
+			return 1
+		}
+		defer stop()
+	}
 	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+		stop, err := startCPUProfile(*cpuprofile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vrbench: cpuprofile: %v\n", err)
 			return 1
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "vrbench: cpuprofile: %v\n", err)
-			return 1
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+		defer stop()
 	}
 	if *memprofile != "" {
 		defer writeHeapProfile(*memprofile)
 	}
+	base := metrics.Capture()
 
 	runners := map[string]func() error{
 		"table1":  runTable1,
 		"table2":  runTable2,
 		"table9":  func() error { return runTable9(*videos, *duration, *seed, *workers) },
 		"fig2":    func() error { return runFig2(*scale, *seed) },
-		"fig5":    func() error { return runFig5(*scale, *duration, *seed, *workers, *queryWorkers, *sequential, *fullDecode) },
-		"fig6":    func() error { return runFig6(*duration, *seed, *workers, *queryWorkers, *sequential, *fullDecode) },
+		"fig5":    func() error { return runFig5(*scale, *duration, *seed, *workers, *queryWorkers, *sequential, *fullDecode, *validate) },
+		"fig6":    func() error { return runFig6(*duration, *seed, *workers, *queryWorkers, *sequential, *fullDecode, *validate) },
 		"fig7":    runFig7,
 		"fig8":    func() error { return runFig8(*duration, *seed, *workers) },
 		"fig9":    func() error { return runFig9(*duration, *seed) },
@@ -72,39 +94,42 @@ func run() int {
 	}
 	order := []string{"table1", "table2", "fig2", "table9", "fig5", "fig6", "fig7", "fig8", "fig9", "quality", "modes"}
 
-	if *exp == "all" {
+	code := 0
+	switch {
+	case *exp == "all":
 		for _, name := range order {
 			fmt.Printf("\n================ %s ================\n", name)
 			if err := runners[name](); err != nil {
 				fmt.Fprintf(os.Stderr, "vrbench: %s: %v\n", name, err)
-				return 1
+				code = 1
+				break
 			}
 		}
-		return 0
+	default:
+		runner, ok := runners[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "vrbench: unknown experiment %q (have: %s, all)\n", *exp, strings.Join(order, ", "))
+			return 2
+		}
+		if err := runner(); err != nil {
+			fmt.Fprintf(os.Stderr, "vrbench: %v\n", err)
+			code = 1
+		}
 	}
-	runner, ok := runners[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "vrbench: unknown experiment %q (have: %s, all)\n", *exp, strings.Join(order, ", "))
-		return 2
-	}
-	if err := runner(); err != nil {
-		fmt.Fprintf(os.Stderr, "vrbench: %v\n", err)
-		return 1
-	}
-	return 0
-}
 
-func writeHeapProfile(path string) {
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "vrbench: memprofile: %v\n", err)
-		return
+	if *reportFlag {
+		fmt.Println("\n---- pipeline telemetry ----")
+		metrics.Capture().Sub(base).WriteTable(os.Stdout)
 	}
-	defer f.Close()
-	runtime.GC() // settle live-heap numbers before the snapshot
-	if err := pprof.WriteHeapProfile(f); err != nil {
-		fmt.Fprintf(os.Stderr, "vrbench: memprofile: %v\n", err)
+	if *metricsJSON != "" {
+		if err := writeMetricsJSON(*metricsJSON, base); err != nil {
+			fmt.Fprintf(os.Stderr, "vrbench: metrics-json: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
 	}
+	return code
 }
 
 func runTable1() error {
@@ -183,13 +208,14 @@ func shortCorpus(c string) string {
 
 func shortSys(s string) string { return strings.TrimSuffix(s, "like") }
 
-func runFig5(scale int, duration float64, seed uint64, workers, queryWorkers int, sequential, fullDecode bool) error {
+func runFig5(scale int, duration float64, seed uint64, workers, queryWorkers int, sequential, fullDecode, validate bool) error {
 	fmt.Printf("Figure 5: runtime by query, L=%d (model scale)\n", scale)
 	fmt.Println("paper shape: NoScope fastest on Q2(c), supports only Q1/Q2(c);")
 	fmt.Println("composites/VR (Q7-Q10) cost more than micro queries; Q2(c) detector-bound")
 	res, err := core.CompareSystems(core.CompareConfig{
 		Scale: scale, Duration: duration, Seed: seed, Workers: workers,
 		QueryWorkers: queryWorkers, QuerySequential: sequential, QueryFullDecode: fullDecode,
+		Validate: validate,
 	})
 	if err != nil {
 		return err
@@ -199,6 +225,7 @@ func runFig5(scale int, duration float64, seed uint64, workers, queryWorkers int
 }
 
 func printComparison(res *core.ComparisonResult) {
+	collectTelemetry(res)
 	systems := []string{"scannerlike", "lightdblike", "noscopelike"}
 	fmt.Printf("%-7s %15s %15s %15s\n", "Query", systems[0], systems[1], systems[2])
 	for _, q := range res.Config.Queries {
@@ -225,13 +252,14 @@ func printComparison(res *core.ComparisonResult) {
 	}
 }
 
-func runFig6(duration float64, seed uint64, workers, queryWorkers int, sequential, fullDecode bool) error {
+func runFig6(duration float64, seed uint64, workers, queryWorkers int, sequential, fullDecode, validate bool) error {
 	fmt.Println("Figure 6: runtime vs scale factor per system")
 	fmt.Println("paper shape: Scanner falls behind as L grows (materialization thrashing);")
 	fmt.Println("Q4 fails on Scanner; LightDB splits Q3/Q4 batches past its 40-video limit")
 	points, err := core.ScaleSweep(core.CompareConfig{
 		Duration: duration, Seed: seed, Workers: workers,
 		QueryWorkers: queryWorkers, QuerySequential: sequential, QueryFullDecode: fullDecode,
+		Validate: validate,
 		Queries:             []queries.QueryID{queries.Q1, queries.Q2a, queries.Q2c, queries.Q4, queries.Q5},
 		ScannerMemoryBudget: 6 << 20,
 	}, []int{1, 2, 4, 8})

@@ -2,9 +2,23 @@ package codec
 
 import (
 	"fmt"
+	"os"
 	"testing"
 	"time"
+
+	"repro/internal/metrics"
 )
+
+// obsEnabled turns the metrics registry on when the benchmark runs with
+// VR_OBS=1; scripts/bench.sh invokes the hot benchmarks both ways to
+// measure instrumentation overhead for BENCH_obs.json.
+func obsEnabled(b *testing.B) {
+	b.Helper()
+	if os.Getenv("VR_OBS") == "1" {
+		metrics.SetEnabled(true)
+		b.Cleanup(func() { metrics.SetEnabled(false) })
+	}
+}
 
 // Codec micro-benchmarks: encode/decode throughput by preset and the
 // QP / rate-distortion sweep that underlies Q3's per-region bitrate
@@ -101,6 +115,7 @@ func BenchmarkEncodeParallelME(b *testing.B) {
 // well under 1.5) and, on the window case, speedup (wall-clock of the
 // full-decode batch over the ranged batch).
 func BenchmarkDecodeRange(b *testing.B) {
+	obsEnabled(b)
 	src := gradientVideo(192, 108, 60)
 	enc, err := EncodeVideo(src, Config{QP: 24, GOP: 5})
 	if err != nil {

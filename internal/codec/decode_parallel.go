@@ -3,6 +3,7 @@ package codec
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/video"
 )
@@ -23,7 +24,9 @@ func (e *Encoded) DecodeParallel(workers int) (*video.Video, error) {
 		return e.Decode()
 	}
 	decoded := make([][]*video.Frame, len(chains))
-	err := parallel.ForEach(workers, len(chains), func(ci int) error {
+	err := parallel.ForEachWorker(workers, len(chains), func(worker, ci int) error {
+		sp := metrics.StartSpan(metrics.StageGOPDecode)
+		sp.Worker(worker)
 		dec, err := NewDecoder(e.Config)
 		if err != nil {
 			return err
@@ -39,9 +42,12 @@ func (e *Encoded) DecodeParallel(workers int) (*video.Video, error) {
 			if err != nil {
 				return fmt.Errorf("codec: frame %d: %w", i, err)
 			}
+			sp.Frames(1)
+			sp.Bytes(int64(len(e.Frames[i].Data)))
 			out = append(out, fr)
 		}
 		decoded[ci] = out
+		sp.End()
 		return nil
 	})
 	if err != nil {

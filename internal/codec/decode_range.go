@@ -3,6 +3,7 @@ package codec
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/video"
 )
@@ -64,17 +65,27 @@ func DecodeRange(cfg Config, aus []EncodedFrame, first, last int) (*video.Video,
 	for seed > 0 && !aus[seed].Keyframe {
 		seed--
 	}
+	// One codec.gop span per covering chain, matching the unit the
+	// GOP-parallel range decoder measures.
+	var sp metrics.Span
 	for i := seed; i < last; i++ {
+		if i == seed || aus[i].Keyframe {
+			sp.End()
+			sp = metrics.StartSpan(metrics.StageGOPDecode)
+		}
 		fr, err := dec.Decode(aus[i].Data)
 		if err != nil {
 			return nil, fmt.Errorf("codec: frame %d: %w", i, err)
 		}
+		sp.Frames(1)
+		sp.Bytes(int64(len(aus[i].Data)))
 		if i < first {
 			continue // seed run: decoded for reference state only
 		}
 		out.Append(fr)
 		fr.Index = i
 	}
+	sp.End()
 	return out, nil
 }
 
@@ -109,7 +120,9 @@ func (e *Encoded) DecodeRangeParallel(workers, first, last int) (*video.Video, e
 		return e.DecodeRange(first, last)
 	}
 	decoded := make([][]*video.Frame, len(covering))
-	err := parallel.ForEach(workers, len(covering), func(ci int) error {
+	err := parallel.ForEachWorker(workers, len(covering), func(worker, ci int) error {
+		sp := metrics.StartSpan(metrics.StageGOPDecode)
+		sp.Worker(worker)
 		start := covering[ci]
 		end := last
 		if ci+1 < len(covering) && covering[ci+1] < end {
@@ -125,6 +138,8 @@ func (e *Encoded) DecodeRangeParallel(workers, first, last int) (*video.Video, e
 			if err != nil {
 				return fmt.Errorf("codec: frame %d: %w", i, err)
 			}
+			sp.Frames(1)
+			sp.Bytes(int64(len(e.Frames[i].Data)))
 			if i < first {
 				continue // seed run of the first covering chain
 			}
@@ -132,6 +147,7 @@ func (e *Encoded) DecodeRangeParallel(workers, first, last int) (*video.Video, e
 			out = append(out, fr)
 		}
 		decoded[ci] = out
+		sp.End()
 		return nil
 	})
 	if err != nil {

@@ -8,11 +8,16 @@ import (
 	"os"
 
 	"repro/internal/codec"
+	"repro/internal/metrics"
 )
 
 // Mux writes an encoded video and an optional WebVTT caption payload
 // into a single container stream.
 func Mux(w io.Writer, enc *codec.Encoded, vtt []byte) error {
+	sp := metrics.StartSpan(metrics.StageMux)
+	sp.Frames(len(enc.Frames))
+	sp.Bytes(int64(enc.Size() + len(vtt)))
+	defer sp.End()
 	cw, err := NewWriter(w)
 	if err != nil {
 		return err

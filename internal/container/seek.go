@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/metrics"
 )
 
 // This file exposes the trailing INDX box for random access: mapping a
@@ -65,6 +67,8 @@ func (s Span) Empty() bool { return s.Last <= s.First }
 // fall back to a linear header scan that reconstructs the same entries
 // from the SAMP boxes themselves.
 func ReadIndex(r io.ReadSeeker) (*Index, error) {
+	sp := metrics.StartSpan(metrics.StageSeek)
+	defer sp.End()
 	if _, err := r.Seek(0, io.SeekStart); err != nil {
 		return nil, fmt.Errorf("container: seeking index: %w", err)
 	}
@@ -206,6 +210,10 @@ func ExtractSpan(r io.ReadSeeker, track int, span Span) ([]Sample, error) {
 	if span.Empty() {
 		return nil, nil
 	}
+	sp := metrics.StartSpan(metrics.StageSeek)
+	sp.Frames(span.Last - span.First)
+	sp.Bytes(int64(span.Length))
+	defer sp.End()
 	if _, err := r.Seek(int64(span.Offset), io.SeekStart); err != nil {
 		return nil, fmt.Errorf("container: seeking to span: %w", err)
 	}

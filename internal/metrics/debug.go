@@ -1,0 +1,42 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServeDebug starts the observability listener on addr: expvar-style
+// JSON snapshots of the live telemetry plus the standard pprof
+// handlers, so long benchmark runs can be inspected while they execute.
+// It returns the bound address (useful with ":0") and a closer. The
+// server runs on its own goroutine and serves process-lifetime
+// telemetry; it does not affect measurements beyond the request cost
+// itself.
+//
+//	/debug/metrics — CaptureTelemetry() as indented JSON
+//	/debug/pprof/… — the net/http/pprof suite (profile, heap, trace, …)
+func ServeDebug(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("metrics: debug listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(CaptureTelemetry())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,41 @@
+package metrics
+
+import "sync/atomic"
+
+// Gauge is a concurrency-safe instantaneous value (pool occupancy,
+// resident bytes, in-flight windows). Unlike a Counter it goes both
+// ways.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta and returns the new value.
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
+// Inc adds one and returns the new value.
+func (g *Gauge) Inc() int64 { return g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// MaxGauge tracks the high-water mark of an observed series (peak busy
+// workers, peak cache residency). Observe is a CAS loop that only
+// contends when the maximum actually advances.
+type MaxGauge struct{ v atomic.Int64 }
+
+// Observe folds one observation into the maximum.
+func (m *MaxGauge) Observe(v int64) {
+	for {
+		cur := m.v.Load()
+		if v <= cur || m.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the highest observation so far.
+func (m *MaxGauge) Value() int64 { return m.v.Load() }

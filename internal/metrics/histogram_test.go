@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketBounds(t *testing.T) {
+	// Every value must land in a bucket whose upper edge is >= the value
+	// and within 12.5% of it (the log-linear error bound); linear buckets
+	// are exact.
+	values := []int64{0, 1, 7, 8, 9, 15, 16, 100, 1023, 4096, 1e6, 1e9, 123456789, 1<<62 + 5}
+	for _, ns := range values {
+		idx := bucketOf(ns)
+		up := bucketUpper(idx)
+		if up < ns {
+			t.Errorf("bucketUpper(bucketOf(%d)) = %d, below the value", ns, up)
+		}
+		if ns >= histLinear && idx < histBuckets-1 {
+			if float64(up-ns) > 0.125*float64(ns) {
+				t.Errorf("bucket error for %d: upper %d exceeds 12.5%%", ns, up)
+			}
+		} else if ns < histLinear && up != ns {
+			t.Errorf("linear bucket for %d reports %d", ns, up)
+		}
+	}
+	if got := bucketOf(-5); got != 0 {
+		t.Errorf("bucketOf(-5) = %d, want 0", got)
+	}
+}
+
+func TestHistogramBucketMonotonic(t *testing.T) {
+	// Bucket upper edges must be strictly increasing and round-trip
+	// through bucketOf.
+	prevUp := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		up := bucketUpper(i)
+		if up <= prevUp {
+			t.Fatalf("bucketUpper(%d) = %d, not increasing (prev %d)", i, up, prevUp)
+		}
+		if got := bucketOf(up); got != i {
+			t.Fatalf("bucketOf(bucketUpper(%d)) = %d", i, got)
+		}
+		prevUp = up
+	}
+}
+
+func TestHistogramMergeConcurrent(t *testing.T) {
+	// Two histograms recorded concurrently from many goroutines must
+	// merge to exactly the distribution a single serial histogram sees:
+	// recording is a pair of atomic adds, so no observation may be lost
+	// or double-counted. Run under -race in scripts/verify.sh.
+	const (
+		goroutines = 8
+		perG       = 5000
+	)
+	value := func(g, i int) int64 { return int64(g*perG+i)%100000 + 1 }
+
+	var a, b Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if (g+i)%2 == 0 {
+					a.RecordNS(value(g, i))
+				} else {
+					b.RecordNS(value(g, i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var serial Histogram
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			serial.RecordNS(value(g, i))
+		}
+	}
+
+	merged := a.Snapshot().Merge(b.Snapshot())
+	want := serial.Snapshot()
+	if merged != want {
+		t.Fatalf("merged concurrent histograms differ from serial recording: count %d vs %d, sum %d vs %d",
+			merged.Count(), want.Count(), merged.Sum, want.Sum)
+	}
+	if merged.Count() != goroutines*perG {
+		t.Fatalf("Count() = %d, want %d", merged.Count(), goroutines*perG)
+	}
+}
+
+func TestHistogramSubInterval(t *testing.T) {
+	var h Histogram
+	h.RecordNS(100)
+	h.RecordNS(200)
+	before := h.Snapshot()
+	h.RecordNS(300)
+	h.RecordNS(400)
+	delta := h.Snapshot().Sub(before)
+	if delta.Count() != 2 {
+		t.Fatalf("interval Count() = %d, want 2", delta.Count())
+	}
+	if delta.Sum != 700 {
+		t.Fatalf("interval Sum = %d, want 700", delta.Sum)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.RecordNS(int64(i) * 1000) // 1µs .. 1ms uniform
+	}
+	s := h.Snapshot()
+	check := func(p float64, wantNS int64) {
+		t.Helper()
+		got := s.Quantile(p)
+		if got < wantNS || float64(got) > 1.13*float64(wantNS) {
+			t.Errorf("Quantile(%.2f) = %d, want within [%d, %.0f]", p, got, wantNS, 1.13*float64(wantNS))
+		}
+	}
+	check(0.50, 500*1000)
+	check(0.95, 950*1000)
+	check(0.99, 990*1000)
+	if max := s.Max(); max < 1000*1000 || float64(max) > 1.13*1000*1000 {
+		t.Errorf("Max() = %d, want ~1ms", max)
+	}
+	if mean := s.Mean(); mean < 500*1000 || mean > 501*1000 {
+		t.Errorf("Mean() = %g, want ~500500", mean)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count() != 0 || s.Quantile(0.5) != 0 || s.Max() != 0 || s.Mean() != 0 {
+		t.Fatalf("empty snapshot not zero: %d %d %d %g", s.Count(), s.Quantile(0.5), s.Max(), s.Mean())
+	}
+}
+
+func TestHistogramRecordDuration(t *testing.T) {
+	var h Histogram
+	h.Record(3 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count() != 1 || s.Sum != int64(3*time.Millisecond) {
+		t.Fatalf("Record(3ms): count %d sum %d", s.Count(), s.Sum)
+	}
+}

@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// StageTelemetry is the serialized form of one stage's interval
+// activity: operation count, throughput, and the latency distribution's
+// log-bucket quantiles (upper-edge estimates, ≤ 12.5% high).
+type StageTelemetry struct {
+	Count   int64   `json:"count"`
+	Frames  int64   `json:"frames,omitempty"`
+	Bytes   int64   `json:"bytes,omitempty"`
+	Hits    int64   `json:"cache_hits,omitempty"`
+	Misses  int64   `json:"cache_misses,omitempty"`
+	Workers int64   `json:"workers_seen,omitempty"`
+	TotalMS float64 `json:"total_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+	P50MS   float64 `json:"p50_ms"`
+	P95MS   float64 `json:"p95_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// FramePoolTelemetry reports FramePool recycling over the interval:
+// reuse rate is the fraction of Gets served by a recycled frame rather
+// than a fresh allocation.
+type FramePoolTelemetry struct {
+	Gets      int64   `json:"gets"`
+	Puts      int64   `json:"puts"`
+	Allocs    int64   `json:"allocs"`
+	ReuseRate float64 `json:"reuse_rate"`
+}
+
+// CacheTelemetry is CacheStats plus its derived ratios, the serialized
+// decoded-cache section of a run report.
+type CacheTelemetry struct {
+	Hits            int64   `json:"hits"`
+	Misses          int64   `json:"misses"`
+	Evictions       int64   `json:"evictions"`
+	FramesRequested int64   `json:"frames_requested"`
+	FramesDecoded   int64   `json:"frames_decoded"`
+	HitRate         float64 `json:"hit_rate"`
+	DecodeRatio     float64 `json:"decode_ratio"`
+}
+
+// Report serializes the stats with their derived ratios — the form
+// every JSON artifact embeds (the ratios were previously computed but
+// never serialized anywhere).
+func (s CacheStats) Report() CacheTelemetry {
+	return CacheTelemetry{
+		Hits:            s.Hits,
+		Misses:          s.Misses,
+		Evictions:       s.Evictions,
+		FramesRequested: s.FramesRequested,
+		FramesDecoded:   s.FramesDecoded,
+		HitRate:         s.HitRate(),
+		DecodeRatio:     s.DecodeRatio(),
+	}
+}
+
+// Telemetry is one measured interval's machine-readable observability
+// record: per-stage latency histogram summaries, worker-pool and cache
+// gauges, frame-pool recycling, and the telemetry error channel. It is
+// what -metrics-json serializes and what RunReport carries per run and
+// per query batch.
+type Telemetry struct {
+	Enabled   bool                      `json:"enabled"`
+	WallMS    float64                   `json:"wall_ms,omitempty"`
+	Stages    map[string]StageTelemetry `json:"stages"`
+	Gauges    GaugeSnapshot             `json:"gauges"`
+	FramePool FramePoolTelemetry        `json:"frame_pool"`
+	Cache     CacheTelemetry            `json:"decoded_cache"`
+	Errors    []string                  `json:"errors,omitempty"`
+	ErrorsDropped int64                 `json:"errors_dropped,omitempty"`
+}
+
+// Sub derives the interval telemetry between two captures: stage
+// histograms, counters, frame-pool and cache activity are exact deltas;
+// gauge peaks are process-cumulative high-water marks (taken from the
+// later capture).
+func (s Snapshot) Sub(prev Snapshot) Telemetry {
+	t := Telemetry{
+		Enabled: Enabled(),
+		WallMS:  s.captured.Sub(prev.captured).Seconds() * 1000,
+		Stages:  make(map[string]StageTelemetry),
+		Gauges:  s.gauges,
+	}
+	for i := range s.stages {
+		cur, old := &s.stages[i], &prev.stages[i]
+		lat := cur.lat.Sub(old.lat)
+		n := lat.Count()
+		if n == 0 && cur.frames == old.frames && cur.bytes == old.bytes {
+			continue
+		}
+		t.Stages[Stage(i).String()] = StageTelemetry{
+			Count:   n,
+			Frames:  cur.frames - old.frames,
+			Bytes:   cur.bytes - old.bytes,
+			Hits:    cur.hits - old.hits,
+			Misses:  cur.misses - old.misses,
+			Workers: cur.workers,
+			TotalMS: float64(lat.Sum) / 1e6,
+			MeanMS:  lat.Mean() / 1e6,
+			P50MS:   float64(lat.Quantile(0.50)) / 1e6,
+			P95MS:   float64(lat.Quantile(0.95)) / 1e6,
+			P99MS:   float64(lat.Quantile(0.99)) / 1e6,
+			MaxMS:   float64(lat.Max()) / 1e6,
+		}
+	}
+	t.FramePool = framePoolDelta(s, prev)
+	t.Cache = s.cache.Sub(prev.cache).Report()
+	t.Errors = s.errs
+	t.ErrorsDropped = s.errDropped
+	return t
+}
+
+// framePoolDelta converts the video package's cumulative pool counters
+// into the interval's recycling report.
+func framePoolDelta(s, prev Snapshot) FramePoolTelemetry {
+	cur, old := s.framePool, prev.framePool
+	d := FramePoolTelemetry{
+		Gets:   cur.Gets - old.Gets,
+		Puts:   cur.Puts - old.Puts,
+		Allocs: cur.Allocs - old.Allocs,
+	}
+	if d.Gets > 0 {
+		d.ReuseRate = float64(d.Gets-d.Allocs) / float64(d.Gets)
+	}
+	return d
+}
+
+// CaptureTelemetry returns the process-lifetime telemetry (everything
+// since start) — the live view the -debug-addr listener serves.
+func CaptureTelemetry() Telemetry {
+	return Capture().Sub(Snapshot{})
+}
+
+// Stage returns the named stage's interval record (zero when the stage
+// was idle).
+func (t Telemetry) Stage(s Stage) StageTelemetry {
+	return t.Stages[s.String()]
+}
+
+// WriteTable pretty-prints the stage breakdown — the -report view: one
+// row per active stage in pipeline order, with counts, throughput, and
+// latency quantiles.
+func (t Telemetry) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%-14s %9s %9s %12s %10s %9s %9s %9s %9s\n",
+		"stage", "count", "frames", "bytes", "total", "p50", "p95", "p99", "max")
+	names := make([]string, 0, len(t.Stages))
+	for name := range t.Stages {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return stageOrder(names[i]) < stageOrder(names[j]) })
+	for _, name := range names {
+		st := t.Stages[name]
+		fmt.Fprintf(w, "%-14s %9d %9d %12d %10s %9s %9s %9s %9s\n",
+			name, st.Count, st.Frames, st.Bytes,
+			fmtMS(st.TotalMS), fmtMS(st.P50MS), fmtMS(st.P95MS), fmtMS(st.P99MS), fmtMS(st.MaxMS))
+	}
+	if t.Cache.Hits+t.Cache.Misses > 0 {
+		fmt.Fprintf(w, "decoded cache: %d hits / %d misses (%.0f%% hit rate), %d evictions, decode ratio %.2f\n",
+			t.Cache.Hits, t.Cache.Misses, t.Cache.HitRate*100, t.Cache.Evictions, t.Cache.DecodeRatio)
+	}
+	if t.FramePool.Gets > 0 {
+		fmt.Fprintf(w, "frame pool: %d gets, %d allocs (%.0f%% reuse)\n",
+			t.FramePool.Gets, t.FramePool.Allocs, t.FramePool.ReuseRate*100)
+	}
+	fmt.Fprintf(w, "pools: peak %d busy workers (%d registered); panics: %d\n",
+		t.Gauges.PoolBusyPeak, t.Gauges.PoolWorkersPeak, t.Gauges.PoolPanics)
+	for _, e := range t.Errors {
+		fmt.Fprintf(w, "error: %s\n", e)
+	}
+}
+
+func stageOrder(name string) int {
+	for i := Stage(0); i < numStages; i++ {
+		if i.String() == name {
+			return int(i)
+		}
+	}
+	return int(numStages)
+}
+
+func fmtMS(ms float64) string {
+	return time.Duration(ms * float64(time.Millisecond)).Round(10 * time.Microsecond).String()
+}

@@ -1,0 +1,356 @@
+package metrics
+
+import (
+	"context"
+	"fmt"
+	rtrace "runtime/trace"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/video"
+)
+
+// This file is the pipeline observability layer: named stages, a
+// package-level tracer recording per-stage latency histograms and
+// throughput counters, and value-type spans cheap enough to wrap every
+// pipeline unit of work (a rendered frame, a GOP decode chain, a query
+// instance).
+//
+// Instrumentation is disabled by default; a disabled span is a single
+// atomic load and nothing else — no clock read, no allocation — so the
+// paper-faithful sequential measurement mode is unperturbed (see
+// DESIGN.md §5.7 and the zero-allocation test). All recording sinks are
+// atomics, so aggregation is index-stable under concurrency: any
+// interleaving of the same spans yields the same counts and buckets.
+
+// Stage identifies one instrumented pipeline stage.
+type Stage uint8
+
+// The instrumented stages, in pipeline order.
+const (
+	// StageRender is one VCG frame render.
+	StageRender Stage = iota
+	// StageEncode is one VCG frame encode.
+	StageEncode
+	// StageMux is one container mux of a finished camera clip.
+	StageMux
+	// StageSeek is one container index read or span extraction.
+	StageSeek
+	// StageDecode is one decoded-input request at the engine/driver
+	// boundary (cache hits included, so request counts are invariant
+	// across execution modes).
+	StageDecode
+	// StageGOPDecode is one GOP chain (or serial clip) reconstruction
+	// inside the codec — the actual decode work behind StageDecode.
+	StageGOPDecode
+	// StageExecute is one query-instance execution.
+	StageExecute
+	// StageValidate is one instance validation.
+	StageValidate
+	// StageResultEncode is one result-video encode+mux inside the
+	// measured execution window.
+	StageResultEncode
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"vcg.render",
+	"vcg.encode",
+	"container.mux",
+	"container.seek",
+	"decode",
+	"codec.gop",
+	"execute",
+	"validate",
+	"result.encode",
+}
+
+// String returns the stage's telemetry key.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage(%d)", uint8(s))
+}
+
+// stageStats is the per-stage recording sink.
+type stageStats struct {
+	lat     Histogram
+	frames  Counter
+	bytes   Counter
+	hits    Counter // cache-served span outcomes
+	misses  Counter // decode-served span outcomes
+	workers MaxGauge // 1 + highest worker id observed
+}
+
+// maxErrors bounds the telemetry error channel; later errors are
+// counted but not retained.
+const maxErrors = 16
+
+// registry is the process-wide recording state. One registry (not one
+// per run) keeps instrumentation reachable from every layer without
+// plumbing; per-run views are interval deltas (Capture / Snapshot.Sub),
+// which are exact because every sink is a monotonic counter or a fixed
+// bucket array.
+var reg struct {
+	enabled atomic.Bool
+	stages  [numStages]stageStats
+
+	// Worker-pool gauges (fed by internal/parallel).
+	poolActive      Gauge    // pools currently running
+	poolBusy        Gauge    // workers currently executing an item
+	poolBusyPeak    MaxGauge // high-water mark of poolBusy
+	poolWorkers     Gauge    // total size of currently active pools
+	poolWorkersPeak MaxGauge
+	poolPanics      Counter
+
+	// Decode-layer gauges (fed by the VCD's decoded-input cache).
+	cacheResident     Gauge
+	cacheResidentPeak MaxGauge
+	inflightDecodes   Gauge
+	inflightPeak      MaxGauge
+	cache             CacheCounters // process-wide mirror of per-run cache counters
+
+	errMu     sync.Mutex
+	errs      []string
+	errDropped int64
+}
+
+// SetEnabled switches span recording on or off. Gauges and counters
+// driven by existing subsystems keep updating either way (they predate
+// the tracer); spans — the only per-unit-of-work clock reads — are
+// gated here.
+func SetEnabled(on bool) { reg.enabled.Store(on) }
+
+// Enabled reports whether span recording is on.
+func Enabled() bool { return reg.enabled.Load() }
+
+// Span measures one unit of work in a stage. The zero Span (returned
+// when instrumentation is disabled) is inert: every method is a no-op.
+// Spans are values; start one with StartSpan, optionally attach frame/
+// byte/worker/cache attributes, then End it exactly once.
+type Span struct {
+	start  time.Time
+	region *rtrace.Region
+	frames int64
+	bytes  int64
+	worker int32
+	stage  Stage
+	active bool
+	hit    int8 // 0 unset, 1 hit, 2 miss
+}
+
+// background avoids a context allocation per span when runtime tracing
+// is on.
+var background = context.Background()
+
+// StartSpan opens a span in the given stage. When Go execution tracing
+// is active (runtime/trace.Start), the span also emits a user region,
+// so `go tool trace` shows the pipeline's real schedule.
+func StartSpan(stage Stage) Span {
+	if !reg.enabled.Load() {
+		return Span{}
+	}
+	sp := Span{stage: stage, active: true, worker: -1, start: time.Now()}
+	if rtrace.IsEnabled() {
+		sp.region = rtrace.StartRegion(background, stageNames[stage])
+	}
+	return sp
+}
+
+// Frames adds processed frames to the span.
+func (sp *Span) Frames(n int) {
+	if sp.active {
+		sp.frames += int64(n)
+	}
+}
+
+// Bytes adds processed bytes to the span.
+func (sp *Span) Bytes(n int64) {
+	if sp.active {
+		sp.bytes += n
+	}
+}
+
+// Worker tags the span with the pool worker index executing it.
+func (sp *Span) Worker(w int) {
+	if sp.active && w >= 0 {
+		sp.worker = int32(w)
+	}
+}
+
+// Cache records whether the span's work was served from a cache (hit)
+// or had to be produced (miss).
+func (sp *Span) Cache(hit bool) {
+	if !sp.active {
+		return
+	}
+	if hit {
+		sp.hit = 1
+	} else {
+		sp.hit = 2
+	}
+}
+
+// End closes the span, recording its latency and attributes. A span
+// Ends at most once; Ending the zero span is a no-op.
+func (sp *Span) End() {
+	if !sp.active {
+		return
+	}
+	sp.active = false
+	if sp.region != nil {
+		sp.region.End()
+	}
+	st := &reg.stages[sp.stage]
+	st.lat.Record(time.Since(sp.start))
+	if sp.frames != 0 {
+		st.frames.Add(sp.frames)
+	}
+	if sp.bytes != 0 {
+		st.bytes.Add(sp.bytes)
+	}
+	if sp.worker >= 0 {
+		st.workers.Observe(int64(sp.worker) + 1)
+	}
+	switch sp.hit {
+	case 1:
+		st.hits.Inc()
+	case 2:
+		st.misses.Inc()
+	}
+}
+
+// RecordError appends an error to the telemetry error channel — the
+// bounded per-process log surfaced in Telemetry.Errors (worker panics
+// with stack traces land here).
+func RecordError(origin string, err error) {
+	if err == nil {
+		return
+	}
+	reg.errMu.Lock()
+	if len(reg.errs) < maxErrors {
+		reg.errs = append(reg.errs, origin+": "+err.Error())
+	} else {
+		reg.errDropped++
+	}
+	reg.errMu.Unlock()
+}
+
+// Pool gauge hooks, called by internal/parallel (which cannot be
+// imported from here).
+
+// PoolStarted records a worker pool of the given size going active.
+func PoolStarted(workers int) {
+	reg.poolActive.Inc()
+	reg.poolWorkersPeak.Observe(reg.poolWorkers.Add(int64(workers)))
+}
+
+// PoolFinished records the pool leaving.
+func PoolFinished(workers int) {
+	reg.poolActive.Dec()
+	reg.poolWorkers.Add(int64(-workers))
+}
+
+// WorkerBusy records one pool worker starting an item.
+func WorkerBusy() { reg.poolBusyPeak.Observe(reg.poolBusy.Inc()) }
+
+// WorkerIdle records the worker finishing the item.
+func WorkerIdle() { reg.poolBusy.Dec() }
+
+// PoolPanicked counts one recovered worker panic.
+func PoolPanicked() { reg.poolPanics.Inc() }
+
+// Decode-layer gauge hooks, called by the VCD's decoded-input cache.
+
+// CacheResident records the cache's current resident byte count.
+func CacheResident(bytes int64) {
+	reg.cacheResident.Set(bytes)
+	reg.cacheResidentPeak.Observe(bytes)
+}
+
+// DecodeInflight moves the in-flight decode-window gauge by delta
+// (+1 when a fill starts, −1 when it lands).
+func DecodeInflight(delta int64) {
+	reg.inflightPeak.Observe(reg.inflightDecodes.Add(delta))
+}
+
+// GlobalCacheCounters returns the process-wide mirror of the decoded-
+// input cache counters, updated alongside each cache's own so live
+// snapshots (the -debug-addr listener) see cache behavior without a
+// handle on the current run.
+func GlobalCacheCounters() *CacheCounters { return &reg.cache }
+
+// Snapshot is a point-in-time copy of every recording sink, the unit
+// per-run telemetry deltas are computed from.
+type Snapshot struct {
+	captured   time.Time
+	stages     [numStages]stageSnapshot
+	gauges     GaugeSnapshot
+	cache      CacheStats
+	framePool  video.PoolCounters
+	errs       []string
+	errDropped int64
+}
+
+type stageSnapshot struct {
+	lat          HistogramSnapshot
+	frames, bytes int64
+	hits, misses  int64
+	workers       int64
+}
+
+// GaugeSnapshot is the instantaneous and high-water gauge state. Peaks
+// are process-cumulative (a high-water mark has no exact interval
+// delta).
+type GaugeSnapshot struct {
+	PoolActive        int64 `json:"pool_active"`
+	PoolBusy          int64 `json:"pool_busy"`
+	PoolBusyPeak      int64 `json:"pool_busy_peak"`
+	PoolWorkers       int64 `json:"pool_workers"`
+	PoolWorkersPeak   int64 `json:"pool_workers_peak"`
+	PoolPanics        int64 `json:"pool_panics"`
+	CacheResident     int64 `json:"cache_resident_bytes"`
+	CacheResidentPeak int64 `json:"cache_resident_peak_bytes"`
+	InflightDecodes   int64 `json:"inflight_decode_windows"`
+	InflightPeak      int64 `json:"inflight_decode_windows_peak"`
+}
+
+// Capture snapshots every sink. Two Captures bracket a measured region;
+// their Sub is that region's telemetry.
+func Capture() Snapshot {
+	var s Snapshot
+	s.captured = time.Now()
+	for i := range reg.stages {
+		st := &reg.stages[i]
+		s.stages[i] = stageSnapshot{
+			lat:     st.lat.Snapshot(),
+			frames:  st.frames.Value(),
+			bytes:   st.bytes.Value(),
+			hits:    st.hits.Value(),
+			misses:  st.misses.Value(),
+			workers: st.workers.Value(),
+		}
+	}
+	s.gauges = GaugeSnapshot{
+		PoolActive:        reg.poolActive.Value(),
+		PoolBusy:          reg.poolBusy.Value(),
+		PoolBusyPeak:      reg.poolBusyPeak.Value(),
+		PoolWorkers:       reg.poolWorkers.Value(),
+		PoolWorkersPeak:   reg.poolWorkersPeak.Value(),
+		PoolPanics:        reg.poolPanics.Value(),
+		CacheResident:     reg.cacheResident.Value(),
+		CacheResidentPeak: reg.cacheResidentPeak.Value(),
+		InflightDecodes:   reg.inflightDecodes.Value(),
+		InflightPeak:      reg.inflightPeak.Value(),
+	}
+	s.cache = reg.cache.Snapshot()
+	s.framePool = video.PoolCountersSnapshot()
+	reg.errMu.Lock()
+	s.errs = append([]string(nil), reg.errs...)
+	s.errDropped = reg.errDropped
+	reg.errMu.Unlock()
+	return s
+}

@@ -1,0 +1,236 @@
+package metrics
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withMetrics enables span recording for one test and restores the
+// disabled default afterwards (the registry is process-global).
+func withMetrics(t *testing.T) {
+	t.Helper()
+	SetEnabled(true)
+	t.Cleanup(func() { SetEnabled(false) })
+}
+
+func TestSpanDisabledIsFree(t *testing.T) {
+	SetEnabled(false)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := StartSpan(StageDecode)
+		sp.Frames(10)
+		sp.Bytes(1 << 20)
+		sp.Worker(3)
+		sp.Cache(true)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+func TestSpanEnabledZeroAlloc(t *testing.T) {
+	withMetrics(t)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := StartSpan(StageDecode)
+		sp.Frames(10)
+		sp.Bytes(1 << 20)
+		sp.Worker(3)
+		sp.Cache(false)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled span allocates %.1f objects per op, want 0 on the hot path", allocs)
+	}
+}
+
+func TestSpanRecordsStageActivity(t *testing.T) {
+	withMetrics(t)
+	base := Capture()
+
+	sp := StartSpan(StageExecute)
+	sp.Frames(24)
+	sp.Bytes(4096)
+	sp.Worker(5)
+	time.Sleep(time.Millisecond)
+	sp.End()
+
+	hit := StartSpan(StageExecute)
+	hit.Cache(true)
+	hit.End()
+
+	tele := Capture().Sub(base)
+	st, ok := tele.Stages[StageExecute.String()]
+	if !ok {
+		t.Fatalf("stage %q missing from telemetry: %v", StageExecute, tele.Stages)
+	}
+	if st.Count != 2 {
+		t.Errorf("Count = %d, want 2", st.Count)
+	}
+	if st.Frames != 24 || st.Bytes != 4096 {
+		t.Errorf("Frames/Bytes = %d/%d, want 24/4096", st.Frames, st.Bytes)
+	}
+	if st.Hits != 1 {
+		t.Errorf("Hits = %d, want 1", st.Hits)
+	}
+	if st.Workers < 6 {
+		t.Errorf("Workers = %d, want >= 6 (worker id 5 observed)", st.Workers)
+	}
+	if st.P50MS <= 0 || st.P95MS <= 0 || st.P99MS <= 0 {
+		t.Errorf("quantiles not positive: p50=%g p95=%g p99=%g", st.P50MS, st.P95MS, st.P99MS)
+	}
+	if st.MaxMS < 1.0 {
+		t.Errorf("MaxMS = %g, want >= 1 (slept 1ms)", st.MaxMS)
+	}
+}
+
+func TestSpanDisabledRecordsNothing(t *testing.T) {
+	SetEnabled(false)
+	base := Capture()
+	sp := StartSpan(StageRender)
+	sp.Frames(1)
+	sp.End()
+	tele := Capture().Sub(base)
+	if st := tele.Stages[StageRender.String()]; st.Count != 0 || st.Frames != 0 {
+		t.Fatalf("disabled span recorded activity: %+v", st)
+	}
+}
+
+func TestSpanEndsAtMostOnce(t *testing.T) {
+	withMetrics(t)
+	base := Capture()
+	sp := StartSpan(StageMux)
+	sp.End()
+	sp.End() // second End must be a no-op
+	tele := Capture().Sub(base)
+	if st := tele.Stages[StageMux.String()]; st.Count != 1 {
+		t.Fatalf("double End recorded %d observations, want 1", st.Count)
+	}
+}
+
+func TestSpanConcurrentAggregation(t *testing.T) {
+	withMetrics(t)
+	base := Capture()
+	const goroutines, per = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sp := StartSpan(StageSeek)
+				sp.Frames(1)
+				sp.Worker(g)
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := Capture().Sub(base).Stages[StageSeek.String()]
+	if st.Count != goroutines*per {
+		t.Fatalf("Count = %d, want %d (atomic aggregation must be lossless)", st.Count, goroutines*per)
+	}
+	if st.Frames != goroutines*per {
+		t.Fatalf("Frames = %d, want %d", st.Frames, goroutines*per)
+	}
+}
+
+func TestRecordErrorBounded(t *testing.T) {
+	base := Capture()
+	for i := 0; i < maxErrors+10; i++ {
+		RecordError("test", errors.New("boom"))
+	}
+	s := Capture()
+	if len(s.errs) > maxErrors {
+		t.Fatalf("error channel grew to %d, cap is %d", len(s.errs), maxErrors)
+	}
+	if got := s.errDropped - base.errDropped; got < 10 {
+		t.Fatalf("dropped counter advanced by %d, want >= 10", got)
+	}
+	found := false
+	for _, e := range s.errs {
+		if strings.Contains(e, "test: boom") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("recorded error missing from snapshot: %v", s.errs)
+	}
+	RecordError("test", nil) // nil must be ignored
+}
+
+func TestPoolGauges(t *testing.T) {
+	base := Capture()
+	PoolStarted(4)
+	WorkerBusy()
+	WorkerBusy()
+	mid := Capture()
+	WorkerIdle()
+	WorkerIdle()
+	PoolFinished(4)
+	end := Capture()
+
+	if mid.gauges.PoolActive != base.gauges.PoolActive+1 {
+		t.Errorf("PoolActive = %d, want %d", mid.gauges.PoolActive, base.gauges.PoolActive+1)
+	}
+	if mid.gauges.PoolWorkers != base.gauges.PoolWorkers+4 {
+		t.Errorf("PoolWorkers = %d, want %d", mid.gauges.PoolWorkers, base.gauges.PoolWorkers+4)
+	}
+	if mid.gauges.PoolBusy != base.gauges.PoolBusy+2 {
+		t.Errorf("PoolBusy = %d, want %d", mid.gauges.PoolBusy, base.gauges.PoolBusy+2)
+	}
+	if mid.gauges.PoolBusyPeak < 2 {
+		t.Errorf("PoolBusyPeak = %d, want >= 2", mid.gauges.PoolBusyPeak)
+	}
+	if end.gauges.PoolActive != base.gauges.PoolActive || end.gauges.PoolWorkers != base.gauges.PoolWorkers {
+		t.Errorf("pool gauges did not return to baseline: %+v", end.gauges)
+	}
+}
+
+func TestCacheGauges(t *testing.T) {
+	DecodeInflight(1)
+	mid := Capture()
+	DecodeInflight(-1)
+	CacheResident(123456)
+	end := Capture()
+	if mid.gauges.InflightDecodes < 1 {
+		t.Errorf("InflightDecodes = %d, want >= 1", mid.gauges.InflightDecodes)
+	}
+	if end.gauges.CacheResident != 123456 {
+		t.Errorf("CacheResident = %d, want 123456", end.gauges.CacheResident)
+	}
+	if end.gauges.CacheResidentPeak < 123456 {
+		t.Errorf("CacheResidentPeak = %d, want >= 123456", end.gauges.CacheResidentPeak)
+	}
+	CacheResident(0)
+}
+
+func TestTelemetryWriteTable(t *testing.T) {
+	withMetrics(t)
+	base := Capture()
+	sp := StartSpan(StageDecode)
+	sp.Frames(7)
+	sp.End()
+	var sb strings.Builder
+	Capture().Sub(base).WriteTable(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "decode") {
+		t.Fatalf("table missing decode stage:\n%s", out)
+	}
+	if !strings.Contains(out, "stage") || !strings.Contains(out, "p95") {
+		t.Fatalf("table missing header:\n%s", out)
+	}
+}
+
+func TestCacheStatsReportRatios(t *testing.T) {
+	s := CacheStats{Hits: 3, Misses: 1, FramesRequested: 100, FramesDecoded: 25}
+	r := s.Report()
+	if r.HitRate != 0.75 {
+		t.Errorf("HitRate = %g, want 0.75", r.HitRate)
+	}
+	if r.DecodeRatio != 0.25 {
+		t.Errorf("DecodeRatio = %g, want 0.25", r.DecodeRatio)
+	}
+}

@@ -7,13 +7,24 @@
 // identified by index and outputs land in index order — so callers that
 // compute pure functions per item produce identical results at any
 // worker count. Only scheduling (and therefore wall-clock time) varies.
+//
+// Pools feed the observability layer: every pool reports its size and
+// per-item busy/idle transitions to the metrics worker gauges, and a
+// panic inside a worker is captured — stack trace included — as a
+// *PanicError, recorded on the telemetry error channel, and returned
+// like any other item error instead of killing the process with the
+// stack already unwound.
 package parallel
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/metrics"
 )
 
 // Default returns the default worker count for this process: the number
@@ -43,24 +54,62 @@ func Normalize(workers int) int {
 	return workers
 }
 
+// PanicError is a worker panic converted into an error: the recovered
+// value plus the stack trace of the panicking goroutine, captured at
+// recovery so the failure site survives the unwind.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error summarizes the panic; the full stack is in Stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", e.Value, e.Stack)
+}
+
+// call invokes fn(i), converting a panic into a *PanicError and logging
+// it on the telemetry error channel.
+func call(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe := &PanicError{Value: r, Stack: debug.Stack()}
+			metrics.PoolPanicked()
+			metrics.RecordError("parallel", pe)
+			err = pe
+		}
+	}()
+	return fn(i)
+}
+
 // ForEach invokes fn(i) for every i in [0, n) on at most workers
 // goroutines and returns the first error encountered (remaining items
 // are skipped once an error occurs, but in-flight items run to
 // completion). workers <= 1 degenerates to a plain loop on the calling
 // goroutine. Indices are claimed dynamically, so uneven per-item cost
-// balances across the pool.
+// balances across the pool. A panicking item surfaces as a *PanicError.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachWorker(workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the executing worker's index exposed to
+// fn — the hook instrumented callers use to tag spans with the worker
+// that ran them. Worker indices are in [0, workers); the degenerate
+// serial path reports worker 0.
+func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		serial := func(i int) error { return fn(0, i) }
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := call(serial, i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
+	metrics.PoolStarted(workers)
+	defer metrics.PoolFinished(workers)
 	var (
 		next   atomic.Int64
 		failed atomic.Bool
@@ -70,20 +119,24 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			mine := func(i int) error { return fn(w, i) }
 			for !failed.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				metrics.WorkerBusy()
+				err := call(mine, i)
+				metrics.WorkerIdle()
+				if err != nil {
 					once.Do(func() { first = err })
 					failed.Store(true)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return first
@@ -118,7 +171,8 @@ var errStopped = errors.New("parallel: pipe consumer stopped")
 // — this backpressure is what bounds the pipeline's peak memory);
 // consume runs on the calling goroutine and receives items in emission
 // order. The first error — from either side — aborts the pipeline and
-// is returned, with the consumer's error taking precedence.
+// is returned, with the consumer's error taking precedence. A producer
+// panic surfaces as a *PanicError rather than killing the process.
 func Pipe[T any](depth int, produce func(emit func(T) error) error, consume func(T) error) error {
 	if depth < 1 {
 		depth = 1
@@ -131,14 +185,16 @@ func Pipe[T any](depth int, produce func(emit func(T) error) error, consume func
 	go func() {
 		defer wg.Done()
 		defer close(ch)
-		prodErr = produce(func(v T) error {
-			select {
-			case ch <- v:
-				return nil
-			case <-stop:
-				return errStopped
-			}
-		})
+		prodErr = call(func(int) error {
+			return produce(func(v T) error {
+				select {
+				case ch <- v:
+					return nil
+				case <-stop:
+					return errStopped
+				}
+			})
+		}, 0)
 	}()
 	var consErr error
 	for v := range ch {

@@ -221,3 +221,73 @@ func TestNormalize(t *testing.T) {
 		t.Errorf("Default() = %d outside [1, 8]", d)
 	}
 }
+
+func TestForEachWorkerExposesWorkerIndex(t *testing.T) {
+	const workers, n = 4, 64
+	seen := make([]int32, n)
+	err := ForEachWorker(workers, n, func(worker, i int) error {
+		if worker < 0 || worker >= workers {
+			t.Errorf("worker index %d outside [0, %d)", worker, workers)
+		}
+		atomic.StoreInt32(&seen[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seen {
+		if s != 1 {
+			t.Fatalf("index %d not visited", i)
+		}
+	}
+}
+
+func TestForEachWorkerSerialReportsWorkerZero(t *testing.T) {
+	err := ForEachWorker(1, 8, func(worker, i int) error {
+		if worker != 0 {
+			t.Errorf("serial path reported worker %d, want 0", worker)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachCapturesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 16, func(i int) error {
+			if i == 7 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: ForEach returned %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "kaboom" {
+			t.Errorf("workers=%d: panic value %v, want kaboom", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: panic stack not captured", workers)
+		}
+		if msg := pe.Error(); msg == "" || !errors.As(error(pe), new(*PanicError)) {
+			t.Errorf("workers=%d: Error() = %q", workers, msg)
+		}
+	}
+}
+
+func TestPipeCapturesProducerPanic(t *testing.T) {
+	err := Pipe(2, func(emit func(int) error) error {
+		_ = emit(1)
+		panic("producer down")
+	}, func(int) error { return nil })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Pipe returned %v, want *PanicError", err)
+	}
+	if pe.Value != "producer down" {
+		t.Errorf("panic value %v", pe.Value)
+	}
+}

@@ -56,6 +56,12 @@ type pinWindow struct {
 	count  int
 }
 
+// globalCacheCounters mirrors each cache's per-run counters into the
+// process-wide metrics registry, so live snapshots (the -debug-addr
+// listener) and interval telemetry see cache behavior without a handle
+// on the current run's cache.
+var globalCacheCounters = metrics.GlobalCacheCounters()
+
 func newDecodedCache(budget int64) *decodedCache {
 	if budget <= 0 {
 		budget = DefaultDecodedCacheBytes
@@ -102,6 +108,7 @@ func (e *decodedEntry) failed() bool {
 // shared and must be treated as read-only.
 func (c *decodedCache) acquire(name string, lo, hi int, align func(int) int, decode func(lo, hi int) (*video.Video, error)) (*video.Video, error) {
 	c.counters.FramesRequested.Add(int64(hi - lo))
+	globalCacheCounters.FramesRequested.Add(int64(hi - lo))
 	c.mu.Lock()
 	c.tick++
 	if e := c.coveringLocked(name, lo, hi); e != nil {
@@ -110,6 +117,7 @@ func (c *decodedCache) acquire(name string, lo, hi int, align func(int) int, dec
 		e.lru = c.tick
 		c.mu.Unlock()
 		c.counters.Hits.Inc()
+		globalCacheCounters.Hits.Inc()
 		<-e.done
 		if e.err != nil {
 			return nil, e.err
@@ -146,10 +154,13 @@ func (c *decodedCache) acquire(name string, lo, hi int, align func(int) int, dec
 	c.entries[name] = append(kept, e)
 	c.mu.Unlock()
 	c.counters.Misses.Inc()
+	globalCacheCounters.Misses.Inc()
+	metrics.DecodeInflight(1)
 
 	v, err := decode(alo, hi)
 	if err == nil {
 		c.counters.FramesDecoded.Add(int64(hi - alo))
+		globalCacheCounters.FramesDecoded.Add(int64(hi - alo))
 		v = stitchUnion(v, alo, absorbed, ulo, uhi)
 	}
 	c.mu.Lock()
@@ -163,6 +174,8 @@ func (c *decodedCache) acquire(name string, lo, hi int, align func(int) int, dec
 		c.removeLocked(e)
 	}
 	close(e.done)
+	metrics.DecodeInflight(-1)
+	metrics.CacheResident(c.used)
 	c.mu.Unlock()
 	if err != nil {
 		return nil, err
@@ -223,6 +236,7 @@ func (c *decodedCache) peek(name string, lo, hi int) (*video.Video, bool) {
 	e.lru = c.tick
 	c.mu.Unlock()
 	c.counters.Hits.Inc()
+	globalCacheCounters.Hits.Inc()
 	return viewRange(e.video, lo-e.lo, hi-e.lo), true
 }
 
@@ -298,6 +312,7 @@ func (c *decodedCache) evictLocked(keep *decodedEntry) {
 		c.used -= victim.bytes
 		c.removeLocked(victim)
 		c.counters.Evictions.Inc()
+		globalCacheCounters.Evictions.Inc()
 	}
 }
 

@@ -131,6 +131,9 @@ type QueryReport struct {
 	Frames      int
 	Instances   []InstanceResult
 	Validation  ValidationSummary
+	// Telemetry is the batch's interval observability record (execution
+	// plus its validation pass), present when metrics are enabled.
+	Telemetry *metrics.Telemetry
 }
 
 // FPS returns the processed frame throughput of the batch.
@@ -151,6 +154,10 @@ type RunReport struct {
 	// DecodedCache reports the shared decoded-input cache activity over
 	// the run (zero when the cache is disabled).
 	DecodedCache metrics.CacheStats
+	// Telemetry is the run's interval observability record — per-stage
+	// latency histograms, pool/cache gauges, frame-pool recycling —
+	// present when metrics are enabled (metrics.SetEnabled).
+	Telemetry *metrics.Telemetry
 }
 
 // QueryReport returns the report for q, if present.
@@ -174,6 +181,10 @@ func Run(ds *Dataset, sys vdbms.System, opt Options) (*RunReport, error) {
 	}
 	report := &RunReport{System: sys.Name(), Scale: ds.Manifest.Scale, Mode: opt.Mode}
 	ds.configureDecodedCache(opt.decodedCacheBudget(), opt.FullDecode)
+	var runBase metrics.Snapshot
+	if metrics.Enabled() {
+		runBase = metrics.Capture()
+	}
 	start := time.Now()
 	for _, q := range opt.Queries {
 		qr, err := runQueryBatch(ds, sys, q, opt)
@@ -190,6 +201,10 @@ func Run(ds *Dataset, sys vdbms.System, opt Options) (*RunReport, error) {
 	}
 	report.Elapsed = time.Since(start)
 	report.DecodedCache = ds.DecodedCacheStats()
+	if metrics.Enabled() {
+		t := metrics.Capture().Sub(runBase)
+		report.Telemetry = &t
+	}
 	return report, nil
 }
 
@@ -235,23 +250,27 @@ func runQueryBatch(ds *Dataset, sys vdbms.System, q queries.QueryID, opt Options
 	workers := opt.queryWorkers()
 	results := make([]InstanceResult, len(insts))
 	validator := newValidator(ds, opt)
+	var batchBase metrics.Snapshot
+	if metrics.Enabled() {
+		batchBase = metrics.Capture()
+	}
 	batchStart := time.Now()
 	base := 0
 	for _, group := range groups {
 		group, gbase := group, base
-		run := func(i int) {
+		run := func(worker, i int) {
 			inst := group[i]
 			unpin := ds.pinInputs(inst)
-			results[gbase+i] = executeInstance(ds, sys, inst, opt, gbase+i)
+			results[gbase+i] = executeInstance(ds, sys, inst, opt, gbase+i, worker)
 			unpin()
 		}
 		if workers <= 1 || len(group) <= 1 {
 			for i := range group {
-				run(i)
+				run(0, i)
 			}
 		} else {
-			parallel.ForEach(workers, len(group), func(i int) error {
-				run(i)
+			parallel.ForEachWorker(workers, len(group), func(w, i int) error {
+				run(w, i)
 				return nil
 			})
 		}
@@ -277,16 +296,24 @@ func runQueryBatch(ds *Dataset, sys vdbms.System, q queries.QueryID, opt Options
 			if res.Err != nil || res.Validation == nil {
 				continue
 			}
+			sp := metrics.StartSpan(metrics.StageValidate)
 			validator.validate(insts[i], res.Validation)
+			sp.Frames(res.Frames)
+			sp.End()
 		}
 		qr.Validation = validator.summary(qr.Instances)
+	}
+	if metrics.Enabled() {
+		t := metrics.Capture().Sub(batchBase)
+		qr.Telemetry = &t
 	}
 	return qr, nil
 }
 
 // executeInstance runs one instance through the system, capturing
-// outputs for validation and handling the result mode.
-func executeInstance(ds *Dataset, sys vdbms.System, inst *vdbms.QueryInstance, opt Options, idx int) InstanceResult {
+// outputs for validation and handling the result mode. worker is the
+// pool worker index executing the instance, tagged on its span.
+func executeInstance(ds *Dataset, sys vdbms.System, inst *vdbms.QueryInstance, opt Options, idx, worker int) InstanceResult {
 	var res InstanceResult
 	var capture *InstanceValidation
 	wantValidate := opt.Validate && sampleForValidation(opt, idx)
@@ -312,7 +339,11 @@ func executeInstance(ds *Dataset, sys vdbms.System, inst *vdbms.QueryInstance, o
 		return nil
 	})
 	start := time.Now()
+	sp := metrics.StartSpan(metrics.StageExecute)
+	sp.Worker(worker)
 	res.Err = sys.Execute(inst, sink)
+	sp.Frames(res.Frames)
+	sp.End()
 	res.Elapsed = time.Since(start)
 	res.Validation = capture
 	return res
@@ -339,6 +370,8 @@ func encodeResult(v *video.Video) ([]byte, error) {
 	if len(v.Frames) == 0 {
 		return nil, nil
 	}
+	sp := metrics.StartSpan(metrics.StageResultEncode)
+	sp.Frames(len(v.Frames))
 	w, h := v.Resolution()
 	enc, err := codec.EncodeVideo(v, codec.Config{
 		Width: w, Height: h, FPS: v.FPS, QP: 18,
@@ -350,6 +383,8 @@ func encodeResult(v *video.Video) ([]byte, error) {
 	if err := container.Mux(&buf, enc, nil); err != nil {
 		return nil, err
 	}
+	sp.Bytes(int64(len(buf.data)))
+	sp.End()
 	return buf.data, nil
 }
 

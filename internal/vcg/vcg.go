@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/container"
+	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/render"
 	"repro/internal/vcity"
@@ -306,22 +307,29 @@ func generateCamera(city *vcity.City, cam *vcity.Camera, opt Options, store vfs.
 		return VideoMeta{}, fmt.Errorf("vcg: camera %s: cannot encode empty video", cam.ID)
 	}
 	renderFrame := func(i int) *video.Frame {
+		sp := metrics.StartSpan(metrics.StageRender)
 		f := pool.Get()
 		f.Index = i
 		r.FrameInto(cam, float64(i)/float64(p.FPS), f)
 		if opt.Profile == ProfileRecorded {
 			applyRecordedFrame(f, recSeed, i)
 		}
+		sp.Frames(1)
+		sp.End()
 		return f
 	}
 	out := &codec.Encoded{Config: enc.Config()}
 	encodeFrame := func(f *video.Frame) error {
+		sp := metrics.StartSpan(metrics.StageEncode)
 		ef, err := enc.Encode(f)
 		pool.Put(f)
 		if err != nil {
 			return err
 		}
 		out.Frames = append(out.Frames, ef)
+		sp.Frames(1)
+		sp.Bytes(int64(len(ef.Data)))
+		sp.End()
 		return nil
 	}
 	if opt.Sequential {

@@ -98,6 +98,10 @@ func (e *Engine) runQ2c(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
 func (e *Engine) runQ2d(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
 	in := inst.Inputs[0]
 	p := inst.Params
+	// Like streamMapRange's streaming fallback, the decode span covers
+	// the fused decode+mask loop: one span per call in every mode.
+	sp := metrics.StartSpan(metrics.StageDecode)
+	sp.Cache(false)
 	dec, err := newStreamDecoder(in)
 	if err != nil {
 		return err
@@ -126,12 +130,14 @@ func (e *Engine) runQ2d(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
 		if !ok {
 			break
 		}
+		sp.Frames(1)
 		ring = append(ring, f)
 		if len(ring) == p.M {
 			emit(ring[0], ring)
 			ring = ring[1:]
 		}
 	}
+	sp.End()
 	// Drain: remaining frames use shrinking windows, matching the
 	// reference semantics at the end of the video.
 	for len(ring) > 0 {

@@ -23,6 +23,7 @@
 package lightdblike
 
 import (
+	"repro/internal/metrics"
 	"repro/internal/queries"
 	"repro/internal/vdbms"
 	"repro/internal/video"
@@ -137,7 +138,14 @@ func (e *Engine) streamMapRange(in *vdbms.Input, lo, hi int, transform func(i in
 		hi = lo
 	}
 	out := video.NewVideo(in.Encoded.Config.FPS)
+	// Every path below records exactly one request-level decode span
+	// (the shared branch records it inside DecodeSharedRange), so span
+	// counts per streamMapRange call are invariant across modes.
 	if cached, ok := e.cache.get(in, lo, hi); ok {
+		sp := metrics.StartSpan(metrics.StageDecode)
+		sp.Cache(true)
+		sp.Frames(len(cached.Frames))
+		sp.End()
 		for i, f := range cached.Frames {
 			g, err := transform(lo+i, f)
 			if err != nil {
@@ -172,7 +180,11 @@ func (e *Engine) streamMapRange(in *vdbms.Input, lo, hi int, transform func(i in
 	}
 	// Streaming fallback: seek to the keyframe governing the window
 	// start, decode the seed run for reference state only, and stop at
-	// the window end — frames past hi are never touched.
+	// the window end — frames past hi are never touched. The decode
+	// span covers the fused decode+transform loop: the engine's
+	// streaming evaluation does not separate the two.
+	sp := metrics.StartSpan(metrics.StageDecode)
+	sp.Cache(false)
 	dec, err := newStreamDecoder(in)
 	if err != nil {
 		return nil, err
@@ -208,6 +220,8 @@ func (e *Engine) streamMapRange(in *vdbms.Input, lo, hi int, transform func(i in
 		}
 	}
 	e.cache.put(in, decoded, seed, dec.pos)
+	sp.Frames(len(decoded.Frames))
+	sp.End()
 	return out, nil
 }
 

@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/queries"
 	"repro/internal/vdbms"
 	"repro/internal/video"
@@ -328,7 +329,17 @@ func (e *Engine) loadTableRange(q queries.QueryID, in *vdbms.Input, lo, hi int) 
 	e.mu.Lock()
 	if ent, ok := e.ingest[key]; ok {
 		e.mu.Unlock()
+		// An ingest-cache hit is still a logical decode request: the
+		// span keeps decode counts request-level (matching the other
+		// engines) and times how long the instance blocked on the
+		// filling one.
+		sp := metrics.StartSpan(metrics.StageDecode)
+		sp.Cache(true)
 		<-ent.done
+		if ent.err == nil {
+			sp.Frames(ent.t.len())
+			sp.End()
+		}
 		return ent.t, ent.err
 	}
 	ent := &ingestEntry{done: make(chan struct{})}

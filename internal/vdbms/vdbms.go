@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/codec"
+	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/queries"
 	"repro/internal/vcity"
@@ -181,11 +182,26 @@ func (e *ErrResource) Error() string {
 // operate on raw frames). Inputs staged with a Source are served from
 // it — the VCD's shared, single-flight decoded-input cache — so
 // concurrent instances over the same input decode it exactly once.
+//
+// Every call records one request-level decode span, cache hits
+// included, so span counts are invariant across execution modes (the
+// codec.gop stage measures the actual reconstruction work).
 func DecodeInput(in *Input) (*video.Video, error) {
+	sp := metrics.StartSpan(metrics.StageDecode)
+	var v *video.Video
+	var err error
 	if in.Source != nil {
-		return in.Source.Decoded(in)
+		v, err = in.Source.Decoded(in)
+	} else {
+		sp.Bytes(int64(in.Encoded.Size()))
+		v, err = DecodeAll(in.Encoded)
 	}
-	return DecodeAll(in.Encoded)
+	if err != nil {
+		return nil, err
+	}
+	sp.Frames(len(v.Frames))
+	sp.End()
+	return v, nil
 }
 
 // PeekDecoded returns the already-decoded video for an input when its
@@ -203,9 +219,20 @@ func PeekDecoded(in *Input) (*video.Video, bool) {
 // decoded-input cache when one is active. ok=false means no cache is
 // active for this input (nil source, or the driver runs in sequential
 // mode) and the caller should use its own decode path.
+//
+// A decode span is recorded only when the request was actually served
+// (ok=true): on ok=false the caller runs its own decode path, which
+// records the request itself, keeping exactly one span per logical
+// decode request in every mode.
 func DecodeShared(in *Input) (*video.Video, bool, error) {
 	if src, ok := in.Source.(SharedDecodedSource); ok {
-		return src.DecodedShared(in)
+		sp := metrics.StartSpan(metrics.StageDecode)
+		v, active, err := src.DecodedShared(in)
+		if active && err == nil {
+			sp.Frames(len(v.Frames))
+			sp.End()
+		}
+		return v, active, err
 	}
 	return nil, false, nil
 }
@@ -233,8 +260,20 @@ func DecodeRange(enc *codec.Encoded, first, last int) (*video.Video, error) {
 // decode directly.
 func DecodeInputRange(in *Input, first, last int) (*video.Video, error) {
 	if first == 0 && last == len(in.Encoded.Frames) {
-		return DecodeInput(in)
+		return DecodeInput(in) // full window: the whole-video path records the span
 	}
+	sp := metrics.StartSpan(metrics.StageDecode)
+	v, err := decodeInputRange(in, first, last)
+	if err != nil {
+		return nil, err
+	}
+	sp.Frames(len(v.Frames))
+	sp.End()
+	return v, nil
+}
+
+// decodeInputRange is DecodeInputRange's uninstrumented body.
+func decodeInputRange(in *Input, first, last int) (*video.Video, error) {
 	if src, ok := in.Source.(RangedDecodedSource); ok {
 		return src.DecodedRange(in, first, last)
 	}
@@ -257,6 +296,17 @@ func DecodeSharedRange(in *Input, first, last int) (*video.Video, bool, error) {
 	if first == 0 && last == len(in.Encoded.Frames) {
 		return DecodeShared(in)
 	}
+	sp := metrics.StartSpan(metrics.StageDecode)
+	v, ok, err := decodeSharedRange(in, first, last)
+	if ok && err == nil {
+		sp.Frames(len(v.Frames))
+		sp.End()
+	}
+	return v, ok, err
+}
+
+// decodeSharedRange is DecodeSharedRange's uninstrumented body.
+func decodeSharedRange(in *Input, first, last int) (*video.Video, bool, error) {
 	if src, ok := in.Source.(SharedRangedDecodedSource); ok {
 		return src.DecodedSharedRange(in, first, last)
 	}

@@ -1,6 +1,37 @@
 package video
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Package-wide pool counters: FramePools are created ad hoc throughout
+// the pipeline (one per camera in the VCG, one per fused operator), so
+// recycling effectiveness is tracked across all of them and surfaced as
+// the frame-pool reuse rate in run telemetry. The counters are plain
+// atomics — video cannot import the metrics package (metrics imports
+// video) — and cost one uncontended add per Get/Put.
+var (
+	poolGets   atomic.Int64
+	poolPuts   atomic.Int64
+	poolAllocs atomic.Int64
+)
+
+// PoolCounters is a snapshot of FramePool activity across all pools:
+// Gets issued, Puts accepted, and Allocs — Gets that had to allocate a
+// fresh frame instead of recycling one.
+type PoolCounters struct {
+	Gets, Puts, Allocs int64
+}
+
+// PoolCountersSnapshot returns the cumulative pool counters.
+func PoolCountersSnapshot() PoolCounters {
+	return PoolCounters{
+		Gets:   poolGets.Load(),
+		Puts:   poolPuts.Load(),
+		Allocs: poolAllocs.Load(),
+	}
+}
 
 // FramePool recycles Frames of a single resolution, relieving the
 // allocation churn of render→encode pipelines where every frame would
@@ -15,13 +46,17 @@ type FramePool struct {
 // NewFramePool returns a pool of w×h frames.
 func NewFramePool(w, h int) *FramePool {
 	p := &FramePool{w: w, h: h}
-	p.pool.New = func() any { return NewFrame(w, h) }
+	p.pool.New = func() any {
+		poolAllocs.Add(1)
+		return NewFrame(w, h)
+	}
 	return p
 }
 
 // Get returns a frame of the pool's dimensions with unspecified
 // contents.
 func (p *FramePool) Get() *Frame {
+	poolGets.Add(1)
 	return p.pool.Get().(*Frame)
 }
 
@@ -32,5 +67,6 @@ func (p *FramePool) Put(f *Frame) {
 	if f == nil || f.W != p.w || f.H != p.h {
 		return
 	}
+	poolPuts.Add(1)
 	p.pool.Put(f)
 }

@@ -37,4 +37,46 @@ emit_json <"$tmp" >BENCH_query.json
 go test -run '^$' -bench '^BenchmarkDecodeRange$' -benchtime 3x ./internal/codec >"$tmp"
 emit_json <"$tmp" >BENCH_range.json
 
-cat BENCH_query.json BENCH_range.json
+# BENCH_obs.json: observability overhead. The same hot benchmarks run
+# with the metrics registry disabled (the default no-op path) and
+# enabled (VR_OBS=1, see obsEnabled in the bench files); min-of-5 ns/op
+# per configuration damps scheduler noise, and the "total" row sums the
+# per-configuration minima — the headline number the <2% budget from
+# DESIGN.md §5.7 applies to (individual short rows still jitter more
+# than the instrumentation itself costs).
+tmp_on="$(mktemp)"
+trap 'rm -f "$tmp" "$tmp_on"' EXIT
+run_obs_benches() {
+    VR_OBS="$1" go test -run '^$' -bench '^BenchmarkDecodeRange$' -benchtime 100x -count 5 ./internal/codec
+    VR_OBS="$1" go test -run '^$' -bench '^BenchmarkRunBatch$' -benchtime 3x -count 5 .
+}
+run_obs_benches "" >"$tmp"
+run_obs_benches 1 >"$tmp_on"
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = $3 + 0
+    if (FILENAME == ARGV[1]) {
+        if (!(name in off)) { order[n++] = name; off[name] = ns }
+        else if (ns < off[name]) off[name] = ns
+    } else if (!(name in on) || ns < on[name]) on[name] = ns
+}
+END {
+    print "{"
+    toff = ton = 0
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        if (!(name in on)) continue
+        toff += off[name]; ton += on[name]
+        printf "  \"%s\": {\"off_ns\": %d, \"on_ns\": %d, \"overhead_pct\": %.2f},\n",
+            name, off[name], on[name], (on[name] - off[name]) / off[name] * 100
+    }
+    tpct = 0
+    if (toff > 0) tpct = (ton - toff) / toff * 100
+    printf "  \"total\": {\"off_ns\": %.0f, \"on_ns\": %.0f, \"overhead_pct\": %.2f}\n", toff, ton, tpct
+    print "}"
+}
+' "$tmp" "$tmp_on" >BENCH_obs.json
+
+cat BENCH_query.json BENCH_range.json BENCH_obs.json

@@ -10,5 +10,10 @@ set -eux
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/parallel ./internal/vcg ./internal/codec ./internal/vcd ./internal/queries
+go test -race ./internal/parallel ./internal/vcg ./internal/codec ./internal/vcd ./internal/queries ./internal/metrics
 go test -race -run 'TestDecodedCache|TestRunRangeDecodeEquivalence' ./internal/vcd
+# Observability invariants under the race detector: lock-free histogram
+# merges stay lossless, span aggregation stays atomic, and telemetry
+# counts match between sequential and 8-way runs.
+go test -race -run 'TestHistogramMergeConcurrent|TestSpanConcurrentAggregation' ./internal/metrics
+go test -race -run 'TestTelemetryModeInvariance' ./internal/vcd
