@@ -8,10 +8,12 @@ package visualroad
 // and prints the paper-shaped tables.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/queries"
 	"repro/internal/render"
+	"repro/internal/stream"
 	"repro/internal/vcd"
 	"repro/internal/vcg"
 	"repro/internal/vcity"
@@ -402,6 +405,48 @@ func BenchmarkAblationDetectorCost(b *testing.B) {
 					det.Detect(f, cam.ID, obs)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkOnlineFaults measures online-mode throughput over RTP on a
+// fake clock (pure processing rate, no wall-clock pacing) at the
+// BENCH_online.json fault ladder: clean channel, 1% drop, 5% drop. The
+// reported fps and dropped-frame metrics show how gracefully the online
+// decoder degrades as the seeded fault schedule intensifies.
+func BenchmarkOnlineFaults(b *testing.B) {
+	obsEnabled(b)
+	ds := sharedDataset(b)
+	opt := vcd.Options{InstancesPerScale: 1, Seed: 7, MaxUpsamplePixels: 1 << 22}
+	for _, tc := range []struct {
+		name string
+		rate float64
+	}{{"fault0", 0}, {"fault1", 0.01}, {"fault5", 0.05}} {
+		b.Run(tc.name, func(b *testing.B) {
+			insts, err := vcd.BuildBatch(ds, queries.Q2a, 1, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inst := insts[0]
+			var fps, dropped float64
+			for i := 0; i < b.N; i++ {
+				var plan *stream.FaultPlan
+				if tc.rate > 0 {
+					plan = &stream.FaultPlan{Seed: 7, Camera: inst.Inputs[0].Env.Camera.ID, DropRate: tc.rate}
+				}
+				rep, err := vcd.RunOnlineOpts(context.Background(), inst, vcd.OnlineOptions{
+					Transport: vcd.TransportRTP,
+					Clock:     stream.NewFakeClock(time.Unix(0, 0)),
+					Faults:    plan,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fps = rep.FPS
+				dropped = float64(rep.FramesDropped)
+			}
+			b.ReportMetric(fps, "fps")
+			b.ReportMetric(dropped, "dropped-frames")
 		})
 	}
 }

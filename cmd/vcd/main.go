@@ -14,15 +14,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/detect"
 	"repro/internal/metrics"
 	"repro/internal/queries"
+	"repro/internal/stream"
 	"repro/internal/vcd"
 	"repro/internal/vdbms"
 	"repro/internal/vdbms/lightdblike"
@@ -45,6 +49,9 @@ func main() {
 	fullDecode := flag.Bool("full-decode", false, "disable range-aware decode: windowed queries slice whole-clip decodes (the pre-range baseline)")
 	online := flag.Bool("online", false, "online mode: deliver inputs as live-paced streams (Q1/Q2a/Q2c/Q5)")
 	transport := flag.String("transport", "pipe", "online transport: pipe or rtp")
+	onlineFaults := flag.String("online-faults", "", "online fault spec, e.g. 0.01 or drop=0.01,reorder=0.005,cut=12,dial=2")
+	onlineSeed := flag.Uint64("online-seed", 1, "seed keying the deterministic fault schedule")
+	onlineTimeout := flag.Duration("online-timeout", 0, "per-stream deadline for online sessions (0 = none)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON (for downstream tooling)")
 	metricsJSON := flag.String("metrics-json", "", "write pipeline telemetry (stage histograms, gauges, cache stats) as JSON to this file")
 	reportFlag := flag.Bool("report", false, "print the stage-breakdown telemetry table after the run")
@@ -114,7 +121,13 @@ func main() {
 	fmt.Printf("vcd: benchmarking %s on %s (L=%d, %dx%d, %.0fs)\n",
 		sys.Name(), *data, ds.Manifest.Scale, ds.Manifest.Width, ds.Manifest.Height, ds.Manifest.Duration)
 	if *online {
-		runOnline(ds, opt, *transport)
+		runOnline(ds, opt, onlineConfig{
+			transport:   *transport,
+			faultSpec:   *onlineFaults,
+			seed:        *onlineSeed,
+			timeout:     *onlineTimeout,
+			metricsJSON: *metricsJSON,
+		})
 		return
 	}
 	report, err := vcd.Run(ds, sys, opt)
@@ -256,35 +269,95 @@ func summarizeReport(r *vcd.RunReport) reportJSON {
 	return out
 }
 
+// onlineConfig carries the online-mode CLI knobs.
+type onlineConfig struct {
+	transport   string
+	faultSpec   string
+	seed        uint64
+	timeout     time.Duration
+	metricsJSON string
+}
+
+// onlineArtifact is the -metrics-json schema for online mode: per-query
+// degradation reports plus the run's telemetry (including the online
+// counter block).
+type onlineArtifact struct {
+	Transport string                       `json:"transport"`
+	FaultSpec string                       `json:"fault_spec,omitempty"`
+	Seed      uint64                       `json:"seed"`
+	Queries   map[string]*vcd.OnlineReport `json:"queries"`
+	Telemetry *metrics.Telemetry           `json:"telemetry,omitempty"`
+}
+
 // runOnline executes the online-capable queries against live-paced
-// streams and reports achieved frames per second, as the paper requires
-// for online-mode results.
-func runOnline(ds *vcd.Dataset, opt vcd.Options, transportName string) {
+// streams — optionally degraded by a seeded fault plan — and reports
+// achieved frames per second plus degradation accounting, as the paper
+// requires for online-mode results.
+func runOnline(ds *vcd.Dataset, opt vcd.Options, cfg onlineConfig) {
 	var transport vcd.OnlineTransport
-	switch transportName {
+	switch cfg.transport {
 	case "pipe":
 		transport = vcd.TransportPipe
 	case "rtp":
 		transport = vcd.TransportRTP
 	default:
-		fatal(fmt.Errorf("vcd: unknown transport %q", transportName))
+		fatal(fmt.Errorf("vcd: unknown transport %q", cfg.transport))
+	}
+	plan, err := stream.ParseFaultSpec(cfg.faultSpec, cfg.seed, "")
+	if err != nil {
+		fatal(err)
 	}
 	qs := opt.Queries
 	if len(qs) == 0 {
 		qs = []queries.QueryID{queries.Q1, queries.Q2a, queries.Q2c, queries.Q5}
 	}
-	fmt.Printf("\n%-7s %10s %10s %10s\n", "Query", "Frames", "Elapsed", "FPS")
+	var base metrics.Snapshot
+	if metrics.Enabled() {
+		base = metrics.Capture()
+	}
+	art := onlineArtifact{Transport: cfg.transport, FaultSpec: cfg.faultSpec, Seed: cfg.seed,
+		Queries: map[string]*vcd.OnlineReport{}}
+	fmt.Printf("\n%-7s %10s %10s %10s %8s %6s %8s %9s\n",
+		"Query", "Frames", "Elapsed", "FPS", "Dropped", "Gaps", "Resyncs", "Degraded")
 	for _, q := range qs {
 		insts, err := vcd.BuildBatch(ds, q, 1, opt)
 		if err != nil {
 			fatal(err)
 		}
-		rep, err := vcd.RunOnline(insts[0], transport, nil, nil)
-		if err != nil {
+		inst := insts[0]
+		rep, err := vcd.RunOnlineOpts(context.Background(), inst, vcd.OnlineOptions{
+			Transport: transport,
+			Faults:    plan.ForCamera(inst.Inputs[0].Env.Camera.ID),
+			Timeout:   cfg.timeout,
+			Retry:     stream.RetryPolicy{Seed: cfg.seed},
+		})
+		if errors.Is(err, vcd.ErrOnlineUnsupported) {
 			fmt.Printf("%-7s %10s\n", q, "unsupported")
 			continue
 		}
-		fmt.Printf("%-7s %10d %10s %10.1f\n", q, rep.Frames, rep.Elapsed.Round(1e6), rep.FPS)
+		if err != nil {
+			fatal(err)
+		}
+		art.Queries[string(q)] = rep
+		fmt.Printf("%-7s %10d %10s %10.1f %8d %6d %8d %9v\n",
+			q, rep.Frames, rep.Elapsed.Round(1e6), rep.FPS,
+			rep.FramesDropped, rep.Gaps, rep.Resyncs, rep.Degraded)
+	}
+	if cfg.metricsJSON != "" {
+		t := metrics.Capture().Sub(base)
+		art.Telemetry = &t
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		tmp := cfg.metricsJSON + ".tmp"
+		if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		if err := os.Rename(tmp, cfg.metricsJSON); err != nil {
+			os.Remove(tmp)
+			fatal(err)
+		}
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vrbench -exp table1|table2|table9|fig2|fig5|fig6|fig7|fig8|fig9|quality|modes|all [flags]
+//	vrbench -exp table1|table2|table9|fig2|fig5|fig6|fig7|fig8|fig9|quality|modes|online|all [flags]
 package main
 
 import (
@@ -23,7 +23,7 @@ func main() { os.Exit(run()) }
 // run holds the whole CLI body so profile-writing defers fire on every
 // exit path (os.Exit would skip them).
 func run() int {
-	exp := flag.String("exp", "all", "experiment to run (table1, table2, table9, fig2, fig5, fig6, fig7, fig8, fig9, quality, modes, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, table2, table9, fig2, fig5, fig6, fig7, fig8, fig9, quality, modes, online, all)")
 	scale := flag.Int("scale", 4, "scale factor L for comparison experiments")
 	duration := flag.Float64("duration", 1.0, "per-camera video duration in seconds (model scale)")
 	videos := flag.Int("videos", 6, "corpus size for the table9 experiment")
@@ -34,6 +34,8 @@ func run() int {
 	sequential := flag.Bool("sequential", false, "paper-faithful execution: one query instance at a time, no shared decode cache (overrides -query-workers)")
 	fullDecode := flag.Bool("full-decode", false, "disable range-aware decode: windowed queries slice whole-clip decodes (the pre-range baseline)")
 	validate := flag.Bool("validate", false, "validate comparison results against the reference implementation (fig5/fig6)")
+	onlineFaults := flag.String("online-faults", "", "comma-separated drop rates for the online experiment (default 0,0.01,0.05)")
+	onlineSeed := flag.Uint64("online-seed", 1, "seed keying the online fault schedule")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	metricsJSON := flag.String("metrics-json", "", "write pipeline telemetry (stage histograms, gauges, cache stats) as JSON to this file")
@@ -91,8 +93,9 @@ func run() int {
 		"fig9":    func() error { return runFig9(*duration, *seed) },
 		"quality": func() error { return runQuality(*frames, *seed) },
 		"modes":   func() error { return runModes(*scale, *duration, *seed, *queryWorkers, *sequential, *fullDecode) },
+		"online":  func() error { return runOnline(*scale, *duration, *onlineSeed, *onlineFaults) },
 	}
-	order := []string{"table1", "table2", "fig2", "table9", "fig5", "fig6", "fig7", "fig8", "fig9", "quality", "modes"}
+	order := []string{"table1", "table2", "fig2", "table9", "fig5", "fig6", "fig7", "fig8", "fig9", "quality", "modes", "online"}
 
 	code := 0
 	switch {
@@ -341,6 +344,37 @@ func runModes(scale int, duration float64, seed uint64, queryWorkers int, sequen
 	fmt.Printf("%-13s %12s %12s %8s\n", "System", "Write", "Streaming", "Delta")
 	for _, r := range res {
 		fmt.Printf("%-13s %12s %12s %7.1f%%\n", r.System, r.Write.Round(1e6), r.Streaming.Round(1e6), r.DeltaPct)
+	}
+	return nil
+}
+
+func runOnline(scale int, duration float64, seed uint64, ratesSpec string) error {
+	fmt.Println("Online resilience: achieved FPS and degradation vs injected drop rate (RTP)")
+	fmt.Println("paper context: online mode reports frames/second; faults are seeded and replayable")
+	rates := core.OnlineFaultRates
+	if ratesSpec != "" {
+		rates = rates[:0]
+		for _, part := range strings.Split(ratesSpec, ",") {
+			var r float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%g", &r); err != nil {
+				return fmt.Errorf("vrbench: online-faults %q: %w", part, err)
+			}
+			rates = append(rates, r)
+		}
+	}
+	points, err := core.OnlineResilience(core.CompareConfig{
+		Scale: scale, Duration: duration, Seed: seed,
+	}, rates, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-7s %7s %8s %8s %8s %6s %8s %8s %9s\n",
+		"Query", "Drop", "Frames", "FPS", "Dropped", "Gaps", "Resyncs", "Retries", "Degraded")
+	for _, pt := range points {
+		r := pt.Report
+		fmt.Printf("%-7s %6.1f%% %8d %8.1f %8d %6d %8d %8d %9v\n",
+			pt.Query, pt.FaultRate*100, r.Frames, r.FPS,
+			r.FramesDropped, r.Gaps, r.Resyncs, r.Retries, r.Degraded)
 	}
 	return nil
 }

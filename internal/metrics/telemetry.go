@@ -62,6 +62,19 @@ func (s CacheStats) Report() CacheTelemetry {
 	}
 }
 
+// OnlineTelemetry is the serialized online-mode degradation record:
+// how many frames the live-paced sessions delivered and what the
+// transport faults cost (drops, sequence gaps, keyframe resyncs, dial
+// retries, and how many runs finished degraded).
+type OnlineTelemetry struct {
+	Frames   int64 `json:"frames"`
+	Dropped  int64 `json:"frames_dropped"`
+	Gaps     int64 `json:"gaps"`
+	Resyncs  int64 `json:"resyncs"`
+	Retries  int64 `json:"retries"`
+	Degraded int64 `json:"degraded_runs"`
+}
+
 // Telemetry is one measured interval's machine-readable observability
 // record: per-stage latency histogram summaries, worker-pool and cache
 // gauges, frame-pool recycling, and the telemetry error channel. It is
@@ -74,6 +87,9 @@ type Telemetry struct {
 	Gauges    GaugeSnapshot             `json:"gauges"`
 	FramePool FramePoolTelemetry        `json:"frame_pool"`
 	Cache     CacheTelemetry            `json:"decoded_cache"`
+	// Online carries the interval's online-mode degradation accounting,
+	// present only when an online session ran.
+	Online *OnlineTelemetry `json:"online,omitempty"`
 	Errors    []string                  `json:"errors,omitempty"`
 	ErrorsDropped int64                 `json:"errors_dropped,omitempty"`
 }
@@ -113,6 +129,16 @@ func (s Snapshot) Sub(prev Snapshot) Telemetry {
 	}
 	t.FramePool = framePoolDelta(s, prev)
 	t.Cache = s.cache.Sub(prev.cache).Report()
+	if d := s.online.Sub(prev.online); !d.zero() {
+		t.Online = &OnlineTelemetry{
+			Frames:   d.Frames,
+			Dropped:  d.Dropped,
+			Gaps:     d.Gaps,
+			Resyncs:  d.Resyncs,
+			Retries:  d.Retries,
+			Degraded: d.Degraded,
+		}
+	}
 	t.Errors = s.errs
 	t.ErrorsDropped = s.errDropped
 	return t
@@ -165,6 +191,10 @@ func (t Telemetry) WriteTable(w io.Writer) {
 	if t.Cache.Hits+t.Cache.Misses > 0 {
 		fmt.Fprintf(w, "decoded cache: %d hits / %d misses (%.0f%% hit rate), %d evictions, decode ratio %.2f\n",
 			t.Cache.Hits, t.Cache.Misses, t.Cache.HitRate*100, t.Cache.Evictions, t.Cache.DecodeRatio)
+	}
+	if o := t.Online; o != nil {
+		fmt.Fprintf(w, "online: %d frames, %d dropped, %d gap(s), %d resync(s), %d retry(ies), %d degraded run(s)\n",
+			o.Frames, o.Dropped, o.Gaps, o.Resyncs, o.Retries, o.Degraded)
 	}
 	if t.FramePool.Gets > 0 {
 		fmt.Fprintf(w, "frame pool: %d gets, %d allocs (%.0f%% reuse)\n",

@@ -51,6 +51,9 @@ const (
 	// StageResultEncode is one result-video encode+mux inside the
 	// measured execution window.
 	StageResultEncode
+	// StageOnline is one online (live-paced) query execution — the
+	// full transport + decode + kernel session of vcd.RunOnline.
+	StageOnline
 
 	numStages
 )
@@ -65,6 +68,7 @@ var stageNames = [numStages]string{
 	"execute",
 	"validate",
 	"result.encode",
+	"online.stream",
 }
 
 // String returns the stage's telemetry key.
@@ -112,6 +116,11 @@ var reg struct {
 	inflightDecodes   Gauge
 	inflightPeak      MaxGauge
 	cache             CacheCounters // process-wide mirror of per-run cache counters
+
+	// Online-mode degradation counters (fed by the VCD's online driver):
+	// frames delivered, frames lost to transport faults, sequence gaps,
+	// keyframe resynchronizations, and dial/accept retries.
+	online OnlineCounters
 
 	errMu     sync.Mutex
 	errs      []string
@@ -283,6 +292,56 @@ func DecodeInflight(delta int64) {
 // handle on the current run.
 func GlobalCacheCounters() *CacheCounters { return &reg.cache }
 
+// OnlineCounters groups the degradation accounting of online-mode runs.
+type OnlineCounters struct {
+	Frames   Counter
+	Dropped  Counter
+	Gaps     Counter
+	Resyncs  Counter
+	Retries  Counter
+	Degraded Counter // online runs that observed at least one fault
+}
+
+// Snapshot returns an immutable copy of the current counts.
+func (c *OnlineCounters) Snapshot() OnlineStats {
+	return OnlineStats{
+		Frames:   c.Frames.Value(),
+		Dropped:  c.Dropped.Value(),
+		Gaps:     c.Gaps.Value(),
+		Resyncs:  c.Resyncs.Value(),
+		Retries:  c.Retries.Value(),
+		Degraded: c.Degraded.Value(),
+	}
+}
+
+// OnlineStats is a point-in-time snapshot of OnlineCounters.
+type OnlineStats struct {
+	Frames   int64
+	Dropped  int64
+	Gaps     int64
+	Resyncs  int64
+	Retries  int64
+	Degraded int64
+}
+
+// Sub returns the per-interval delta s − prev.
+func (s OnlineStats) Sub(prev OnlineStats) OnlineStats {
+	return OnlineStats{
+		Frames:   s.Frames - prev.Frames,
+		Dropped:  s.Dropped - prev.Dropped,
+		Gaps:     s.Gaps - prev.Gaps,
+		Resyncs:  s.Resyncs - prev.Resyncs,
+		Retries:  s.Retries - prev.Retries,
+		Degraded: s.Degraded - prev.Degraded,
+	}
+}
+
+func (s OnlineStats) zero() bool { return s == OnlineStats{} }
+
+// GlobalOnlineCounters returns the process-wide online degradation
+// counters the VCD's online driver feeds.
+func GlobalOnlineCounters() *OnlineCounters { return &reg.online }
+
 // Snapshot is a point-in-time copy of every recording sink, the unit
 // per-run telemetry deltas are computed from.
 type Snapshot struct {
@@ -290,6 +349,7 @@ type Snapshot struct {
 	stages     [numStages]stageSnapshot
 	gauges     GaugeSnapshot
 	cache      CacheStats
+	online     OnlineStats
 	framePool  video.PoolCounters
 	errs       []string
 	errDropped int64
@@ -347,6 +407,7 @@ func Capture() Snapshot {
 		InflightPeak:      reg.inflightPeak.Value(),
 	}
 	s.cache = reg.cache.Snapshot()
+	s.online = reg.online.Snapshot()
 	s.framePool = video.PoolCountersSnapshot()
 	reg.errMu.Lock()
 	s.errs = append([]string(nil), reg.errs...)

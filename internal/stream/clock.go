@@ -5,9 +5,16 @@
 // file system), and an RTP-style packet transport over loopback sockets
 // (standing in for RFC 3550 RTP). In online mode the VCD "blocks on
 // attempts to read video data beyond this rate".
+//
+// Because online delivery crosses goroutines and real sockets, the
+// package also carries the resilience vocabulary the driver builds on:
+// context-interruptible clocks, a leak-proof pipe with independent
+// read/write shutdown, deterministic fault injection (FaultPlan), gap
+// reporting (StreamGapError), and bounded retry (Retry).
 package stream
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -17,6 +24,10 @@ import (
 type Clock interface {
 	Now() time.Time
 	Sleep(d time.Duration)
+	// SleepCtx pauses like Sleep but unwinds early with ctx.Err() when
+	// the context is cancelled before the duration elapses — the hook
+	// that lets cancellation and deadlines interrupt pacing waits.
+	SleepCtx(ctx context.Context, d time.Duration) error
 }
 
 // RealClock is the wall clock.
@@ -27,6 +38,21 @@ func (RealClock) Now() time.Time { return time.Now() }
 
 // Sleep pauses the goroutine.
 func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// SleepCtx pauses the goroutine until d elapses or ctx is cancelled.
+func (RealClock) SleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // FakeClock is a manually-advanced clock for tests. Sleep advances the
 // clock immediately and records the requested durations.
@@ -52,6 +78,17 @@ func (c *FakeClock) Sleep(d time.Duration) {
 	defer c.mu.Unlock()
 	c.now = c.now.Add(d)
 	c.Slept = append(c.Slept, d)
+}
+
+// SleepCtx advances the clock like Sleep unless ctx is already
+// cancelled, in which case the clock does not move and ctx.Err() is
+// returned — mirroring a real sleeper that never started waiting.
+func (c *FakeClock) SleepCtx(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.Sleep(d)
+	return nil
 }
 
 // Advance moves the clock forward by d.

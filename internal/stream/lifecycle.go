@@ -1,0 +1,71 @@
+package stream
+
+import (
+	"context"
+	"time"
+)
+
+// RetryPolicy bounds the retry loop used for transient transport
+// failures (connection refused, accept aborted): capped exponential
+// backoff with deterministic jitter, slept on the injected clock so
+// tests with a FakeClock retry instantly and reproducibly.
+type RetryPolicy struct {
+	// Attempts is the total number of tries, including the first
+	// (default 4).
+	Attempts int
+	// Base is the first backoff interval (default 10ms).
+	Base time.Duration
+	// Cap is the backoff ceiling (default 500ms).
+	Cap time.Duration
+	// Seed keys the jitter stream.
+	Seed uint64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.Base <= 0 {
+		p.Base = 10 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 500 * time.Millisecond
+	}
+	return p
+}
+
+// Retry runs f until it succeeds, the policy's attempts are exhausted,
+// or ctx is cancelled. Between failures it sleeps an exponentially
+// growing backoff (capped at pol.Cap) scaled by a deterministic jitter
+// in [0.5, 1.0) keyed by (pol.Seed, attempt). It returns the number of
+// retries performed (0 = first try succeeded) and the final error (nil
+// on success).
+func Retry(ctx context.Context, clock Clock, pol RetryPolicy, f func() error) (retries int, err error) {
+	if clock == nil {
+		clock = RealClock{}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pol = pol.withDefaults()
+	backoff := pol.Base
+	for attempt := 0; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return attempt, cerr
+		}
+		if err = f(); err == nil {
+			return attempt, nil
+		}
+		if attempt+1 >= pol.Attempts {
+			return attempt, err
+		}
+		jitter := 0.5 + 0.5*float64(mix64(pol.Seed^uint64(attempt)*0x9e3779b97f4a7c15)>>11)/(1<<53)
+		if serr := clock.SleepCtx(ctx, time.Duration(float64(backoff)*jitter)); serr != nil {
+			return attempt, serr
+		}
+		backoff *= 2
+		if backoff > pol.Cap {
+			backoff = pol.Cap
+		}
+	}
+}

@@ -1,10 +1,13 @@
 package stream
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/codec"
@@ -23,7 +26,34 @@ const (
 	rtpPayloadType = 96 // dynamic
 	rtpMTU         = 1400
 	rtpHeaderLen   = 12
+	// rtpClockRate is the RTP media clock (90 kHz, the conventional
+	// video rate); timestamps map back to frame indices through it.
+	rtpClockRate = 90000
 )
+
+// ErrTruncated marks a connection severed mid-packet: a partial length
+// prefix or body. It is never conflated with a clean end of stream —
+// a benchmark stream that ends this way was cut, not completed.
+var ErrTruncated = errors.New("stream: connection cut mid-packet")
+
+// ErrFaultCut is returned by the sender when its fault plan severed the
+// connection mid-header (the injected counterpart of ErrTruncated).
+var ErrFaultCut = errors.New("stream: fault injection cut the connection")
+
+// StreamGapError reports a break in the RTP sequence space: Missing
+// packets were lost between sequence numbers From and To. By the time
+// the caller sees it the receiver has already resynchronized to the
+// next access-unit boundary, so the stream remains readable; callers
+// decide whether to recover (the online decoder waits for the next
+// intra frame) or abort.
+type StreamGapError struct {
+	From, To uint16
+	Missing  int
+}
+
+func (e *StreamGapError) Error() string {
+	return fmt.Sprintf("stream: RTP sequence gap: %d -> %d (%d packet(s) lost)", e.From, e.To, e.Missing)
+}
 
 // rtpPacket is one parsed RTP packet.
 type rtpPacket struct {
@@ -65,9 +95,19 @@ func parseRTP(buf []byte) (*rtpPacket, error) {
 	}, nil
 }
 
+// FrameIndexOf maps a 90 kHz RTP timestamp back to the source frame
+// index at the given capture rate (rounding to the nearest frame).
+func FrameIndexOf(ts uint32, fps int) int {
+	if fps <= 0 {
+		return 0
+	}
+	return int((uint64(ts)*uint64(fps) + rtpClockRate/2) / rtpClockRate)
+}
+
 // RTPSender streams encoded access units over a connection, paced at
 // the camera's capture rate when a clock is supplied (nil clock = no
-// pacing, for tests).
+// pacing, for tests). An attached FaultPlan degrades the outgoing
+// packet stream deterministically.
 type RTPSender struct {
 	conn  net.Conn
 	ssrc  uint32
@@ -76,6 +116,9 @@ type RTPSender struct {
 	fps   int
 	start time.Time
 	sent  int
+	plan  *FaultPlan
+	pkts  int    // framed writes attempted (fault-schedule index)
+	held  []byte // packet delayed by a reorder fault
 }
 
 // NewRTPSender wraps conn for sending at fps. clock may be nil to
@@ -84,18 +127,29 @@ func NewRTPSender(conn net.Conn, ssrc uint32, fps int, clock Clock) *RTPSender {
 	return &RTPSender{conn: conn, ssrc: ssrc, fps: fps, clock: clock}
 }
 
+// InjectFaults attaches a deterministic fault plan to the sender.
+func (s *RTPSender) InjectFaults(plan *FaultPlan) { s.plan = plan }
+
 // SendAccessUnit fragments and transmits one encoded frame.
 func (s *RTPSender) SendAccessUnit(au []byte, frameIndex int) error {
+	return s.SendAccessUnitCtx(context.Background(), au, frameIndex)
+}
+
+// SendAccessUnitCtx is SendAccessUnit with cancellation: pacing sleeps
+// abort with ctx.Err() when the context ends.
+func (s *RTPSender) SendAccessUnitCtx(ctx context.Context, au []byte, frameIndex int) error {
 	if s.clock != nil {
 		if s.sent == 0 {
 			s.start = s.clock.Now()
 		}
 		due := s.start.Add(time.Duration(frameIndex) * time.Second / time.Duration(s.fps))
 		if wait := due.Sub(s.clock.Now()); wait > 0 {
-			s.clock.Sleep(wait)
+			if err := s.clock.SleepCtx(ctx, wait); err != nil {
+				return err
+			}
 		}
 	}
-	ts := uint32(uint64(frameIndex) * 90000 / uint64(s.fps))
+	ts := uint32(uint64(frameIndex) * rtpClockRate / uint64(s.fps))
 	for off := 0; off < len(au) || off == 0; off += rtpMTU {
 		end := off + rtpMTU
 		if end > len(au) {
@@ -109,7 +163,7 @@ func (s *RTPSender) SendAccessUnit(au []byte, frameIndex int) error {
 			Payload:   au[off:end],
 		}
 		s.seq++
-		if err := writeFramed(s.conn, marshalRTP(pkt)); err != nil {
+		if err := s.transmit(marshalRTP(pkt)); err != nil {
 			return err
 		}
 		if end == len(au) {
@@ -120,8 +174,55 @@ func (s *RTPSender) SendAccessUnit(au []byte, frameIndex int) error {
 	return nil
 }
 
-// Close closes the underlying connection, signalling end of stream.
-func (s *RTPSender) Close() error { return s.conn.Close() }
+// transmit applies the fault plan to one marshalled packet and writes
+// whatever "the network" lets through. Sequence numbers were already
+// assigned, so a dropped packet leaves a gap the receiver can observe.
+func (s *RTPSender) transmit(raw []byte) error {
+	i := s.pkts
+	s.pkts++
+	if s.plan != nil {
+		if s.plan.CutPacket(i) {
+			// Write half the length prefix, then sever the connection:
+			// the receiver must see a truncation, not a clean EOF.
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], uint32(len(raw)))
+			s.conn.Write(hdr[:2])
+			s.conn.Close()
+			return ErrFaultCut
+		}
+		if s.plan.DropPacket(i) {
+			return nil // lost in transit
+		}
+		if pos, ok := s.plan.CorruptPacket(i); ok && len(raw) > rtpHeaderLen {
+			raw = append([]byte(nil), raw...)
+			raw[rtpHeaderLen+pos%(len(raw)-rtpHeaderLen)] ^= 0x40
+		}
+		if s.held != nil {
+			held := s.held
+			s.held = nil
+			if err := writeFramed(s.conn, raw); err != nil {
+				return err
+			}
+			return writeFramed(s.conn, held)
+		}
+		if s.plan.ReorderPacket(i) {
+			s.held = append([]byte(nil), raw...)
+			return nil
+		}
+	}
+	return writeFramed(s.conn, raw)
+}
+
+// Close flushes any reorder-held packet and closes the underlying
+// connection, signalling end of stream.
+func (s *RTPSender) Close() error {
+	if s.held != nil {
+		held := s.held
+		s.held = nil
+		writeFramed(s.conn, held)
+	}
+	return s.conn.Close()
+}
 
 // RTPReceiver reassembles access units from a connection.
 type RTPReceiver struct {
@@ -129,19 +230,31 @@ type RTPReceiver struct {
 	buf     []byte
 	lastSeq uint16
 	haveSeq bool
+	lastTS  uint32
+	// skipToMarker is set after a sequence gap: the in-flight access
+	// unit is unrecoverable, so packets are discarded until the marker
+	// that ends it, after which the stream is clean again.
+	skipToMarker bool
 }
 
 // NewRTPReceiver wraps conn for receiving.
 func NewRTPReceiver(conn net.Conn) *RTPReceiver { return &RTPReceiver{conn: conn} }
 
+// LastTimestamp returns the RTP timestamp of the most recently returned
+// access unit (valid after a successful NextAccessUnit).
+func (r *RTPReceiver) LastTimestamp() uint32 { return r.lastTS }
+
 // NextAccessUnit blocks until a whole access unit has been received.
-// io.EOF signals a cleanly closed stream.
+// io.EOF signals a cleanly closed stream; a *StreamGapError reports
+// lost packets (the receiver has already resynchronized to the next
+// access-unit boundary and remains readable); a connection severed
+// mid-packet surfaces ErrTruncated, never a clean EOF.
 func (r *RTPReceiver) NextAccessUnit() ([]byte, error) {
 	for {
 		raw, err := readFramed(r.conn)
 		if err != nil {
-			if err == io.EOF && len(r.buf) == 0 {
-				return nil, io.EOF
+			if err == io.EOF && len(r.buf) > 0 {
+				return nil, fmt.Errorf("stream: %d byte(s) of partial access unit at EOF: %w", len(r.buf), ErrTruncated)
 			}
 			return nil, err
 		}
@@ -149,14 +262,35 @@ func (r *RTPReceiver) NextAccessUnit() ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
+		if r.skipToMarker {
+			// Tail of the access unit broken by a gap; the packet after
+			// its marker starts clean.
+			r.lastSeq, r.haveSeq = pkt.Seq, true
+			if pkt.Marker {
+				r.skipToMarker = false
+			}
+			continue
+		}
 		if r.haveSeq && pkt.Seq != r.lastSeq+1 {
-			return nil, fmt.Errorf("stream: RTP sequence gap: %d -> %d", r.lastSeq, pkt.Seq)
+			gap := &StreamGapError{
+				From:    r.lastSeq,
+				To:      pkt.Seq,
+				Missing: int(uint16(pkt.Seq-r.lastSeq)) - 1,
+			}
+			r.lastSeq = pkt.Seq
+			r.buf = nil
+			// The packet closing the gap may itself be mid-unit; its
+			// access unit cannot be trusted either, so discard up to and
+			// including its marker.
+			r.skipToMarker = !pkt.Marker
+			return nil, gap
 		}
 		r.lastSeq, r.haveSeq = pkt.Seq, true
 		r.buf = append(r.buf, pkt.Payload...)
 		if pkt.Marker {
 			au := r.buf
 			r.buf = nil
+			r.lastTS = pkt.Timestamp
 			return au, nil
 		}
 	}
@@ -176,12 +310,14 @@ func writeFramed(w io.Writer, pkt []byte) error {
 	return err
 }
 
-// readFramed reads one length-prefixed packet.
+// readFramed reads one length-prefixed packet. Only a zero-byte header
+// read is a clean io.EOF; a partial header or body means the connection
+// was cut mid-packet and surfaces ErrTruncated.
 func readFramed(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return nil, io.EOF
+			return nil, fmt.Errorf("stream: partial packet header: %w", ErrTruncated)
 		}
 		return nil, err
 	}
@@ -190,7 +326,10 @@ func readFramed(r io.Reader) ([]byte, error) {
 		return nil, fmt.Errorf("stream: implausible packet size %d", n)
 	}
 	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	if m, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("stream: partial packet body (%d of %d bytes): %w", m, n, ErrTruncated)
+		}
 		return nil, err
 	}
 	return buf, nil
@@ -198,23 +337,58 @@ func readFramed(r io.Reader) ([]byte, error) {
 
 // ServeRTP streams an encoded video over a loopback TCP listener and
 // returns the address to connect to. The server sends to the first
-// client, then closes. Errors after accept are reported on errc.
-func ServeRTP(enc *codec.Encoded, clock Clock) (addr string, errc <-chan error, err error) {
+// client, then closes. Exactly one error (nil on success) is reported
+// on errc when the server goroutine exits, so callers can always join
+// it; cancelling ctx closes the listener and any live connection,
+// unblocking accept and in-flight writes. plan degrades the outgoing
+// packet stream deterministically.
+func ServeRTP(ctx context.Context, enc *codec.Encoded, clock Clock, plan *FaultPlan) (addr string, errc <-chan error, err error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ch := make(chan error, 1)
+	done := make(chan struct{})
+
+	var mu sync.Mutex
+	var conn net.Conn
+	// The watcher tears down the transport on cancellation so the
+	// server goroutine can never stay blocked in Accept or Write; it
+	// exits with the server on the done channel.
 	go func() {
+		select {
+		case <-ctx.Done():
+			ln.Close()
+			mu.Lock()
+			if conn != nil {
+				conn.Close()
+			}
+			mu.Unlock()
+		case <-done:
+		}
+	}()
+
+	go func() {
+		defer close(done)
 		defer ln.Close()
-		conn, err := ln.Accept()
+		c, err := ln.Accept()
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				err = cerr
+			}
 			ch <- err
 			return
 		}
-		sender := NewRTPSender(conn, 0x56525244, enc.Config.FPS, clock)
+		mu.Lock()
+		conn = c
+		mu.Unlock()
+		sender := NewRTPSender(c, 0x56525244, enc.Config.FPS, clock)
+		sender.InjectFaults(plan)
 		for i, f := range enc.Frames {
-			if err := sender.SendAccessUnit(f.Data, i); err != nil {
+			if err := sender.SendAccessUnitCtx(ctx, f.Data, i); err != nil {
 				ch <- err
 				sender.Close()
 				return

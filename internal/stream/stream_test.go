@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"io"
 	"net"
 	"testing"
@@ -88,7 +89,7 @@ func TestThrottledReaderEOF(t *testing.T) {
 func TestPipeBlocksAndDrains(t *testing.T) {
 	enc := encodedFixture(t, 6)
 	p := NewPipe(2)
-	go PumpVideo(p, enc, nil)
+	go PumpVideo(context.Background(), p, enc, nil, nil)
 	n := 0
 	for {
 		f, err := p.Next()
@@ -119,7 +120,7 @@ func TestPipeWriteAfterClose(t *testing.T) {
 func TestDecodingReader(t *testing.T) {
 	enc := encodedFixture(t, 4)
 	p := NewPipe(4)
-	go PumpVideo(p, enc, nil)
+	go PumpVideo(context.Background(), p, enc, nil, nil)
 	r, err := NewDecodingReader(p, enc.Config)
 	if err != nil {
 		t.Fatal(err)
@@ -148,7 +149,7 @@ func TestDecodingReader(t *testing.T) {
 
 func TestRTPRoundTrip(t *testing.T) {
 	enc := encodedFixture(t, 5)
-	addr, errc, err := ServeRTP(enc, nil)
+	addr, errc, err := ServeRTP(context.Background(), enc, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -10,13 +11,15 @@ import (
 // ThrottledReader exposes a frame sequence as a forward-only iterator
 // throttled to a simulated real-time rate: frame i becomes readable
 // only once i capture intervals have elapsed since the stream started.
-// Reads beyond the rate block (via Clock.Sleep), which is the online-
-// mode contract of the VCD. The total duration is intentionally not
-// exposed.
+// Reads beyond the rate block (via Clock.SleepCtx), which is the
+// online-mode contract of the VCD. The total duration is intentionally
+// not exposed. Cancelling the reader's context unwinds a blocked Next
+// with the context's error.
 type ThrottledReader struct {
 	src     video.Reader
 	fps     int
 	clock   Clock
+	ctx     context.Context
 	started bool
 	start   time.Time
 	n       int
@@ -25,25 +28,40 @@ type ThrottledReader struct {
 // NewThrottledReader wraps src, releasing frames at fps. A nil clock
 // uses the wall clock.
 func NewThrottledReader(src video.Reader, fps int, clock Clock) *ThrottledReader {
+	return NewThrottledReaderCtx(context.Background(), src, fps, clock)
+}
+
+// NewThrottledReaderCtx is NewThrottledReader with a lifecycle context:
+// pacing waits abort with ctx.Err() once ctx ends.
+func NewThrottledReaderCtx(ctx context.Context, src video.Reader, fps int, clock Clock) *ThrottledReader {
 	if clock == nil {
 		clock = RealClock{}
 	}
 	if fps <= 0 {
 		fps = 30
 	}
-	return &ThrottledReader{src: src, fps: fps, clock: clock}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &ThrottledReader{src: src, fps: fps, clock: clock, ctx: ctx}
 }
 
 // Next blocks until the next frame's capture time, then returns it.
-// io.EOF signals the end of the stream.
+// io.EOF signals the end of the stream; a cancelled context surfaces
+// its error.
 func (r *ThrottledReader) Next() (*video.Frame, error) {
+	if err := r.ctx.Err(); err != nil {
+		return nil, err
+	}
 	if !r.started {
 		r.started = true
 		r.start = r.clock.Now()
 	}
 	due := r.start.Add(time.Duration(r.n) * time.Second / time.Duration(r.fps))
 	if wait := due.Sub(r.clock.Now()); wait > 0 {
-		r.clock.Sleep(wait)
+		if err := r.clock.SleepCtx(r.ctx, wait); err != nil {
+			return nil, err
+		}
 	}
 	f, err := r.src.Next()
 	if err != nil {

@@ -1,0 +1,391 @@
+package vcd
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/queries"
+	"repro/internal/stream"
+	"repro/internal/vcity"
+	"repro/internal/vdbms"
+	"repro/internal/video"
+)
+
+// checkNoGoroutineLeak snapshots the goroutine count and returns a
+// function asserting the count settled back — the leak-free contract of
+// every RunOnline exit path.
+func checkNoGoroutineLeak(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		var after int
+		for {
+			runtime.Gosched()
+			after = runtime.NumGoroutine()
+			if after <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d before, %d after", before, after)
+	}
+}
+
+// corruptInput clones the input with frame idx's access unit replaced
+// by undecodable bytes, leaving the dataset's copy untouched.
+func corruptInput(in *vdbms.Input, idx int) *vdbms.Input {
+	cp := *in
+	enc := *in.Encoded
+	enc.Frames = append([]codec.EncodedFrame(nil), in.Encoded.Frames...)
+	f := enc.Frames[idx]
+	f.Data = []byte{0xff} // inter-frame flag with no body: decode must fail
+	enc.Frames[idx] = f
+	cp.Encoded = &enc
+	return &cp
+}
+
+func TestRunOnlineExitPathsLeakFree(t *testing.T) {
+	ds := testDataset(t)
+	cases := []struct {
+		name string
+		run  func(t *testing.T) error
+	}{
+		{"pipe-success", func(t *testing.T) error {
+			inst := onlineInstance(t, ds, queries.Q2a, queries.Params{})
+			_, err := RunOnlineOpts(context.Background(), inst, OnlineOptions{
+				Clock: stream.NewFakeClock(time.Unix(0, 0)),
+			})
+			return err
+		}},
+		{"rtp-success", func(t *testing.T) error {
+			inst := onlineInstance(t, ds, queries.Q2a, queries.Params{})
+			_, err := RunOnlineOpts(context.Background(), inst, OnlineOptions{
+				Transport: TransportRTP,
+				Clock:     stream.NewFakeClock(time.Unix(0, 0)),
+			})
+			return err
+		}},
+		{"unsupported-query", func(t *testing.T) error {
+			inst := onlineInstance(t, ds, queries.Q9, queries.Params{})
+			_, err := RunOnlineOpts(context.Background(), inst, OnlineOptions{})
+			if err == nil {
+				t.Error("Q9 should have no online kernel")
+			}
+			return nil
+		}},
+		{"cancelled-context-pipe", func(t *testing.T) error {
+			inst := onlineInstance(t, ds, queries.Q2a, queries.Params{})
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_, err := RunOnlineOpts(ctx, inst, OnlineOptions{
+				Clock: stream.NewFakeClock(time.Unix(0, 0)),
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("err = %v, want context.Canceled", err)
+			}
+			return nil
+		}},
+		{"cancelled-context-rtp", func(t *testing.T) error {
+			inst := onlineInstance(t, ds, queries.Q2a, queries.Params{})
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_, err := RunOnlineOpts(ctx, inst, OnlineOptions{
+				Transport: TransportRTP,
+				Clock:     stream.NewFakeClock(time.Unix(0, 0)),
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("err = %v, want context.Canceled", err)
+			}
+			return nil
+		}},
+		{"timeout", func(t *testing.T) error {
+			inst := onlineInstance(t, ds, queries.Q2a, queries.Params{})
+			// Wall-clock pacing (nil clock) streams 1s of video; a 30ms
+			// deadline fires mid-stream and must unwind both sides.
+			_, err := RunOnlineOpts(context.Background(), inst, OnlineOptions{
+				Timeout: 30 * time.Millisecond,
+			})
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("err = %v, want context.DeadlineExceeded", err)
+			}
+			return nil
+		}},
+		{"decode-error", func(t *testing.T) error {
+			inst := onlineInstance(t, ds, queries.Q2a, queries.Params{})
+			inst.Inputs[0] = corruptInput(inst.Inputs[0], 1)
+			// No fault plan: a corrupt access unit is a hard error, not a
+			// silent degradation.
+			_, err := RunOnlineOpts(context.Background(), inst, OnlineOptions{
+				Clock: stream.NewFakeClock(time.Unix(0, 0)),
+			})
+			if err == nil {
+				t.Error("corrupt AU with no fault plan should fail")
+			}
+			return nil
+		}},
+		{"rtp-connection-cut", func(t *testing.T) error {
+			inst := onlineInstance(t, ds, queries.Q2a, queries.Params{})
+			_, err := RunOnlineOpts(context.Background(), inst, OnlineOptions{
+				Transport: TransportRTP,
+				Clock:     stream.NewFakeClock(time.Unix(0, 0)),
+				Faults:    &stream.FaultPlan{Seed: 1, CutAtPacket: 2},
+			})
+			if !errors.Is(err, stream.ErrTruncated) {
+				t.Errorf("err = %v, want ErrTruncated", err)
+			}
+			// The server-side root cause must ride along, not be lost.
+			if err != nil && !errors.Is(err, stream.ErrTruncated) {
+				t.Errorf("missing truncation cause: %v", err)
+			}
+			return nil
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			check := checkNoGoroutineLeak(t)
+			if err := tc.run(t); err != nil {
+				t.Fatal(err)
+			}
+			check()
+		})
+	}
+}
+
+// decodeAll decodes every access unit of an input offline.
+func decodeAll(t *testing.T, in *vdbms.Input) []*video.Frame {
+	t.Helper()
+	dec, err := codec.NewDecoder(in.Encoded.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*video.Frame, 0, len(in.Encoded.Frames))
+	for _, f := range in.Encoded.Frames {
+		df, err := dec.Decode(f.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, df)
+	}
+	return out
+}
+
+func framesEqual(a, b *video.Frame) bool {
+	return a.W == b.W && a.H == b.H &&
+		bytes.Equal(a.Y, b.Y) && bytes.Equal(a.U, b.U) && bytes.Equal(a.V, b.V)
+}
+
+// A zero-fault online run must be bit-exact with offline execution of
+// the same kernel — resilience machinery may not perturb the clean path.
+func TestRunOnlineZeroFaultByteIdentical(t *testing.T) {
+	ds := testDataset(t)
+	inst := onlineInstance(t, ds, queries.Q2a, queries.Params{})
+	var got *video.Video
+	sink := vdbms.SinkFunc(func(key string, v *video.Video) error { got = v; return nil })
+	rep, err := RunOnlineOpts(context.Background(), inst, OnlineOptions{
+		Clock: stream.NewFakeClock(time.Unix(0, 0)),
+		Sink:  sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded || rep.FramesDropped != 0 || rep.Gaps != 0 || rep.Resyncs != 0 || rep.Retries != 0 {
+		t.Errorf("clean run reported degradation: %+v", rep)
+	}
+	want := decodeAll(t, inst.Inputs[0])
+	if len(got.Frames) != len(want) {
+		t.Fatalf("online produced %d frames, want %d", len(got.Frames), len(want))
+	}
+	for i, f := range got.Frames {
+		if !framesEqual(f, want[i].Grayscale()) {
+			t.Fatalf("frame %d differs from offline grayscale", i)
+		}
+	}
+}
+
+// Online Q1 must select exactly the frames the plan-level FrameWindow
+// declares — the same window every offline engine consumes.
+func TestRunOnlineQ1MatchesFrameWindow(t *testing.T) {
+	ds := testDataset(t)
+	p := queries.Params{X1: 8, Y1: 8, X2: 72, Y2: 56, T1: 0.2, T2: 0.75}
+	inst := onlineInstance(t, ds, queries.Q1, p)
+	var got *video.Video
+	sink := vdbms.SinkFunc(func(key string, v *video.Video) error { got = v; return nil })
+	if _, err := RunOnlineOpts(context.Background(), inst, OnlineOptions{
+		Clock: stream.NewFakeClock(time.Unix(0, 0)),
+		Sink:  sink,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	in := inst.Inputs[0]
+	f1, f2, _ := queries.FrameWindow(queries.Q1, p, in.Encoded.Config.FPS, len(in.Encoded.Frames))
+	if len(got.Frames) != f2-f1 {
+		t.Fatalf("online Q1 emitted %d frames, want window [%d,%d) = %d", len(got.Frames), f1, f2, f2-f1)
+	}
+	want := decodeAll(t, in)
+	for i, f := range got.Frames {
+		if !framesEqual(f, want[f1+i].Crop(p.X1, p.Y1, p.X2, p.Y2)) {
+			t.Fatalf("online Q1 frame %d differs from offline crop of source frame %d", i, f1+i)
+		}
+	}
+}
+
+// Online Q2c must honor its parameters (class filter, boxes) exactly as
+// the offline reference kernel does.
+func TestRunOnlineQ2cMatchesOffline(t *testing.T) {
+	ds := testDataset(t)
+	p := queries.Params{Algorithm: "yolov2", Classes: []vcity.ObjectClass{vcity.ClassVehicle}}
+	inst := onlineInstance(t, ds, queries.Q2c, p)
+	var got *video.Video
+	sink := vdbms.SinkFunc(func(key string, v *video.Video) error { got = v; return nil })
+	if _, err := RunOnlineOpts(context.Background(), inst, OnlineOptions{
+		Clock: stream.NewFakeClock(time.Unix(0, 0)),
+		Sink:  sink,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	in := inst.Inputs[0]
+	src := video.NewVideo(in.Encoded.Config.FPS)
+	for _, f := range decodeAll(t, in) {
+		src.Append(f)
+	}
+	want, err := queries.RunQ2c(src, p, in.Env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Frames) != len(want.Frames) {
+		t.Fatalf("online Q2c emitted %d frames, offline %d", len(got.Frames), len(want.Frames))
+	}
+	for i := range got.Frames {
+		if !framesEqual(got.Frames[i], want.Frames[i]) {
+			t.Fatalf("online Q2c frame %d differs from offline reference", i)
+		}
+	}
+}
+
+// Same seed, same plan ⇒ identical degradation accounting, run to run.
+func TestRunOnlineFaultDeterminism(t *testing.T) {
+	ds := testDataset(t)
+	run := func() *OnlineReport {
+		inst := onlineInstance(t, ds, queries.Q2a, queries.Params{})
+		rep, err := RunOnlineOpts(context.Background(), inst, OnlineOptions{
+			Transport: TransportRTP,
+			Clock:     stream.NewFakeClock(time.Unix(0, 0)),
+			Faults:    &stream.FaultPlan{Seed: 77, Camera: "cam", DropRate: 0.1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Frames != b.Frames || a.FramesDropped != b.FramesDropped ||
+		a.Gaps != b.Gaps || a.Resyncs != b.Resyncs || a.Degraded != b.Degraded {
+		t.Errorf("same seed diverged:\n  %+v\n  %+v", a, b)
+	}
+	if !a.Degraded || a.Gaps == 0 || a.FramesDropped == 0 {
+		t.Errorf("10%% drop left no trace: %+v", a)
+	}
+	// Every source frame is accounted exactly once: processed or dropped.
+	total := len(onlineInstance(t, ds, queries.Q2a, queries.Params{}).Inputs[0].Encoded.Frames)
+	if a.Frames+a.FramesDropped != total {
+		t.Errorf("frames %d + dropped %d ≠ source %d", a.Frames, a.FramesDropped, total)
+	}
+}
+
+// A different seed must yield a different (still valid) schedule.
+func TestRunOnlineFaultSeedMatters(t *testing.T) {
+	ds := testDataset(t)
+	run := func(seed uint64) *OnlineReport {
+		inst := onlineInstance(t, ds, queries.Q2a, queries.Params{})
+		rep, err := RunOnlineOpts(context.Background(), inst, OnlineOptions{
+			Transport: TransportRTP,
+			Clock:     stream.NewFakeClock(time.Unix(0, 0)),
+			Faults:    &stream.FaultPlan{Seed: seed, Camera: "cam", DropRate: 0.15},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	reports := map[int]bool{}
+	for seed := uint64(1); seed <= 4; seed++ {
+		reports[run(seed).FramesDropped] = true
+	}
+	if len(reports) < 2 {
+		t.Error("four seeds produced identical drop counts — schedule not seed-keyed")
+	}
+}
+
+// Transient dial failures retry with backoff and are reported.
+func TestRunOnlineDialRetry(t *testing.T) {
+	ds := testDataset(t)
+	inst := onlineInstance(t, ds, queries.Q2a, queries.Params{})
+	clock := stream.NewFakeClock(time.Unix(0, 0))
+	rep, err := RunOnlineOpts(context.Background(), inst, OnlineOptions{
+		Transport: TransportRTP,
+		Clock:     clock,
+		Faults:    &stream.FaultPlan{Seed: 5, DialFailures: 2},
+		Retry:     stream.RetryPolicy{Attempts: 4, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", rep.Retries)
+	}
+	if !rep.Degraded {
+		t.Error("retried run not marked degraded")
+	}
+	if want := len(inst.Inputs[0].Encoded.Frames); rep.Frames != want {
+		t.Errorf("processed %d frames after retry, want %d", rep.Frames, want)
+	}
+}
+
+// When retries are exhausted the dial error surfaces and nothing leaks.
+func TestRunOnlineDialRetryExhausted(t *testing.T) {
+	ds := testDataset(t)
+	inst := onlineInstance(t, ds, queries.Q2a, queries.Params{})
+	check := checkNoGoroutineLeak(t)
+	_, err := RunOnlineOpts(context.Background(), inst, OnlineOptions{
+		Transport: TransportRTP,
+		Clock:     stream.NewFakeClock(time.Unix(0, 0)),
+		Faults:    &stream.FaultPlan{Seed: 5, DialFailures: 10},
+		Retry:     stream.RetryPolicy{Attempts: 3, Seed: 5},
+	})
+	if err == nil {
+		t.Fatal("exhausted retries should fail")
+	}
+	check()
+}
+
+// Elapsed and FPS are measured on the injected clock: a fake-clock run
+// reports the simulated capture rate, not wall time.
+func TestRunOnlineFPSOnInjectedClock(t *testing.T) {
+	ds := testDataset(t)
+	inst := onlineInstance(t, ds, queries.Q2a, queries.Params{})
+	clock := stream.NewFakeClock(time.Unix(0, 0))
+	rep, err := RunOnlineOpts(context.Background(), inst, OnlineOptions{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := inst.Inputs[0].Encoded.Config.FPS
+	// The producer paces ~1s of video on the fake clock; an instant
+	// consumer therefore reports roughly the capture rate (the kernel
+	// itself costs zero fake time).
+	if rep.FPS < float64(fps)*0.8 || rep.FPS > float64(fps)*2.5 {
+		t.Errorf("FPS = %.1f on the fake clock, want ≈ capture rate %d", rep.FPS, fps)
+	}
+	if rep.Elapsed <= 0 {
+		t.Error("no elapsed time on the injected clock")
+	}
+}

@@ -37,6 +37,12 @@ emit_json <"$tmp" >BENCH_query.json
 go test -run '^$' -bench '^BenchmarkDecodeRange$' -benchtime 3x ./internal/codec >"$tmp"
 emit_json <"$tmp" >BENCH_range.json
 
+# BENCH_online.json: online-mode throughput over RTP on a fake clock at
+# the fault ladder (0%, 1%, 5% packet drop) — achieved fps plus frames
+# lost to the seeded fault schedule.
+go test -run '^$' -bench '^BenchmarkOnlineFaults$' -benchtime 3x . >"$tmp"
+emit_json <"$tmp" >BENCH_online.json
+
 # BENCH_obs.json: observability overhead. The same hot benchmarks run
 # with the metrics registry disabled (the default no-op path) and
 # enabled (VR_OBS=1, see obsEnabled in the bench files); min-of-5 ns/op
@@ -79,4 +85,4 @@ END {
 }
 ' "$tmp" "$tmp_on" >BENCH_obs.json
 
-cat BENCH_query.json BENCH_range.json BENCH_obs.json
+cat BENCH_query.json BENCH_range.json BENCH_online.json BENCH_obs.json

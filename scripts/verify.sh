@@ -10,8 +10,13 @@ set -eux
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/parallel ./internal/vcg ./internal/codec ./internal/vcd ./internal/queries ./internal/metrics
+go test -race ./internal/parallel ./internal/vcg ./internal/codec ./internal/vcd ./internal/queries ./internal/metrics ./internal/stream
 go test -race -run 'TestDecodedCache|TestRunRangeDecodeEquivalence' ./internal/vcd
+# Online-mode resilience under the race detector: every RunOnline exit
+# path (success, cancel, timeout, decode error, connection cut) must
+# leave the goroutine count where it started, and seeded fault schedules
+# must reproduce exactly.
+go test -race -run 'TestRunOnline|TestPipeWriteCloseWriteRace|TestServeRTPFault' ./internal/vcd ./internal/stream
 # Observability invariants under the race detector: lock-free histogram
 # merges stay lossless, span aggregation stays atomic, and telemetry
 # counts match between sequential and 8-way runs.
