@@ -1,0 +1,65 @@
+package codec
+
+import (
+	"testing"
+)
+
+// TestDecodeSteadyStateAllocs pins the decoder's steady-state allocation
+// behavior: once the frame pool is warm, a decode→recycle cycle performs
+// zero heap allocations — the bit reader lives on the stack, transform
+// scratch is fixed-size arrays, and the output frame is recycled. A
+// regression here means a hot-path structure started escaping.
+func TestDecodeSteadyStateAllocs(t *testing.T) {
+	v := mixedVideo(96, 64, 4, 11)
+	enc, err := EncodeVideo(v, Config{QP: 20, GOP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(enc.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: decode the stream once so the pool holds a frame and the
+	// quant tables are built.
+	for _, f := range enc.Frames {
+		fr, err := dec.Decode(f.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec.Recycle(fr)
+	}
+	au := enc.Frames[0] // keyframe: decodable repeatedly on one decoder
+	allocs := testing.AllocsPerRun(200, func() {
+		fr, err := dec.Decode(au.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec.Recycle(fr)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state decode allocates %.1f times per frame, want 0", allocs)
+	}
+}
+
+// TestParseAUSteadyStateAllocs pins the sub-GOP entropy pass: parsing an
+// access unit into warm pooled symbol buffers allocates nothing.
+func TestParseAUSteadyStateAllocs(t *testing.T) {
+	v := mixedVideo(96, 64, 2, 13)
+	enc, err := EncodeVideo(v, Config{QP: 20, GOP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbW, mbH := 96/16, 64/16
+	var s auSyms
+	s.mbs = getMBs(mbW * mbH) // held warm across runs
+	au := enc.Frames[0]
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := parseAU(au.Data, mbW, mbH, &s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	putMBs(s.mbs)
+	if allocs != 0 {
+		t.Fatalf("steady-state AU parse allocates %.1f times, want 0", allocs)
+	}
+}

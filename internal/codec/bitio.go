@@ -16,45 +16,54 @@ package codec
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
-// bitWriter accumulates bits MSB-first into a byte slice.
+// Entropy I/O runs word-at-a-time: both the reader and the writer move
+// bits through a 64-bit accumulator so the per-symbol cost is a couple
+// of shifts, not a bounds-checked loop iteration per bit. The bit-level
+// format is unchanged — output bytes and truncation errors are
+// byte-identical to the historical per-bit implementation (the golden
+// corpus under testdata/ pins this).
+
+// bitWriter accumulates bits MSB-first into a byte slice. Bits gather
+// in the low end of cur (at most 7 carried between calls) and flush to
+// buf a whole byte at a time.
 type bitWriter struct {
 	buf  []byte
 	cur  uint64
-	nCur uint // bits currently held in cur (< 8)
-}
-
-func (w *bitWriter) writeBit(b uint) {
-	w.cur = w.cur<<1 | uint64(b&1)
-	w.nCur++
-	if w.nCur == 8 {
-		w.buf = append(w.buf, byte(w.cur))
-		w.cur, w.nCur = 0, 0
-	}
+	nCur uint // bits currently held in cur (< 8 between calls)
 }
 
 // writeBits writes the low n bits of v, MSB first. n must be ≤ 32.
 func (w *bitWriter) writeBits(v uint32, n uint) {
-	for i := int(n) - 1; i >= 0; i-- {
-		w.writeBit(uint(v>>uint(i)) & 1)
+	w.cur = w.cur<<n | uint64(v)&(1<<n-1)
+	w.nCur += n
+	for w.nCur >= 8 {
+		w.nCur -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.nCur))
 	}
 }
 
-// writeUE writes v using unsigned Exp-Golomb coding.
+// writeBits64 writes the low n bits of v, MSB first, for n ≤ 64.
+func (w *bitWriter) writeBits64(v uint64, n uint) {
+	if n > 32 {
+		w.writeBits(uint32(v>>32), n-32)
+		n = 32
+	}
+	w.writeBits(uint32(v), n)
+}
+
+// writeUE writes v using unsigned Exp-Golomb coding: n leading zeros
+// followed by the n+1 significant bits of v+1, where n = bitlen(v+1)-1.
+// The whole code is at most 32 zeros plus 33 value bits.
 func (w *bitWriter) writeUE(v uint32) {
 	x := uint64(v) + 1
-	// Count bits of x.
-	n := uint(0)
-	for t := x; t > 1; t >>= 1 {
-		n++
+	n := uint(bits.Len64(x)) - 1
+	if n > 0 {
+		w.writeBits(0, n)
 	}
-	for i := uint(0); i < n; i++ {
-		w.writeBit(0)
-	}
-	for i := int(n); i >= 0; i-- {
-		w.writeBit(uint(x>>uint(i)) & 1)
-	}
+	w.writeBits64(x, n+1)
 }
 
 // writeSE writes v using signed Exp-Golomb coding (H.264 mapping:
@@ -82,59 +91,84 @@ func (w *bitWriter) bitLen() int { return len(w.buf)*8 + int(w.nCur) }
 // errTruncated reports a bitstream that ended mid-symbol.
 var errTruncated = errors.New("codec: truncated bitstream")
 
-// bitReader consumes bits MSB-first from a byte slice.
+// errInvalidUE reports an Exp-Golomb code whose zero prefix exceeds the
+// 32-bit value range (32 leading zeros at most).
+var errInvalidUE = fmt.Errorf("codec: invalid Exp-Golomb code (leading zeros > 32)")
+
+// bitReader consumes bits MSB-first from a byte slice through a 64-bit
+// accumulator: acc holds the next nAcc unread bits left-aligned (bit 63
+// is the next bit of the stream; everything below the top nAcc bits is
+// zero), refilled a byte at a time from buf. Truncation is checked at
+// refill granularity — a read fails with errTruncated exactly when the
+// stream holds fewer bits than the symbol needs, matching the per-bit
+// reader's behavior on every input.
 type bitReader struct {
-	buf []byte
-	pos uint // bit position
+	buf  []byte
+	pos  int    // next byte of buf to load into acc
+	acc  uint64 // unread bits, MSB-aligned
+	nAcc uint   // number of valid bits in acc
 }
 
-func (r *bitReader) readBit() (uint, error) {
-	byteIdx := r.pos >> 3
-	if int(byteIdx) >= len(r.buf) {
-		return 0, errTruncated
+// refill tops the accumulator up to at least 57 valid bits, or to the
+// end of the stream, whichever comes first.
+func (r *bitReader) refill() {
+	for r.nAcc <= 56 && r.pos < len(r.buf) {
+		r.acc |= uint64(r.buf[r.pos]) << (56 - r.nAcc)
+		r.pos++
+		r.nAcc += 8
 	}
-	bit := uint(r.buf[byteIdx]>>(7-(r.pos&7))) & 1
-	r.pos++
-	return bit, nil
 }
 
+// readBits returns the next n bits MSB-first. n must be ≤ 32.
 func (r *bitReader) readBits(n uint) (uint32, error) {
-	var v uint32
-	for i := uint(0); i < n; i++ {
-		b, err := r.readBit()
-		if err != nil {
-			return 0, err
-		}
-		v = v<<1 | uint32(b)
-	}
-	return v, nil
-}
-
-func (r *bitReader) readUE() (uint32, error) {
-	n := uint(0)
-	for {
-		b, err := r.readBit()
-		if err != nil {
-			return 0, err
-		}
-		if b == 1 {
-			break
-		}
-		n++
-		if n > 32 {
-			return 0, fmt.Errorf("codec: invalid Exp-Golomb code (leading zeros > 32)")
+	if r.nAcc < n {
+		r.refill()
+		if r.nAcc < n {
+			return 0, errTruncated
 		}
 	}
 	if n == 0 {
 		return 0, nil
 	}
-	rest, err := r.readBits(n)
+	v := uint32(r.acc >> (64 - n))
+	r.acc <<= n
+	r.nAcc -= n
+	return v, nil
+}
+
+// readUE reads an unsigned Exp-Golomb code: the zero prefix is counted
+// with a single LeadingZeros64 over the accumulator instead of a loop.
+func (r *bitReader) readUE() (uint32, error) {
+	if r.nAcc < 33 {
+		r.refill()
+	}
+	lz := uint(bits.LeadingZeros64(r.acc))
+	if lz >= r.nAcc {
+		// Every remaining bit is zero: the per-bit reader would consume
+		// them all and then either trip the 32-zero validity bound or run
+		// off the end of the stream.
+		if r.nAcc > 32 {
+			return 0, errInvalidUE
+		}
+		return 0, errTruncated
+	}
+	if lz > 32 {
+		return 0, errInvalidUE
+	}
+	// Code layout: lz zeros, a marker one, then lz value bits.
+	r.acc <<= lz + 1
+	r.nAcc -= lz + 1
+	if lz == 0 {
+		return 0, nil
+	}
+	rest, err := r.readBits(lz)
 	if err != nil {
 		return 0, err
 	}
-	return (1<<n | rest) - 1, nil
+	return (1<<lz | rest) - 1, nil
 }
 
+// readSE reads a signed Exp-Golomb code (inverse of writeSE's mapping).
 func (r *bitReader) readSE() (int32, error) {
 	u, err := r.readUE()
 	if err != nil {

@@ -14,14 +14,23 @@ import (
 // reference planes), so each keyframe seeds an independently decodable
 // chain. Chains decode concurrently on fresh decoders and frames are
 // reassembled in stream order, making the output identical to Decode()
-// at every worker count. Streams without exploitable structure (one
-// chain, or a P-frame before any keyframe) fall back to the serial
-// path and its error reporting.
+// at every worker count.
+//
+// When the stream has fewer chains than workers (the limit case being a
+// single GOP), chain parallelism alone can't use the machine, so decode
+// switches to the sub-GOP path (subgop.go): a parallel entropy pass over
+// every access unit, then chain-ordered reconstruction with
+// row-parallel frames. Streams without any safe split point (a P-frame
+// before any keyframe) fall back to the serial path and its error
+// reporting.
 func (e *Encoded) DecodeParallel(workers int) (*video.Video, error) {
 	workers = parallel.Normalize(workers)
 	chains := e.gopChains()
-	if workers <= 1 || len(chains) <= 1 {
+	if workers <= 1 || len(chains) == 0 {
 		return e.Decode()
+	}
+	if len(chains) < workers {
+		return e.decodeSubGOP(workers, chains)
 	}
 	decoded := make([][]*video.Frame, len(chains))
 	err := parallel.ForEachWorker(workers, len(chains), func(worker, ci int) error {

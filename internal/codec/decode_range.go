@@ -80,7 +80,8 @@ func DecodeRange(cfg Config, aus []EncodedFrame, first, last int) (*video.Video,
 		sp.Frames(1)
 		sp.Bytes(int64(len(aus[i].Data)))
 		if i < first {
-			continue // seed run: decoded for reference state only
+			dec.Recycle(fr) // seed run: decoded for reference state only
+			continue
 		}
 		out.Append(fr)
 		fr.Index = i
@@ -141,7 +142,8 @@ func (e *Encoded) DecodeRangeParallel(workers, first, last int) (*video.Video, e
 			sp.Frames(1)
 			sp.Bytes(int64(len(e.Frames[i].Data)))
 			if i < first {
-				continue // seed run of the first covering chain
+				dec.Recycle(fr) // seed run of the first covering chain
+				continue
 			}
 			fr.Index = i
 			out = append(out, fr)

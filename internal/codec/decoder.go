@@ -8,11 +8,17 @@ import (
 
 // Decoder decompresses access units produced by an Encoder with the same
 // configuration. It is not safe for concurrent use.
+//
+// Output frames come from an internal FramePool: callers that are done
+// with a frame may hand it back via Recycle so steady-state decoding
+// allocates nothing (see TestDecodeSteadyStateAllocs). Frames that are
+// kept simply never return to the pool.
 type Decoder struct {
 	cfg              Config
 	refY, refU, refV *plane
 	curY, curU, curV *plane
 	haveRef          bool
+	pool             *video.FramePool
 }
 
 // NewDecoder returns a decoder for the given configuration. Only the
@@ -34,19 +40,32 @@ func NewDecoder(cfg Config) (*Decoder, error) {
 	}, nil
 }
 
+// Recycle returns a frame obtained from Decode to the decoder's pool.
+// The caller must not use the frame afterwards.
+func (d *Decoder) Recycle(f *video.Frame) {
+	if d.pool != nil {
+		d.pool.Put(f)
+	}
+}
+
+// newFrame takes a frame from the pool (lazily created so decoders used
+// once don't pay for pool bookkeeping).
+func (d *Decoder) newFrame() *video.Frame {
+	if d.pool == nil {
+		d.pool = video.NewFramePool(d.cfg.Width, d.cfg.Height)
+	}
+	f := d.pool.Get()
+	f.Index = 0
+	return f
+}
+
 // Decode decompresses one access unit into a frame.
 func (d *Decoder) Decode(data []byte) (*video.Frame, error) {
-	r := &bitReader{buf: data}
-	ft, err := r.readBits(1)
+	r := bitReader{buf: data}
+	isKey, qp, err := readFrameHeader(&r)
 	if err != nil {
 		return nil, err
 	}
-	isKey := ft == 0
-	qpBits, err := r.readBits(6)
-	if err != nil {
-		return nil, err
-	}
-	qp := int(qpBits)
 	if !isKey && !d.haveRef {
 		return nil, fmt.Errorf("codec: P-frame received before any keyframe")
 	}
@@ -57,19 +76,24 @@ func (d *Decoder) Decode(data []byte) (*video.Frame, error) {
 		pmvx, pmvy := 0, 0
 		for mx := 0; mx < mbW; mx++ {
 			if isKey {
-				if err := d.decodeIntraMB(r, mx, my, qp); err != nil {
+				if err := d.decodeIntraMB(&r, mx, my, qp); err != nil {
 					return nil, err
 				}
 			} else {
-				pmvx, pmvy, err = d.decodeInterMB(r, mx, my, qp, pmvx, pmvy)
+				pmvx, pmvy, err = d.decodeInterMB(&r, mx, my, qp, pmvx, pmvy)
 				if err != nil {
 					return nil, err
 				}
 			}
 		}
 	}
+	return d.finishFrame(), nil
+}
 
-	f := video.NewFrame(d.cfg.Width, d.cfg.Height)
+// finishFrame copies the reconstructed planes into a pooled frame and
+// rotates current → reference.
+func (d *Decoder) finishFrame() *video.Frame {
+	f := d.newFrame()
 	d.curY.storeTo(f.Y, f.W, f.H)
 	d.curU.storeTo(f.U, f.ChromaW(), f.ChromaH())
 	d.curV.storeTo(f.V, f.ChromaW(), f.ChromaH())
@@ -78,24 +102,39 @@ func (d *Decoder) Decode(data []byte) (*video.Frame, error) {
 	d.refU, d.curU = d.curU, d.refU
 	d.refV, d.curV = d.curV, d.refV
 	d.haveRef = true
-	return f, nil
+	return f
+}
+
+// readFrameHeader parses the 1-bit frame type and 6-bit QP field.
+func readFrameHeader(r *bitReader) (isKey bool, qp int, err error) {
+	ft, err := r.readBits(1)
+	if err != nil {
+		return false, 0, err
+	}
+	qpBits, err := r.readBits(6)
+	if err != nil {
+		return false, 0, err
+	}
+	return ft == 0, int(qpBits), nil
 }
 
 func (d *Decoder) decodeIntraMB(r *bitReader, mx, my, qp int) error {
 	var levels [64]int32
 	for by := 0; by < 2; by++ {
 		for bx := 0; bx < 2; bx++ {
-			if err := decodeBlock(r, &levels); err != nil {
+			coded, err := decodeBlock(r, &levels)
+			if err != nil {
 				return err
 			}
-			reconstructIntra(d.curY, mx*16+bx*8, my*16+by*8, &levels, qp)
+			reconstructIntra(d.curY, mx*16+bx*8, my*16+by*8, &levels, qp, coded)
 		}
 	}
 	for _, p := range [2]*plane{d.curU, d.curV} {
-		if err := decodeBlock(r, &levels); err != nil {
+		coded, err := decodeBlock(r, &levels)
+		if err != nil {
 			return err
 		}
-		reconstructIntra(p, mx*8, my*8, &levels, qp)
+		reconstructIntra(p, mx*8, my*8, &levels, qp, coded)
 	}
 	return nil
 }
@@ -125,65 +164,67 @@ func (d *Decoder) decodeInterMB(r *bitReader, mx, my, qp, pmvx, pmvy int) (int, 
 	var levels [64]int32
 	for by := 0; by < 2; by++ {
 		for bx := 0; bx < 2; bx++ {
-			if err := decodeBlock(r, &levels); err != nil {
+			coded, err := decodeBlock(r, &levels)
+			if err != nil {
 				return 0, 0, err
 			}
-			reconstructInter(d.curY, d.refY, cx+bx*8, cy+by*8, mvx, mvy, &levels, qp)
+			reconstructInter(d.curY, d.refY, cx+bx*8, cy+by*8, mvx, mvy, &levels, qp, coded)
 		}
 	}
 	cmvx, cmvy := mvx/2, mvy/2
 	for _, pp := range [2]struct{ cur, ref *plane }{{d.curU, d.refU}, {d.curV, d.refV}} {
-		if err := decodeBlock(r, &levels); err != nil {
+		coded, err := decodeBlock(r, &levels)
+		if err != nil {
 			return 0, 0, err
 		}
-		reconstructInter(pp.cur, pp.ref, mx*8, my*8, cmvx, cmvy, &levels, qp)
+		reconstructInter(pp.cur, pp.ref, mx*8, my*8, cmvx, cmvy, &levels, qp, coded)
 	}
 	return mvx, mvy, nil
 }
 
-// decodeBlock reads one entropy-coded block into zigzag-ordered levels.
-func decodeBlock(r *bitReader, levels *[64]int32) error {
-	for i := range levels {
-		levels[i] = 0
-	}
+// decodeBlock reads one entropy-coded block into zigzag-ordered levels,
+// reporting whether the block was coded. Uncoded blocks leave levels
+// untouched — callers skip the transform entirely for them.
+func decodeBlock(r *bitReader, levels *[64]int32) (bool, error) {
 	coded, err := r.readBits(1)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if coded == 0 {
-		return nil
+		return false, nil
 	}
+	*levels = [64]int32{}
 	dc, err := r.readSE()
 	if err != nil {
-		return err
+		return false, err
 	}
 	levels[0] = dc
 	nAC, err := r.readUE()
 	if err != nil {
-		return err
+		return false, err
 	}
 	if nAC > 63 {
-		return fmt.Errorf("codec: invalid AC coefficient count %d", nAC)
+		return false, fmt.Errorf("codec: invalid AC coefficient count %d", nAC)
 	}
 	pos := 1
 	for i := uint32(0); i < nAC; i++ {
 		run, err := r.readUE()
 		if err != nil {
-			return err
+			return false, err
 		}
 		lvl, err := r.readSE()
 		if err != nil {
-			return err
+			return false, err
 		}
 		pos += int(run)
 		if pos >= 64 {
-			return fmt.Errorf("codec: coefficient position %d out of range", pos)
+			return false, fmt.Errorf("codec: coefficient position %d out of range", pos)
 		}
 		if lvl == 0 {
-			return fmt.Errorf("codec: zero level in run-level pair")
+			return false, fmt.Errorf("codec: zero level in run-level pair")
 		}
 		levels[pos] = lvl
 		pos++
 	}
-	return nil
+	return true, nil
 }

@@ -120,6 +120,9 @@ type Encoder struct {
 	// mbs is the per-frame analysis scratch (one entry per macroblock),
 	// reused across frames to avoid reallocation.
 	mbs []mbCode
+	// wbuf is the entropy pass's bitstream scratch, reused across frames;
+	// each access unit is copied out at its exact final size.
+	wbuf []byte
 
 	frameIdx int
 	rc       rateControl
@@ -217,7 +220,7 @@ func (e *Encoder) Encode(f *video.Frame) (EncodedFrame, error) {
 	// Entropy pass: strictly serial bit-writing over the analysis
 	// results, in raster order — the bitstream is identical to a fully
 	// sequential encode.
-	w := &bitWriter{}
+	w := &bitWriter{buf: e.wbuf[:0]}
 	if isKey {
 		w.writeBits(0, 1)
 	} else {
@@ -248,7 +251,10 @@ func (e *Encoder) Encode(f *video.Frame) (EncodedFrame, error) {
 		}
 	}
 
-	data := w.bytes()
+	bs := w.bytes()
+	data := make([]byte, len(bs))
+	copy(data, bs)
+	e.wbuf = bs[:0] // keep the grown scratch for the next frame
 	e.rc.update(len(data) * 8)
 	e.frameIdx++
 	// The reconstructed current planes become the reference.
@@ -276,7 +282,7 @@ func (e *Encoder) analyzeIntraRow(my, qp int) {
 				x0, y0 := mx*16+bx*8, my*16+by*8
 				extractIntra(e.curY, x0, y0, &res)
 				mb.coded[bi] = quantizeBlock(&res, qp, &mb.levels[bi])
-				reconstructIntra(e.curY, x0, y0, &mb.levels[bi], qp)
+				reconstructIntra(e.curY, x0, y0, &mb.levels[bi], qp, mb.coded[bi])
 				bi++
 			}
 		}
@@ -285,7 +291,7 @@ func (e *Encoder) analyzeIntraRow(my, qp int) {
 			x0, y0 := mx*8, my*8
 			extractIntra(p, x0, y0, &res)
 			mb.coded[bi] = quantizeBlock(&res, qp, &mb.levels[bi])
-			reconstructIntra(p, x0, y0, &mb.levels[bi], qp)
+			reconstructIntra(p, x0, y0, &mb.levels[bi], qp, mb.coded[bi])
 			bi++
 		}
 	}
@@ -329,7 +335,7 @@ func (e *Encoder) analyzeInterRow(my, qp int) {
 				x0, y0 := cx+bx*8, cy+by*8
 				extractInter(e.curY, e.refY, x0, y0, mvx, mvy, &res)
 				mb.coded[bi] = quantizeBlock(&res, qp, &mb.levels[bi])
-				reconstructInter(e.curY, e.refY, x0, y0, mvx, mvy, &mb.levels[bi], qp)
+				reconstructInter(e.curY, e.refY, x0, y0, mvx, mvy, &mb.levels[bi], qp, mb.coded[bi])
 				bi++
 			}
 		}
@@ -339,7 +345,7 @@ func (e *Encoder) analyzeInterRow(my, qp int) {
 			x0, y0 := mx*8, my*8
 			extractInter(pp.cur, pp.ref, x0, y0, cmvx, cmvy, &res)
 			mb.coded[bi] = quantizeBlock(&res, qp, &mb.levels[bi])
-			reconstructInter(pp.cur, pp.ref, x0, y0, cmvx, cmvy, &mb.levels[bi], qp)
+			reconstructInter(pp.cur, pp.ref, x0, y0, cmvx, cmvy, &mb.levels[bi], qp, mb.coded[bi])
 			bi++
 		}
 		pmvx, pmvy = mvx, mvy
@@ -357,8 +363,19 @@ func extractIntra(p *plane, x0, y0 int, res *[64]int32) {
 }
 
 // reconstructIntra writes the dequantized intra block back into the
-// plane so it can serve as reference data.
-func reconstructIntra(p *plane, x0, y0 int, levels *[64]int32, qp int) {
+// plane so it can serve as reference data. An uncoded block has an
+// all-zero residual, so reconstruction collapses to the 128 bias — no
+// transform needed.
+func reconstructIntra(p *plane, x0, y0 int, levels *[64]int32, qp int, coded bool) {
+	if !coded {
+		for y := 0; y < 8; y++ {
+			row := p.pix[(y0+y)*p.w+x0 : (y0+y)*p.w+x0+8]
+			for x := range row {
+				row[x] = 128
+			}
+		}
+		return
+	}
 	var res [64]int32
 	dequantizeBlock(levels, qp, &res)
 	for y := 0; y < 8; y++ {
@@ -370,8 +387,21 @@ func reconstructIntra(p *plane, x0, y0 int, levels *[64]int32, qp int) {
 }
 
 // extractInter loads the motion-compensated residual for the 8×8 block
-// at (x0, y0) with motion vector (mvx, mvy).
+// at (x0, y0) with motion vector (mvx, mvy). Interior predictions (the
+// common case) read reference rows directly; blocks whose prediction
+// crosses the plane edge take the clamped per-sample path.
 func extractInter(cur, ref *plane, x0, y0, mvx, mvy int, res *[64]int32) {
+	sx, sy := x0+mvx, y0+mvy
+	if sx >= 0 && sy >= 0 && sx+8 <= ref.w && sy+8 <= ref.h {
+		for y := 0; y < 8; y++ {
+			row := cur.pix[(y0+y)*cur.w+x0 : (y0+y)*cur.w+x0+8]
+			rrow := ref.pix[(sy+y)*ref.w+sx : (sy+y)*ref.w+sx+8]
+			for x := 0; x < 8; x++ {
+				res[y*8+x] = int32(row[x]) - int32(rrow[x])
+			}
+		}
+		return
+	}
 	for y := 0; y < 8; y++ {
 		row := cur.pix[(y0+y)*cur.w+x0:]
 		for x := 0; x < 8; x++ {
@@ -381,10 +411,27 @@ func extractInter(cur, ref *plane, x0, y0, mvx, mvy int, res *[64]int32) {
 }
 
 // reconstructInter writes prediction + dequantized residual back into
-// the current plane.
-func reconstructInter(cur, ref *plane, x0, y0, mvx, mvy int, levels *[64]int32, qp int) {
+// the current plane. An uncoded block has an all-zero residual, so
+// reconstruction is exactly the motion-compensated prediction
+// (prediction samples are already in [0, 255], so the clamp is a no-op).
+func reconstructInter(cur, ref *plane, x0, y0, mvx, mvy int, levels *[64]int32, qp int, coded bool) {
+	if !coded {
+		copyMB(cur, ref, x0, y0, 8, mvx, mvy)
+		return
+	}
 	var res [64]int32
 	dequantizeBlock(levels, qp, &res)
+	sx, sy := x0+mvx, y0+mvy
+	if sx >= 0 && sy >= 0 && sx+8 <= ref.w && sy+8 <= ref.h {
+		for y := 0; y < 8; y++ {
+			row := cur.pix[(y0+y)*cur.w+x0 : (y0+y)*cur.w+x0+8]
+			rrow := ref.pix[(sy+y)*ref.w+sx : (sy+y)*ref.w+sx+8]
+			for x := 0; x < 8; x++ {
+				row[x] = clampSample(res[y*8+x] + int32(rrow[x]))
+			}
+		}
+		return
+	}
 	for y := 0; y < 8; y++ {
 		row := cur.pix[(y0+y)*cur.w+x0:]
 		for x := 0; x < 8; x++ {
@@ -394,8 +441,17 @@ func reconstructInter(cur, ref *plane, x0, y0, mvx, mvy int, levels *[64]int32, 
 }
 
 // copyMB copies a bs×bs block from ref to cur at (x0, y0) displaced by
-// (mvx, mvy) in the reference.
+// (mvx, mvy) in the reference. Interior source blocks copy whole rows;
+// edge-crossing predictions fall back to clamped per-sample reads.
 func copyMB(cur, ref *plane, x0, y0, bs, mvx, mvy int) {
+	sx, sy := x0+mvx, y0+mvy
+	if sx >= 0 && sy >= 0 && sx+bs <= ref.w && sy+bs <= ref.h {
+		for y := 0; y < bs; y++ {
+			copy(cur.pix[(y0+y)*cur.w+x0:(y0+y)*cur.w+x0+bs],
+				ref.pix[(sy+y)*ref.w+sx:(sy+y)*ref.w+sx+bs])
+		}
+		return
+	}
 	for y := 0; y < bs; y++ {
 		row := cur.pix[(y0+y)*cur.w+x0:]
 		for x := 0; x < bs; x++ {

@@ -1,11 +1,23 @@
 package codec
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // The transform stage uses an 8×8 type-II DCT with orthonormal scaling,
 // computed in float64 with explicit rounding at quantization time. The
 // basis is precomputed once; forward and inverse transforms are exact
 // inverses up to quantization.
+//
+// The hot path (transform_fast.go) evaluates the same transform through
+// even/odd butterfly 1-D passes and folds the quantizer step into
+// per-QP lookup tables. Its results are kept bit-identical to this
+// reference formulation by certified rounding: any (qp, coefficient)
+// whose fast value lands within a guard band of a rounding boundary is
+// recomputed with the exact functions below (see DESIGN.md §5.9). The
+// reference formulation therefore remains the codec's definition of
+// correctness — the golden corpus under testdata/ pins it.
 
 const blockSize = 8
 
@@ -25,7 +37,7 @@ func init() {
 }
 
 // fdct8 computes the forward 2D DCT of the 8×8 block src (row-major
-// residual samples) into dst.
+// residual samples) into dst. Exact reference formulation.
 func fdct8(src *[64]int32, dst *[64]float64) {
 	var tmp [64]float64
 	// Rows.
@@ -51,7 +63,8 @@ func fdct8(src *[64]int32, dst *[64]float64) {
 }
 
 // idct8 computes the inverse 2D DCT of the 8×8 coefficient block src
-// into integer samples dst (rounded to nearest).
+// into integer samples dst (rounded to nearest). Exact reference
+// formulation.
 func idct8(src *[64]float64, dst *[64]int32) {
 	var tmp [64]float64
 	// Columns.
@@ -76,6 +89,46 @@ func idct8(src *[64]float64, dst *[64]int32) {
 	}
 }
 
+// fdctCoefExact reproduces fdct8's value for the single coefficient at
+// flat index z = k*8+x, operation for operation: the exact first-pass
+// column x of tmp, then the exact second-pass dot product. Used as the
+// certified-rounding fallback of the butterfly forward transform.
+func fdctCoefExact(src *[64]int32, z int) float64 {
+	k, x := z>>3, z&7
+	var tcol [8]float64
+	for y := 0; y < 8; y++ {
+		var s float64
+		for n := 0; n < 8; n++ {
+			s += float64(src[y*8+n]) * dctBasis[x][n]
+		}
+		tcol[y] = s
+	}
+	var s float64
+	for n := 0; n < 8; n++ {
+		s += tcol[n] * dctBasis[k][n]
+	}
+	return s
+}
+
+// idctSampleExact reproduces idct8's pre-rounding value for the single
+// sample (y, n), operation for operation. Used as the certified-
+// rounding fallback of the butterfly inverse transform.
+func idctSampleExact(src *[64]float64, y, n int) float64 {
+	var trow [8]float64
+	for k := 0; k < 8; k++ {
+		var s float64
+		for j := 0; j < 8; j++ {
+			s += src[j*8+k] * dctBasis[j][y]
+		}
+		trow[k] = s
+	}
+	var s float64
+	for k := 0; k < 8; k++ {
+		s += trow[k] * dctBasis[k][n]
+	}
+	return s
+}
+
 // zigzag is the standard JPEG/H.26x zigzag scan order for 8×8 blocks.
 var zigzag = [64]int{
 	0, 1, 8, 16, 9, 2, 3, 10,
@@ -97,28 +150,109 @@ func qStep(qp int) float64 {
 const (
 	qpMin = 0
 	qpMax = 51
+	// qpFieldMax is the largest value the 6-bit frame-header QP field can
+	// carry. Encoders clamp to qpMax, but the decoder tolerates the full
+	// wire range, so the LUTs cover it (a fuzzed header must index a
+	// table entry, never out of range).
+	qpFieldMax = 63
 )
+
+// qpTables folds the quantizer math for one QP into lookup tables, so
+// the per-block loops never touch math.Pow. Deq carries one scale per
+// zigzag position: today the quantization matrix is flat (every entry
+// equals Step, bit-for-bit), but the hot loops index it positionally so
+// a frequency-weighted matrix stays a table swap.
+type qpTables struct {
+	Step float64     // scalar quantizer step (exactly qStep(qp))
+	Bias float64     // dead-zone bias, exactly Step/3 as the reference computes it
+	Deq  [64]float64 // per-zigzag-position dequant scale
+}
+
+var (
+	qpTabOnce sync.Once
+	qpTab     [qpFieldMax + 1]qpTables
+)
+
+// tablesFor returns the quant/dequant tables for qp, building the full
+// table set lazily on first use.
+func tablesFor(qp int) *qpTables {
+	qpTabOnce.Do(func() {
+		for q := 0; q <= qpFieldMax; q++ {
+			step := qStep(q)
+			qpTab[q].Step = step
+			qpTab[q].Bias = step / 3
+			for i := 0; i < 64; i++ {
+				qpTab[q].Deq[i] = step
+			}
+		}
+	})
+	return &qpTab[qp]
+}
 
 // quantizeBlock transforms and quantizes one residual block. Frequency
 // position 0 (DC) uses plain rounding; AC positions use a dead-zone to
 // suppress low-energy coefficients. The quantized levels are written in
 // zigzag order. Returns true if any level is nonzero.
+//
+// The transform runs on the butterfly fast path; every level whose fast
+// coefficient lands inside the certified-rounding guard band is redone
+// with the exact reference formulation, keeping the output bit-identical
+// to a fully exact encode.
 func quantizeBlock(res *[64]int32, qp int, levels *[64]int32) bool {
+	t := tablesFor(qp)
 	var coefs [64]float64
-	fdct8(res, &coefs)
-	step := qStep(qp)
+	fdct8Fast(res, &coefs)
+
+	// Guard band: |fast − exact| is bounded by the summation-order error
+	// of two butterfly passes, ≤ ~2⁻⁴⁸·Σ|res|; certEps leaves two orders
+	// of magnitude of margin on top of that.
+	var sumAbs int64
+	for i := 0; i < 64; i++ {
+		v := res[i]
+		if v < 0 {
+			v = -v
+		}
+		sumAbs += int64(v)
+	}
+	delta := float64(sumAbs)*certEps + certFloor
+
+	step, bias := t.Step, t.Bias
 	nz := false
 	for i := 0; i < 64; i++ {
 		c := coefs[zigzag[i]]
 		var l int32
 		if i == 0 {
-			l = int32(math.Round(c / step))
-		} else {
-			// Dead-zone quantizer: bias magnitudes toward zero.
-			if c >= 0 {
-				l = int32((c + step/3) / step)
+			u := c / step
+			// Round boundaries sit at half-integers; the division adds at
+			// most a couple of ulps on top of delta.
+			du := delta/step + math.Abs(u)*1e-14 + certFloor
+			a := math.Abs(u)
+			if math.Abs(a-math.Floor(a)-0.5) < du {
+				transformFallbacks.Add(1)
+				l = int32(math.Round(fdctCoefExact(res, zigzag[i]) / step))
 			} else {
-				l = -int32((-c + step/3) / step)
+				l = int32(math.Round(u))
+			}
+		} else {
+			// Dead-zone quantizer: bias magnitudes toward zero. Truncation
+			// boundaries sit at integers of (|c|+bias)/step; the sign branch
+			// is boundary-free because both branches yield 0 for |c| < step.
+			a := math.Abs(c)
+			u := (a + bias) / step
+			du := delta/step + u*1e-14 + certFloor
+			frac := u - math.Floor(u)
+			if frac < du || frac > 1-du {
+				transformFallbacks.Add(1)
+				ce := fdctCoefExact(res, zigzag[i])
+				if ce >= 0 {
+					l = int32((ce + bias) / step)
+				} else {
+					l = -int32((-ce + bias) / step)
+				}
+			} else if c >= 0 {
+				l = int32(u)
+			} else {
+				l = -int32(u)
 			}
 		}
 		levels[i] = l
@@ -130,12 +264,34 @@ func quantizeBlock(res *[64]int32, qp int, levels *[64]int32) bool {
 }
 
 // dequantizeBlock inverts quantizeBlock: reconstructs coefficients from
-// zigzag-ordered levels and applies the inverse transform.
+// zigzag-ordered levels and applies the inverse transform. The scan
+// also collects the nonzero row/column masks the butterfly inverse uses
+// to skip all-zero groups, and the |level| sum that scales its
+// certified-rounding guard band.
 func dequantizeBlock(levels *[64]int32, qp int, res *[64]int32) {
+	t := tablesFor(qp)
 	var coefs [64]float64
-	step := qStep(qp)
+	var rowMask, colMask uint8
+	var sumAbs int64
 	for i := 0; i < 64; i++ {
-		coefs[zigzag[i]] = float64(levels[i]) * step
+		l := levels[i]
+		if l == 0 {
+			continue
+		}
+		z := zigzag[i]
+		coefs[z] = float64(l) * t.Deq[i]
+		rowMask |= 1 << uint(z>>3)
+		colMask |= 1 << uint(z&7)
+		if l < 0 {
+			sumAbs -= int64(l)
+		} else {
+			sumAbs += int64(l)
+		}
 	}
-	idct8(&coefs, res)
+	if rowMask == 0 {
+		*res = [64]int32{}
+		return
+	}
+	delta := float64(sumAbs)*t.Step*certEps + certFloor
+	idct8Fast(&coefs, res, rowMask, colMask, delta)
 }

@@ -1,0 +1,175 @@
+package codec
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Butterfly evaluation of the 8×8 DCT/IDCT. The 1-D transform is
+// factored into even/odd halves using the cosine symmetry
+// B[k][7-n] = (-1)^k · B[k][n]: the even-frequency half consumes the
+// sums of mirrored samples, the odd half their differences, cutting the
+// multiply count per 1-D pass from 64 to 32. The 4×4 sub-matrices are
+// precomputed — transposed so the inner products walk them contiguously
+// — from the same dctBasis constants as the reference formulation, so
+// every product the fast path forms is a product the exact path also
+// forms; only the summation order differs.
+//
+// That reordering perturbs results by a few ulps, so every rounding
+// decision is certified: if a fast value lands within the guard band
+// delta of a rounding boundary, the sample or coefficient is recomputed
+// with the exact reference formulation (transform.go). delta scales
+// with the block's coefficient mass — orders of magnitude above the
+// true summation-order error, orders of magnitude below typical
+// distances to a boundary — so fallbacks are vanishingly rare and the
+// output is bit-identical to the reference path on every input (the
+// golden corpus and the equivalence tests in transform_fast_test.go
+// enforce this).
+
+const (
+	// certEps scales the certified-rounding guard band by the block's
+	// absolute coefficient sum; the true butterfly-vs-reference error is
+	// bounded by ~2⁻⁴⁸ of that sum, leaving ~4 orders of magnitude of
+	// safety margin.
+	certEps = 1e-12
+	// certFloor keeps the band open for all-but-zero blocks.
+	certFloor = 1e-18
+)
+
+// transformFallbacks counts certified-rounding fallbacks to the exact
+// formulation — observability for tests and for judging whether the
+// guard band is tight enough in practice.
+var transformFallbacks atomic.Int64
+
+// TransformFallbacks returns the cumulative number of (qp, coefficient)
+// cases the butterfly path handed back to the exact formulation.
+func TransformFallbacks() int64 { return transformFallbacks.Load() }
+
+// Even/odd butterfly sub-matrices, derived from dctBasis in init.
+var (
+	// Forward: X[2u] = Σⱼ (x[j]+x[7-j])·fevenB[u][j],
+	//          X[2u+1] = Σⱼ (x[j]-x[7-j])·foddB[u][j].
+	fevenB, foddB [4][4]float64
+	// Inverse (transposed layout): e[n] = Σⱼ X[2j]·ievenB[n][j],
+	// o[n] = Σⱼ X[2j+1]·ioddB[n][j]; x[n]=e[n]+o[n], x[7-n]=e[n]-o[n].
+	ievenB, ioddB [4][4]float64
+	// dc0 is dctBasis[0][n], constant across n.
+	dc0 float64
+)
+
+func init() {
+	for u := 0; u < 4; u++ {
+		for j := 0; j < 4; j++ {
+			fevenB[u][j] = dctBasis[2*u][j]
+			foddB[u][j] = dctBasis[2*u+1][j]
+			ievenB[u][j] = dctBasis[2*j][u]
+			ioddB[u][j] = dctBasis[2*j+1][u]
+		}
+	}
+	dc0 = dctBasis[0][0]
+}
+
+// fdct1dFast computes one forward 1-D pass out[k] = Σₙ in[n]·B[k][n]
+// via the even/odd butterfly.
+func fdct1dFast(in, out *[8]float64) {
+	s0, s1, s2, s3 := in[0]+in[7], in[1]+in[6], in[2]+in[5], in[3]+in[4]
+	d0, d1, d2, d3 := in[0]-in[7], in[1]-in[6], in[2]-in[5], in[3]-in[4]
+	for u := 0; u < 4; u++ {
+		out[2*u] = s0*fevenB[u][0] + s1*fevenB[u][1] + s2*fevenB[u][2] + s3*fevenB[u][3]
+		out[2*u+1] = d0*foddB[u][0] + d1*foddB[u][1] + d2*foddB[u][2] + d3*foddB[u][3]
+	}
+}
+
+// fdct8Fast computes the forward 2D DCT of src into dst with butterfly
+// 1-D passes (rows, then columns), matching fdct8 up to summation-order
+// rounding.
+func fdct8Fast(src *[64]int32, dst *[64]float64) {
+	var tmp [64]float64
+	var in, out [8]float64
+	for y := 0; y < 8; y++ {
+		for n := 0; n < 8; n++ {
+			in[n] = float64(src[y*8+n])
+		}
+		fdct1dFast(&in, &out)
+		for k := 0; k < 8; k++ {
+			tmp[y*8+k] = out[k]
+		}
+	}
+	for x := 0; x < 8; x++ {
+		for n := 0; n < 8; n++ {
+			in[n] = tmp[n*8+x]
+		}
+		fdct1dFast(&in, &out)
+		for k := 0; k < 8; k++ {
+			dst[k*8+x] = out[k]
+		}
+	}
+}
+
+// idct1dFast computes one inverse 1-D pass out[n] = Σₖ in[k]·B[k][n]
+// via the even/odd butterfly. mask flags which in[k] may be nonzero:
+// all-zero halves are skipped outright (their contribution is exactly
+// zero), and the ubiquitous DC-only even half collapses to a single
+// multiply.
+func idct1dFast(in, out *[8]float64, mask uint8) {
+	var e, o [4]float64
+	switch {
+	case mask&0x55 == 0:
+		// Even half entirely zero: e stays 0.
+	case mask&0x54 == 0:
+		// DC only: B[0][n] is the constant dc0.
+		v := in[0] * dc0
+		e[0], e[1], e[2], e[3] = v, v, v, v
+	default:
+		for n := 0; n < 4; n++ {
+			e[n] = in[0]*ievenB[n][0] + in[2]*ievenB[n][1] + in[4]*ievenB[n][2] + in[6]*ievenB[n][3]
+		}
+	}
+	if mask&0xAA != 0 {
+		for n := 0; n < 4; n++ {
+			o[n] = in[1]*ioddB[n][0] + in[3]*ioddB[n][1] + in[5]*ioddB[n][2] + in[7]*ioddB[n][3]
+		}
+	}
+	for n := 0; n < 4; n++ {
+		out[n] = e[n] + o[n]
+		out[7-n] = e[n] - o[n]
+	}
+}
+
+// idct8Fast computes the inverse 2D DCT of src into dst: butterfly
+// column pass (skipping all-zero coefficient columns via colMask and
+// all-zero rows via rowMask), butterfly row pass, then certified
+// rounding per sample — any value within delta of a math.Round boundary
+// is recomputed exactly so dst is bit-identical to idct8.
+func idct8Fast(src *[64]float64, dst *[64]int32, rowMask, colMask uint8, delta float64) {
+	var tmp [64]float64
+	var in, out [8]float64
+	for x := 0; x < 8; x++ {
+		if colMask&(1<<uint(x)) == 0 {
+			continue // whole coefficient column zero: tmp column stays zero
+		}
+		for k := 0; k < 8; k++ {
+			in[k] = src[k*8+x]
+		}
+		idct1dFast(&in, &out, rowMask)
+		for n := 0; n < 8; n++ {
+			tmp[n*8+x] = out[n]
+		}
+	}
+	for y := 0; y < 8; y++ {
+		for k := 0; k < 8; k++ {
+			in[k] = tmp[y*8+k]
+		}
+		idct1dFast(&in, &out, colMask)
+		for n := 0; n < 8; n++ {
+			s := out[n]
+			a := math.Abs(s)
+			if math.Abs(a-math.Floor(a)-0.5) >= delta {
+				dst[y*8+n] = int32(math.Round(s))
+			} else {
+				transformFallbacks.Add(1)
+				dst[y*8+n] = int32(math.Round(idctSampleExact(src, y, n)))
+			}
+		}
+	}
+}

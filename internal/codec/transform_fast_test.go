@@ -1,0 +1,188 @@
+package codec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Reference formulations, kept verbatim from the pre-butterfly codec:
+// the fast paths must reproduce these bit for bit on every input.
+
+func refQuantizeBlock(res *[64]int32, qp int, levels *[64]int32) bool {
+	var coefs [64]float64
+	fdct8(res, &coefs)
+	step := qStep(qp)
+	nz := false
+	for i := 0; i < 64; i++ {
+		c := coefs[zigzag[i]]
+		var l int32
+		if i == 0 {
+			l = int32(math.Round(c / step))
+		} else {
+			if c >= 0 {
+				l = int32((c + step/3) / step)
+			} else {
+				l = -int32((-c + step/3) / step)
+			}
+		}
+		levels[i] = l
+		if l != 0 {
+			nz = true
+		}
+	}
+	return nz
+}
+
+func refDequantizeBlock(levels *[64]int32, qp int, res *[64]int32) {
+	var coefs [64]float64
+	step := qStep(qp)
+	for i := 0; i < 64; i++ {
+		coefs[zigzag[i]] = float64(levels[i]) * step
+	}
+	idct8(&coefs, res)
+}
+
+// transformTestQPs covers the quantizer extremes, the preset operating
+// points, and the out-of-encoder wire range the decoder tolerates.
+var transformTestQPs = []int{qpMin, 2, 7, 22, 24, 44, qpMax, 60, qpFieldMax}
+
+// transformTestBlocks yields residual blocks spanning the codec's real
+// input space plus adversarial shapes for the butterfly path: impulses
+// (single-coefficient energy), constants at the sample extremes, a
+// checkerboard (all energy in the highest frequency), and seeded random
+// blocks at intra ([-128, 127]) and inter ([-255, 255]) ranges.
+func transformTestBlocks() [][64]int32 {
+	var blocks [][64]int32
+	blocks = append(blocks, [64]int32{}) // all-zero
+	for _, v := range []int32{1, -1, 127, -128, 255, -255} {
+		var b [64]int32
+		for i := range b {
+			b[i] = v
+		}
+		blocks = append(blocks, b)
+		var imp [64]int32
+		imp[0] = v
+		blocks = append(blocks, imp)
+		imp = [64]int32{}
+		imp[63] = v
+		blocks = append(blocks, imp)
+	}
+	var checker [64]int32
+	for i := range checker {
+		if (i+i/8)%2 == 0 {
+			checker[i] = 255
+		} else {
+			checker[i] = -255
+		}
+	}
+	blocks = append(blocks, checker)
+	rng := rand.New(rand.NewSource(42))
+	for n := 0; n < 500; n++ {
+		var intra, inter [64]int32
+		for i := range intra {
+			intra[i] = int32(rng.Intn(256)) - 128
+			inter[i] = int32(rng.Intn(511)) - 255
+		}
+		blocks = append(blocks, intra, inter)
+	}
+	return blocks
+}
+
+// TestQuantizeBlockEquivalence pins the butterfly forward path: for
+// every test block and QP, levels and the nz flag must match the
+// reference formulation exactly.
+func TestQuantizeBlockEquivalence(t *testing.T) {
+	for bi, blk := range transformTestBlocks() {
+		for _, qp := range transformTestQPs {
+			if qp > qpMax {
+				continue // encoder-side QP never exceeds qpMax
+			}
+			b := blk
+			var got, want [64]int32
+			gotNZ := quantizeBlock(&b, qp, &got)
+			wantNZ := refQuantizeBlock(&b, qp, &want)
+			if got != want || gotNZ != wantNZ {
+				t.Fatalf("block %d qp %d: fast quantize diverges from reference", bi, qp)
+			}
+		}
+	}
+}
+
+// TestDequantizeBlockEquivalence pins the butterfly inverse path across
+// the full wire QP range, feeding it the levels real encodes produce.
+func TestDequantizeBlockEquivalence(t *testing.T) {
+	for bi, blk := range transformTestBlocks() {
+		for _, qp := range transformTestQPs {
+			b := blk
+			var levels [64]int32
+			encQP := qp
+			if encQP > qpMax {
+				encQP = qpMax
+			}
+			quantizeBlock(&b, encQP, &levels)
+			var got, want [64]int32
+			dequantizeBlock(&levels, qp, &got)
+			refDequantizeBlock(&levels, qp, &want)
+			if got != want {
+				t.Fatalf("block %d qp %d: fast dequantize diverges from reference", bi, qp)
+			}
+		}
+	}
+}
+
+// TestButterfly1DMatchesBasis sanity-checks the butterfly 1-D passes
+// against direct basis evaluation (within float tolerance — bit-level
+// agreement is the certified-rounding layer's job, not the butterfly's).
+func TestButterfly1DMatchesBasis(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var in, fOut, iOut [8]float64
+		var mask uint8
+		for i := range in {
+			in[i] = rng.Float64()*510 - 255
+			if in[i] != 0 {
+				mask |= 1 << uint(i)
+			}
+		}
+		fdct1dFast(&in, &fOut)
+		idct1dFast(&in, &iOut, mask)
+		for k := 0; k < 8; k++ {
+			var fs, is float64
+			for n := 0; n < 8; n++ {
+				fs += in[n] * dctBasis[k][n]
+				is += in[n] * dctBasis[n][k]
+			}
+			if math.Abs(fs-fOut[k]) > 1e-9 || math.Abs(is-iOut[k]) > 1e-9 {
+				t.Fatalf("trial %d k=%d: butterfly 1-D diverges beyond tolerance", trial, k)
+			}
+		}
+	}
+}
+
+// TestTransformFallbacksRare asserts the certified-rounding guard band
+// is doing its job quantitatively: across the whole equivalence corpus
+// the fast path must decide nearly every rounding itself (a fallback
+// rate above a fraction of a percent means the band is far too wide and
+// the "fast" path is quietly running the exact formulation).
+func TestTransformFallbacksRare(t *testing.T) {
+	before := TransformFallbacks()
+	decisions := int64(0)
+	for _, blk := range transformTestBlocks() {
+		for _, qp := range transformTestQPs {
+			if qp > qpMax {
+				continue
+			}
+			b := blk
+			var levels, res [64]int32
+			quantizeBlock(&b, qp, &levels)
+			dequantizeBlock(&levels, qp, &res)
+			decisions += 2 * 64
+		}
+	}
+	fallbacks := TransformFallbacks() - before
+	if limit := decisions / 200; fallbacks > limit {
+		t.Fatalf("%d certified-rounding fallbacks across %d decisions (limit %d): guard band too wide",
+			fallbacks, decisions, limit)
+	}
+}

@@ -237,9 +237,12 @@ func DecodeShared(in *Input) (*video.Video, bool, error) {
 	return nil, false, nil
 }
 
-// DecodeAll decodes an encoded payload with GOP-parallel decode: intra
+// DecodeAll decodes an encoded payload with parallel decode: intra
 // frames seed independent chains that decode concurrently and
-// reassemble in order, byte-identical to serial decode.
+// reassemble in order, and when the payload has fewer chains than
+// workers the codec switches to sub-GOP parallelism (parallel entropy
+// parse, row-parallel reconstruction). Both modes are byte-identical to
+// serial decode.
 func DecodeAll(enc *codec.Encoded) (*video.Video, error) {
 	return enc.DecodeParallel(parallel.Default())
 }

@@ -36,11 +36,15 @@ func NewFrame(w, h int) *Frame {
 		panic(fmt.Sprintf("video: invalid frame dimensions %dx%d", w, h))
 	}
 	cw, ch := (w+1)/2, (h+1)/2
+	// One backing allocation for all three planes, sliced with capacity
+	// limits so an append to one plane can never bleed into the next.
+	ySize, cSize := w*h, cw*ch
+	buf := make([]byte, ySize+2*cSize)
 	f := &Frame{
 		W: w, H: h,
-		Y: make([]byte, w*h),
-		U: make([]byte, cw*ch),
-		V: make([]byte, cw*ch),
+		Y: buf[:ySize:ySize],
+		U: buf[ySize : ySize+cSize : ySize+cSize],
+		V: buf[ySize+2*cSize-cSize:],
 	}
 	for i := range f.Y {
 		f.Y[i] = 16

@@ -22,3 +22,11 @@ go test -race -run 'TestRunOnline|TestPipeWriteCloseWriteRace|TestServeRTPFault'
 # counts match between sequential and 8-way runs.
 go test -race -run 'TestHistogramMergeConcurrent|TestSpanConcurrentAggregation' ./internal/metrics
 go test -race -run 'TestTelemetryModeInvariance' ./internal/vcd
+# Codec hot-path exactness and robustness: the golden corpus pins
+# byte-identity of the word-at-a-time entropy I/O and butterfly
+# transform against the reference formulation across every decode path;
+# the fuzz seed corpora run as ordinary tests (go test executes every
+# f.Add seed); the allocation pins guard the pooled steady state; and
+# the sub-GOP entropy/reconstruction split plus parallel span extraction
+# run under the race detector.
+go test -race -run 'TestGoldenBitstreams|^Fuzz|StateAllocs$|TestExtractSpanParallel' ./internal/codec ./internal/container
