@@ -7,10 +7,20 @@
 //	vcd -data DIR [-system scannerlike|lightdblike|noscopelike]
 //	    [-queries Q1,Q2a,...] [-mode write|streaming] [-out DIR]
 //	    [-seed S] [-validate] [-instances N]
+//	    [-shard-workers N | -shard-addrs HOST:PORT,...]
+//	vcd -shard-worker [-shard-listen ADDR] [-data DIR]
 //
 // Example:
 //
 //	vcd -data /tmp/vr -system lightdblike -mode streaming -validate
+//
+// Sharded execution partitions each query batch across worker
+// processes (or in-process pipe workers with -shard-workers) and merges
+// a report identical to the single-process run:
+//
+//	vcd -shard-worker -shard-listen 127.0.0.1:7001 -data /tmp/vr &
+//	vcd -shard-worker -shard-listen 127.0.0.1:7002 -data /tmp/vr &
+//	vcd -data /tmp/vr -shard-addrs 127.0.0.1:7001,127.0.0.1:7002
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/metrics"
 	"repro/internal/queries"
+	"repro/internal/shard"
 	"repro/internal/stream"
 	"repro/internal/vcd"
 	"repro/internal/vdbms"
@@ -52,6 +63,10 @@ func main() {
 	onlineFaults := flag.String("online-faults", "", "online fault spec, e.g. 0.01 or drop=0.01,reorder=0.005,cut=12,dial=2")
 	onlineSeed := flag.Uint64("online-seed", 1, "seed keying the deterministic fault schedule")
 	onlineTimeout := flag.Duration("online-timeout", 0, "per-stream deadline for online sessions (0 = none)")
+	shardWorkers := flag.Int("shard-workers", 0, "run the batch through the shard plane with N in-process workers (0/1 = single-process); results are identical at any count")
+	shardAddrs := flag.String("shard-addrs", "", "comma-separated addresses of remote shard workers (vcd -shard-worker); overrides -shard-workers")
+	shardWorker := flag.Bool("shard-worker", false, "run as a shard worker: serve coordinator connections instead of executing a benchmark")
+	shardListen := flag.String("shard-listen", "127.0.0.1:0", "listen address in -shard-worker mode")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON (for downstream tooling)")
 	metricsJSON := flag.String("metrics-json", "", "write pipeline telemetry (stage histograms, gauges, cache stats) as JSON to this file")
 	reportFlag := flag.Bool("report", false, "print the stage-breakdown telemetry table after the run")
@@ -70,6 +85,10 @@ func main() {
 		defer closeFn()
 	}
 
+	if *shardWorker {
+		runShardWorker(*shardListen, *data)
+		return
+	}
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "vcd: -data is required")
 		flag.Usage()
@@ -130,9 +149,32 @@ func main() {
 		})
 		return
 	}
-	report, err := vcd.Run(ds, sys, opt)
-	if err != nil {
-		fatal(err)
+	var report *vcd.RunReport
+	if *shardWorkers > 1 || *shardAddrs != "" {
+		copt := shard.Options{Shards: *shardWorkers}
+		if *shardAddrs != "" {
+			addrs := splitAddrs(*shardAddrs)
+			copt.Shards = len(addrs)
+			copt.Transport = &shard.AddrTransport{Addrs: addrs}
+		}
+		var counters *shard.Counters
+		report, counters, err = shard.Run(context.Background(), shard.Plan{
+			Dataset: shard.DatasetSpec{Path: *data},
+			Store:   store,
+			System:  shard.SystemSpec{Name: *system},
+			Scale:   ds.Manifest.Scale,
+			Opt:     opt,
+		}, copt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vcd: shard plane: %d workers, %d failures, %d instances retried\n",
+			counters.Workers, counters.WorkerFailures, counters.RetriedInstances)
+	} else {
+		report, err = vcd.Run(ds, sys, opt)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if *metricsJSON != "" {
 		if err := writeTelemetryArtifact(*metricsJSON, report); err != nil {
@@ -205,10 +247,10 @@ func writeTelemetryArtifact(path string, r *vcd.RunReport) error {
 // and validation descriptive statistics, as §3.2 requires evaluators to
 // report.
 type reportJSON struct {
-	System    string      `json:"system"`
-	Scale     int         `json:"scale"`
-	Mode      string      `json:"mode"`
-	ElapsedMS float64     `json:"elapsed_ms"`
+	System    string  `json:"system"`
+	Scale     int     `json:"scale"`
+	Mode      string  `json:"mode"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 	// DecodedCache carries the shared decoded-input cache counters with
 	// their derived hit-rate and decode-ratio.
 	DecodedCache metrics.CacheTelemetry `json:"decoded_cache"`
@@ -359,6 +401,40 @@ func runOnline(ds *vcd.Dataset, opt vcd.Options, cfg onlineConfig) {
 			fatal(err)
 		}
 	}
+}
+
+// runShardWorker serves coordinator connections until killed: the
+// worker half of multi-process sharded execution. With -data the worker
+// reads the dataset from the shared directory; otherwise the job's
+// dataset spec tells it where to look (or how to regenerate).
+func runShardWorker(listen, data string) {
+	wopt := shard.WorkerOptions{}
+	if data != "" {
+		store, err := vfs.NewLocal(data)
+		if err != nil {
+			fatal(err)
+		}
+		wopt.Store = store
+	}
+	srv, err := shard.ListenWorker(listen, wopt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("vcd: shard worker listening on %s\n", srv.Addr())
+	if err := srv.Serve(context.Background()); err != nil {
+		fatal(err)
+	}
+}
+
+// splitAddrs parses the -shard-addrs list.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func systemByName(name string) (vdbms.System, error) {

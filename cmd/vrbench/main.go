@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	vrbench -exp table1|table2|table9|fig2|fig5|fig6|fig7|fig8|fig9|quality|modes|online|all [flags]
+//	vrbench -exp table1|table2|table9|fig2|fig5|fig6|fig7|fig8|fig9|quality|modes|online|shard|all [flags]
+//	vrbench -shard-worker [-shard-listen ADDR]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/queries"
+	"repro/internal/shard"
 )
 
 func main() { os.Exit(run()) }
@@ -23,7 +26,7 @@ func main() { os.Exit(run()) }
 // run holds the whole CLI body so profile-writing defers fire on every
 // exit path (os.Exit would skip them).
 func run() int {
-	exp := flag.String("exp", "all", "experiment to run (table1, table2, table9, fig2, fig5, fig6, fig7, fig8, fig9, quality, modes, online, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, table2, table9, fig2, fig5, fig6, fig7, fig8, fig9, quality, modes, online, shard, all)")
 	scale := flag.Int("scale", 4, "scale factor L for comparison experiments")
 	duration := flag.Float64("duration", 1.0, "per-camera video duration in seconds (model scale)")
 	videos := flag.Int("videos", 6, "corpus size for the table9 experiment")
@@ -36,6 +39,10 @@ func run() int {
 	validate := flag.Bool("validate", false, "validate comparison results against the reference implementation (fig5/fig6)")
 	onlineFaults := flag.String("online-faults", "", "comma-separated drop rates for the online experiment (default 0,0.01,0.05)")
 	onlineSeed := flag.Uint64("online-seed", 1, "seed keying the online fault schedule")
+	shardWorkers := flag.Int("shard-workers", 0, "route fig5's batches through the shard plane with N in-process workers (0/1 = single-process); results are identical at any count")
+	shardAddrs := flag.String("shard-addrs", "", "comma-separated addresses of remote shard workers (vrbench -shard-worker); overrides -shard-workers")
+	shardWorkerMode := flag.Bool("shard-worker", false, "run as a shard worker: serve coordinator connections instead of running experiments")
+	shardListen := flag.String("shard-listen", "127.0.0.1:0", "listen address in -shard-worker mode")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	metricsJSON := flag.String("metrics-json", "", "write pipeline telemetry (stage histograms, gauges, cache stats) as JSON to this file")
@@ -44,6 +51,9 @@ func run() int {
 	traceFile := flag.String("trace", "", "write a Go execution trace to this file (stage spans appear as user regions)")
 	flag.Parse()
 
+	if *shardWorkerMode {
+		return runShardWorker(*shardListen)
+	}
 	if *metricsJSON != "" || *reportFlag || *debugAddr != "" {
 		metrics.SetEnabled(true)
 	}
@@ -82,20 +92,26 @@ func run() int {
 	base := metrics.Capture()
 
 	runners := map[string]func() error{
-		"table1":  runTable1,
-		"table2":  runTable2,
-		"table9":  func() error { return runTable9(*videos, *duration, *seed, *workers) },
-		"fig2":    func() error { return runFig2(*scale, *seed) },
-		"fig5":    func() error { return runFig5(*scale, *duration, *seed, *workers, *queryWorkers, *sequential, *fullDecode, *validate) },
-		"fig6":    func() error { return runFig6(*duration, *seed, *workers, *queryWorkers, *sequential, *fullDecode, *validate) },
+		"table1": runTable1,
+		"table2": runTable2,
+		"table9": func() error { return runTable9(*videos, *duration, *seed, *workers) },
+		"fig2":   func() error { return runFig2(*scale, *seed) },
+		"fig5": func() error {
+			return runFig5(*scale, *duration, *seed, *workers, *queryWorkers, *sequential, *fullDecode, *validate,
+				*shardWorkers, *shardAddrs)
+		},
+		"fig6": func() error {
+			return runFig6(*duration, *seed, *workers, *queryWorkers, *sequential, *fullDecode, *validate)
+		},
 		"fig7":    runFig7,
 		"fig8":    func() error { return runFig8(*duration, *seed, *workers) },
 		"fig9":    func() error { return runFig9(*duration, *seed) },
 		"quality": func() error { return runQuality(*frames, *seed) },
 		"modes":   func() error { return runModes(*scale, *duration, *seed, *queryWorkers, *sequential, *fullDecode) },
 		"online":  func() error { return runOnline(*scale, *duration, *onlineSeed, *onlineFaults) },
+		"shard":   func() error { return runShardSweep(*scale, *duration, *seed, *workers) },
 	}
-	order := []string{"table1", "table2", "fig2", "table9", "fig5", "fig6", "fig7", "fig8", "fig9", "quality", "modes", "online"}
+	order := []string{"table1", "table2", "fig2", "table9", "fig5", "fig6", "fig7", "fig8", "fig9", "quality", "modes", "online", "shard"}
 
 	code := 0
 	switch {
@@ -211,19 +227,30 @@ func shortCorpus(c string) string {
 
 func shortSys(s string) string { return strings.TrimSuffix(s, "like") }
 
-func runFig5(scale int, duration float64, seed uint64, workers, queryWorkers int, sequential, fullDecode, validate bool) error {
+func runFig5(scale int, duration float64, seed uint64, workers, queryWorkers int, sequential, fullDecode, validate bool, shardWorkers int, shardAddrs string) error {
 	fmt.Printf("Figure 5: runtime by query, L=%d (model scale)\n", scale)
 	fmt.Println("paper shape: NoScope fastest on Q2(c), supports only Q1/Q2(c);")
 	fmt.Println("composites/VR (Q7-Q10) cost more than micro queries; Q2(c) detector-bound")
-	res, err := core.CompareSystems(core.CompareConfig{
+	cfg := core.CompareConfig{
 		Scale: scale, Duration: duration, Seed: seed, Workers: workers,
 		QueryWorkers: queryWorkers, QuerySequential: sequential, QueryFullDecode: fullDecode,
-		Validate: validate,
-	})
+		Validate:     validate,
+		ShardWorkers: shardWorkers, ShardAddrs: splitAddrs(shardAddrs),
+	}
+	if cfg.Sharded() {
+		fmt.Printf("(sharded execution: %d workers)\n", max(cfg.ShardWorkers, len(cfg.ShardAddrs)))
+	}
+	res, err := core.CompareSystems(cfg)
 	if err != nil {
 		return err
 	}
 	printComparison(res)
+	for _, r := range res.Runs {
+		if r.Shard != nil {
+			fmt.Printf("shard[%s]: %d workers, %d failures, %d reassignments, %d instances retried\n",
+				r.System, r.Shard.Workers, r.Shard.WorkerFailures, r.Shard.Reassignments, r.Shard.RetriedInstances)
+		}
+	}
 	return nil
 }
 
@@ -262,7 +289,7 @@ func runFig6(duration float64, seed uint64, workers, queryWorkers int, sequentia
 	points, err := core.ScaleSweep(core.CompareConfig{
 		Duration: duration, Seed: seed, Workers: workers,
 		QueryWorkers: queryWorkers, QuerySequential: sequential, QueryFullDecode: fullDecode,
-		Validate: validate,
+		Validate:            validate,
 		Queries:             []queries.QueryID{queries.Q1, queries.Q2a, queries.Q2c, queries.Q4, queries.Q5},
 		ScannerMemoryBudget: 6 << 20,
 	}, []int{1, 2, 4, 8})
@@ -377,6 +404,57 @@ func runOnline(scale int, duration float64, seed uint64, ratesSpec string) error
 			r.FramesDropped, r.Gaps, r.Resyncs, r.Retries, r.Degraded)
 	}
 	return nil
+}
+
+// runShardSweep measures the full Light-DB-like query batch through the
+// coordinator/worker plane at worker counts 1, 2, and 4 — the execution
+// counterpart of Figure 9's generator node sweep. The shard plane
+// guarantees identical results at every count; the sweep shows what the
+// topology costs (single core) or buys (multiple cores).
+func runShardSweep(scale int, duration float64, seed uint64, workers int) error {
+	fmt.Println("Sharded execution: batch runtime by worker count (in-process pipe workers)")
+	fmt.Println("paper shape (Fig. 9 applied to execution): flat on one core, scaling with cores;")
+	fmt.Println("results are byte-identical at every worker count")
+	points, err := core.ShardSweep(core.CompareConfig{
+		Scale: scale, Duration: duration, Seed: seed, Workers: workers,
+	}, "lightdblike", []int{1, 2, 4})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %12s %10s %8s %10s\n", "Workers", "Elapsed", "FPS", "Frames", "Failures")
+	for _, p := range points {
+		fmt.Printf("%-8d %12s %10.1f %8d %10d\n",
+			p.Shards, p.Elapsed.Round(1e6), p.FPS(), p.Frames, p.Counters.WorkerFailures)
+	}
+	return nil
+}
+
+// runShardWorker serves shard coordinator connections until killed —
+// the worker half of a multi-process vrbench topology. Jobs carry the
+// dataset generation spec, so workers need no shared filesystem.
+func runShardWorker(listen string) int {
+	srv, err := shard.ListenWorker(listen, shard.WorkerOptions{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vrbench: shard-worker: %v\n", err)
+		return 1
+	}
+	fmt.Printf("vrbench: shard worker listening on %s\n", srv.Addr())
+	if err := srv.Serve(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "vrbench: shard-worker: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// splitAddrs parses a comma-separated address list.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func runFig2(scale int, seed uint64) error {

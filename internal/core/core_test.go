@@ -198,6 +198,52 @@ func TestCompareSystemsSmoke(t *testing.T) {
 	}
 }
 
+// TestCompareSystemsShardedMatches: the comparison grid through the
+// shard plane carries the same result-bearing cells as the
+// single-process grid — same support, completion, frames, and batch
+// accounting for every (system, query) — with zero degradation
+// counters.
+func TestCompareSystemsShardedMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison experiment")
+	}
+	cfg := CompareConfig{
+		Scale: 1, Duration: 0.5, Seed: 3,
+		Queries:           []queries.QueryID{queries.Q1, queries.Q2c, queries.Q5},
+		InstancesPerScale: 2,
+	}
+	want, err := CompareSystems(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ShardWorkers = 2
+	got, err := CompareSystems(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != len(want.Cells) {
+		t.Fatalf("%d sharded cells, want %d", len(got.Cells), len(want.Cells))
+	}
+	for i := range want.Cells {
+		w, g := want.Cells[i], got.Cells[i]
+		if g.System != w.System || g.Query != w.Query || g.Supported != w.Supported ||
+			g.Frames != w.Frames || g.Completed != w.Completed || g.BatchSize != w.BatchSize ||
+			g.ResourceErrors != w.ResourceErrors || g.BatchSplits != w.BatchSplits ||
+			g.ValidationPass != w.ValidationPass {
+			t.Errorf("cell %s/%s diverged: sharded {frames %d completed %d} vs {frames %d completed %d}",
+				w.System, w.Query, g.Frames, g.Completed, w.Frames, w.Completed)
+		}
+	}
+	for _, run := range got.Runs {
+		if run.Shard == nil {
+			t.Fatalf("%s: sharded run missing counters", run.System)
+		}
+		if run.Shard.Workers != 2 || run.Shard.WorkerFailures != 0 {
+			t.Errorf("%s: counters %+v", run.System, *run.Shard)
+		}
+	}
+}
+
 func TestWriteVsStreamingSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("modes experiment")

@@ -89,74 +89,19 @@ type Telemetry struct {
 	Cache     CacheTelemetry            `json:"decoded_cache"`
 	// Online carries the interval's online-mode degradation accounting,
 	// present only when an online session ran.
-	Online *OnlineTelemetry `json:"online,omitempty"`
-	Errors    []string                  `json:"errors,omitempty"`
-	ErrorsDropped int64                 `json:"errors_dropped,omitempty"`
+	Online        *OnlineTelemetry `json:"online,omitempty"`
+	Errors        []string         `json:"errors,omitempty"`
+	ErrorsDropped int64            `json:"errors_dropped,omitempty"`
 }
 
 // Sub derives the interval telemetry between two captures: stage
 // histograms, counters, frame-pool and cache activity are exact deltas;
 // gauge peaks are process-cumulative high-water marks (taken from the
-// later capture).
+// later capture). It is Delta followed by summarization, so a
+// single-process interval and a merged multi-process interval go
+// through the same computation.
 func (s Snapshot) Sub(prev Snapshot) Telemetry {
-	t := Telemetry{
-		Enabled: Enabled(),
-		WallMS:  s.captured.Sub(prev.captured).Seconds() * 1000,
-		Stages:  make(map[string]StageTelemetry),
-		Gauges:  s.gauges,
-	}
-	for i := range s.stages {
-		cur, old := &s.stages[i], &prev.stages[i]
-		lat := cur.lat.Sub(old.lat)
-		n := lat.Count()
-		if n == 0 && cur.frames == old.frames && cur.bytes == old.bytes {
-			continue
-		}
-		t.Stages[Stage(i).String()] = StageTelemetry{
-			Count:   n,
-			Frames:  cur.frames - old.frames,
-			Bytes:   cur.bytes - old.bytes,
-			Hits:    cur.hits - old.hits,
-			Misses:  cur.misses - old.misses,
-			Workers: cur.workers,
-			TotalMS: float64(lat.Sum) / 1e6,
-			MeanMS:  lat.Mean() / 1e6,
-			P50MS:   float64(lat.Quantile(0.50)) / 1e6,
-			P95MS:   float64(lat.Quantile(0.95)) / 1e6,
-			P99MS:   float64(lat.Quantile(0.99)) / 1e6,
-			MaxMS:   float64(lat.Max()) / 1e6,
-		}
-	}
-	t.FramePool = framePoolDelta(s, prev)
-	t.Cache = s.cache.Sub(prev.cache).Report()
-	if d := s.online.Sub(prev.online); !d.zero() {
-		t.Online = &OnlineTelemetry{
-			Frames:   d.Frames,
-			Dropped:  d.Dropped,
-			Gaps:     d.Gaps,
-			Resyncs:  d.Resyncs,
-			Retries:  d.Retries,
-			Degraded: d.Degraded,
-		}
-	}
-	t.Errors = s.errs
-	t.ErrorsDropped = s.errDropped
-	return t
-}
-
-// framePoolDelta converts the video package's cumulative pool counters
-// into the interval's recycling report.
-func framePoolDelta(s, prev Snapshot) FramePoolTelemetry {
-	cur, old := s.framePool, prev.framePool
-	d := FramePoolTelemetry{
-		Gets:   cur.Gets - old.Gets,
-		Puts:   cur.Puts - old.Puts,
-		Allocs: cur.Allocs - old.Allocs,
-	}
-	if d.Gets > 0 {
-		d.ReuseRate = float64(d.Gets-d.Allocs) / float64(d.Gets)
-	}
-	return d
+	return s.Delta(prev).Telemetry()
 }
 
 // CaptureTelemetry returns the process-lifetime telemetry (everything

@@ -1,0 +1,248 @@
+package metrics
+
+// The wire telemetry form: Telemetry summarizes an interval into
+// quantiles, which cannot be combined across processes — quantiles of
+// quantiles are meaningless. WireDelta instead carries the interval's
+// raw histogram buckets and counters, which merge exactly (bucket-wise
+// sums), so a shard coordinator can roll worker telemetry up into one
+// record identical in shape to a single-process capture. It is the
+// serialized unit the shard protocol ships in worker summaries.
+
+// WireBucket is one occupied histogram bucket, sparse-encoded: most of
+// the 488 log-scale buckets are empty in any real interval.
+type WireBucket struct {
+	I int   `json:"i"`
+	N int64 `json:"n"`
+}
+
+// WireStage is one stage's interval activity in mergeable form.
+type WireStage struct {
+	Stage   string       `json:"stage"`
+	Buckets []WireBucket `json:"buckets,omitempty"`
+	SumNS   int64        `json:"sum_ns,omitempty"`
+	Frames  int64        `json:"frames,omitempty"`
+	Bytes   int64        `json:"bytes,omitempty"`
+	Hits    int64        `json:"hits,omitempty"`
+	Misses  int64        `json:"misses,omitempty"`
+	Workers int64        `json:"workers,omitempty"`
+}
+
+// WireDelta is one interval's telemetry in exactly mergeable form.
+type WireDelta struct {
+	WallNS        int64         `json:"wall_ns,omitempty"`
+	Stages        []WireStage   `json:"stages,omitempty"`
+	Gauges        GaugeSnapshot `json:"gauges"`
+	Cache         CacheStats    `json:"cache"`
+	FramePool     FramePoolWire `json:"frame_pool"`
+	Online        OnlineStats   `json:"online"`
+	Errors        []string      `json:"errors,omitempty"`
+	ErrorsDropped int64         `json:"errors_dropped,omitempty"`
+}
+
+// FramePoolWire is the frame-pool counter delta (raw counts, not the
+// derived reuse rate, so deltas from several processes still add).
+type FramePoolWire struct {
+	Gets, Puts, Allocs int64
+}
+
+// Delta returns the interval s − prev in wire form. Stage latency and
+// counters are exact deltas; gauges are taken from the later capture
+// (peaks are process-cumulative high-water marks with no interval
+// form); the error list is the later capture's bounded channel.
+func (s Snapshot) Delta(prev Snapshot) WireDelta {
+	d := WireDelta{
+		WallNS: s.captured.Sub(prev.captured).Nanoseconds(),
+		Gauges: s.gauges,
+	}
+	for i := range s.stages {
+		cur, old := &s.stages[i], &prev.stages[i]
+		lat := cur.lat.Sub(old.lat)
+		if lat.Count() == 0 && cur.frames == old.frames && cur.bytes == old.bytes {
+			continue
+		}
+		ws := WireStage{
+			Stage:   Stage(i).String(),
+			SumNS:   lat.Sum,
+			Frames:  cur.frames - old.frames,
+			Bytes:   cur.bytes - old.bytes,
+			Hits:    cur.hits - old.hits,
+			Misses:  cur.misses - old.misses,
+			Workers: cur.workers,
+		}
+		for b, n := range lat.Buckets {
+			if n != 0 {
+				ws.Buckets = append(ws.Buckets, WireBucket{I: b, N: n})
+			}
+		}
+		d.Stages = append(d.Stages, ws)
+	}
+	d.Cache = s.cache.Sub(prev.cache)
+	d.Online = s.online.Sub(prev.online)
+	d.FramePool = FramePoolWire{
+		Gets:   s.framePool.Gets - prev.framePool.Gets,
+		Puts:   s.framePool.Puts - prev.framePool.Puts,
+		Allocs: s.framePool.Allocs - prev.framePool.Allocs,
+	}
+	d.Errors = s.errs
+	d.ErrorsDropped = s.errDropped
+	return d
+}
+
+// Merge folds o into d: histogram buckets and counters sum exactly
+// (HistogramSnapshot.Merge semantics, sparse form), gauge peaks take
+// the maximum across processes, wall time takes the longer interval
+// (shards run concurrently, not back to back), and error lists
+// concatenate under the usual bound.
+func (d *WireDelta) Merge(o WireDelta) {
+	if o.WallNS > d.WallNS {
+		d.WallNS = o.WallNS
+	}
+	for _, os := range o.Stages {
+		ds := d.stage(os.Stage)
+		var h, oh HistogramSnapshot
+		for _, b := range ds.Buckets {
+			h.Buckets[b.I] = b.N
+		}
+		for _, b := range os.Buckets {
+			oh.Buckets[b.I] = b.N
+		}
+		h = h.Merge(oh)
+		ds.Buckets = ds.Buckets[:0]
+		for i, n := range h.Buckets {
+			if n != 0 {
+				ds.Buckets = append(ds.Buckets, WireBucket{I: i, N: n})
+			}
+		}
+		ds.SumNS += os.SumNS
+		ds.Frames += os.Frames
+		ds.Bytes += os.Bytes
+		ds.Hits += os.Hits
+		ds.Misses += os.Misses
+		if os.Workers > ds.Workers {
+			ds.Workers = os.Workers
+		}
+	}
+	d.Gauges = mergeGauges(d.Gauges, o.Gauges)
+	d.Cache = addCache(d.Cache, o.Cache)
+	d.Online = addOnline(d.Online, o.Online)
+	d.FramePool.Gets += o.FramePool.Gets
+	d.FramePool.Puts += o.FramePool.Puts
+	d.FramePool.Allocs += o.FramePool.Allocs
+	for _, e := range o.Errors {
+		if len(d.Errors) >= maxErrors {
+			d.ErrorsDropped++
+			continue
+		}
+		d.Errors = append(d.Errors, e)
+	}
+	d.ErrorsDropped += o.ErrorsDropped
+}
+
+// stage returns the named stage's record, appending an empty one on
+// first use. Merge keeps stage order as first-seen, which is pipeline
+// order for deltas produced by Delta (stages are emitted in Stage
+// index order).
+func (d *WireDelta) stage(name string) *WireStage {
+	for i := range d.Stages {
+		if d.Stages[i].Stage == name {
+			return &d.Stages[i]
+		}
+	}
+	d.Stages = append(d.Stages, WireStage{Stage: name})
+	return &d.Stages[len(d.Stages)-1]
+}
+
+// Telemetry summarizes the wire delta into the quantile form reports
+// carry — the same computation Snapshot.Sub performs, applied after
+// any merging.
+func (d WireDelta) Telemetry() Telemetry {
+	t := Telemetry{
+		Enabled: Enabled(),
+		WallMS:  float64(d.WallNS) / 1e6,
+		Stages:  make(map[string]StageTelemetry),
+		Gauges:  d.Gauges,
+	}
+	for _, ws := range d.Stages {
+		var lat HistogramSnapshot
+		for _, b := range ws.Buckets {
+			lat.Buckets[b.I] = b.N
+		}
+		lat.Sum = ws.SumNS
+		t.Stages[ws.Stage] = StageTelemetry{
+			Count:   lat.Count(),
+			Frames:  ws.Frames,
+			Bytes:   ws.Bytes,
+			Hits:    ws.Hits,
+			Misses:  ws.Misses,
+			Workers: ws.Workers,
+			TotalMS: float64(lat.Sum) / 1e6,
+			MeanMS:  lat.Mean() / 1e6,
+			P50MS:   float64(lat.Quantile(0.50)) / 1e6,
+			P95MS:   float64(lat.Quantile(0.95)) / 1e6,
+			P99MS:   float64(lat.Quantile(0.99)) / 1e6,
+			MaxMS:   float64(lat.Max()) / 1e6,
+		}
+	}
+	fp := d.FramePool
+	t.FramePool = FramePoolTelemetry{Gets: fp.Gets, Puts: fp.Puts, Allocs: fp.Allocs}
+	if fp.Gets > 0 {
+		t.FramePool.ReuseRate = float64(fp.Gets-fp.Allocs) / float64(fp.Gets)
+	}
+	t.Cache = d.Cache.Report()
+	if !d.Online.zero() {
+		t.Online = &OnlineTelemetry{
+			Frames:   d.Online.Frames,
+			Dropped:  d.Online.Dropped,
+			Gaps:     d.Online.Gaps,
+			Resyncs:  d.Online.Resyncs,
+			Retries:  d.Online.Retries,
+			Degraded: d.Online.Degraded,
+		}
+	}
+	t.Errors = d.Errors
+	t.ErrorsDropped = d.ErrorsDropped
+	return t
+}
+
+func mergeGauges(a, b GaugeSnapshot) GaugeSnapshot {
+	return GaugeSnapshot{
+		PoolActive:        a.PoolActive + b.PoolActive,
+		PoolBusy:          a.PoolBusy + b.PoolBusy,
+		PoolBusyPeak:      maxI64(a.PoolBusyPeak, b.PoolBusyPeak),
+		PoolWorkers:       a.PoolWorkers + b.PoolWorkers,
+		PoolWorkersPeak:   maxI64(a.PoolWorkersPeak, b.PoolWorkersPeak),
+		PoolPanics:        a.PoolPanics + b.PoolPanics,
+		CacheResident:     a.CacheResident + b.CacheResident,
+		CacheResidentPeak: maxI64(a.CacheResidentPeak, b.CacheResidentPeak),
+		InflightDecodes:   a.InflightDecodes + b.InflightDecodes,
+		InflightPeak:      maxI64(a.InflightPeak, b.InflightPeak),
+	}
+}
+
+func addCache(a, b CacheStats) CacheStats {
+	return CacheStats{
+		Hits:            a.Hits + b.Hits,
+		Misses:          a.Misses + b.Misses,
+		Evictions:       a.Evictions + b.Evictions,
+		FramesRequested: a.FramesRequested + b.FramesRequested,
+		FramesDecoded:   a.FramesDecoded + b.FramesDecoded,
+	}
+}
+
+func addOnline(a, b OnlineStats) OnlineStats {
+	return OnlineStats{
+		Frames:   a.Frames + b.Frames,
+		Dropped:  a.Dropped + b.Dropped,
+		Gaps:     a.Gaps + b.Gaps,
+		Resyncs:  a.Resyncs + b.Resyncs,
+		Retries:  a.Retries + b.Retries,
+		Degraded: a.Degraded + b.Degraded,
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestWireDeltaMergeMatchesCombinedRecording pins the property the
+// shard coordinator depends on: recording a workload as one interval
+// and recording it split across two deltas then merged must produce the
+// same summarized telemetry (quantiles, counters, cache, pools).
+func TestWireDeltaMergeMatchesCombinedRecording(t *testing.T) {
+	// Spans time themselves, so synthesize two disjoint stage loads with
+	// exact durations via RecordNS on the registry.
+	st := &reg.stages[StageExecute]
+	base := Capture()
+	for i := 0; i < 40; i++ {
+		st.lat.RecordNS(int64(i+1) * 1_000_000)
+		st.frames.Add(3)
+	}
+	mid := Capture()
+	for i := 0; i < 25; i++ {
+		st.lat.RecordNS(int64(i+1) * 7_000_000)
+		st.bytes.Add(10)
+	}
+	end := Capture()
+
+	whole := end.Delta(base)
+	first := mid.Delta(base)
+	second := end.Delta(mid)
+	first.Merge(second)
+
+	wholeT := whole.Telemetry()
+	mergedT := first.Telemetry()
+	// Wall time differs (merge takes the max of the two halves); the
+	// stage record — quantiles included — must match exactly.
+	if !reflect.DeepEqual(wholeT.Stages, mergedT.Stages) {
+		t.Fatalf("merged stage telemetry diverges:\nwhole:  %+v\nmerged: %+v",
+			wholeT.Stages, mergedT.Stages)
+	}
+	if wholeT.Cache != mergedT.Cache || wholeT.FramePool != mergedT.FramePool {
+		t.Fatalf("merged counters diverge: %+v vs %+v", wholeT, mergedT)
+	}
+}
+
+// TestWireDeltaJSONRoundTrip ensures the wire form survives the shard
+// protocol's JSON framing without loss.
+func TestWireDeltaJSONRoundTrip(t *testing.T) {
+	d := WireDelta{
+		WallNS: 12345,
+		Stages: []WireStage{{
+			Stage:   StageExecute.String(),
+			Buckets: []WireBucket{{I: 3, N: 7}, {I: 400, N: 1}},
+			SumNS:   99, Frames: 4, Bytes: 2048, Workers: 3,
+		}},
+		Cache:  CacheStats{Hits: 5, Misses: 2, FramesRequested: 30, FramesDecoded: 45},
+		Online: OnlineStats{Frames: 10, Dropped: 1},
+		Errors: []string{"worker 2: boom"},
+	}
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back WireDelta
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, back) {
+		t.Fatalf("round trip diverged:\n%+v\n%+v", d, back)
+	}
+}
+
+// TestWireDeltaMergeGauges pins gauge semantics: peaks take the max
+// across processes, instantaneous values add.
+func TestWireDeltaMergeGauges(t *testing.T) {
+	a := WireDelta{Gauges: GaugeSnapshot{PoolBusyPeak: 4, PoolWorkers: 2, CacheResidentPeak: 100}}
+	b := WireDelta{Gauges: GaugeSnapshot{PoolBusyPeak: 7, PoolWorkers: 3, CacheResidentPeak: 60}}
+	a.Merge(b)
+	if a.Gauges.PoolBusyPeak != 7 || a.Gauges.PoolWorkers != 5 || a.Gauges.CacheResidentPeak != 100 {
+		t.Fatalf("gauge merge wrong: %+v", a.Gauges)
+	}
+}

@@ -3,6 +3,7 @@ package parallel
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -219,6 +220,16 @@ func TestNormalize(t *testing.T) {
 	}
 	if d := Default(); d < 1 || d > 8 {
 		t.Errorf("Default() = %d outside [1, 8]", d)
+	}
+	// The default must never oversubscribe the scheduler: a 1-CPU host
+	// gets 1 worker by default, not NumCPU of a bigger build machine.
+	if d, g := Default(), runtime.GOMAXPROCS(0); d > g {
+		t.Errorf("Default() = %d exceeds GOMAXPROCS %d", d, g)
+	}
+	// Explicit counts pass through unclamped — equivalence and race
+	// tests rely on running wide pools on narrow machines.
+	if got := Normalize(64); got != 64 {
+		t.Errorf("Normalize(64) = %d; explicit counts must not be clamped", got)
 	}
 }
 

@@ -1,0 +1,79 @@
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/queries"
+	"repro/internal/shard"
+	"repro/internal/vcd"
+	"repro/internal/vcg"
+	"repro/internal/vcity"
+	"repro/internal/vfs"
+)
+
+// benchStore lazily generates the model-scale dataset the root
+// benchmarks use (scale 2 → 8 cameras), so shard counts up to 4 have
+// real work to split.
+var benchStoreState struct {
+	once  sync.Once
+	store *vfs.Memory
+	err   error
+}
+
+func benchStore(b *testing.B) *vfs.Memory {
+	b.Helper()
+	benchStoreState.once.Do(func() {
+		benchStoreState.store = vfs.NewMemory()
+		_, benchStoreState.err = vcg.Generate(vcity.Hyperparams{
+			Scale: 2, Width: 192, Height: 108, Duration: 0.6, FPS: 15, Seed: 1,
+		}, vcg.Options{Captions: true, QP: 22}, benchStoreState.store)
+	})
+	if benchStoreState.err != nil {
+		b.Fatal(benchStoreState.err)
+	}
+	return benchStoreState.store
+}
+
+// BenchmarkShardedBatch measures batch throughput through the
+// coordinator at shard counts 1, 2, and 4 over the in-process pipe
+// transport — the full scatter/gather protocol (framing, heartbeats,
+// merge) with zero network. On a single-CPU host the shard counts
+// should track each other (the plane adds protocol cost, not work);
+// with more cores the decode-bound batch scales with workers, the
+// paper's Figure 9 shape.
+func BenchmarkShardedBatch(b *testing.B) {
+	store := benchStore(b)
+	const scale = 2
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var frames int
+			for i := 0; i < b.N; i++ {
+				report, counters, err := shard.Run(context.Background(), shard.Plan{
+					Store:  store,
+					System: shard.SystemSpec{Name: "lightdblike"},
+					Scale:  scale,
+					Opt: vcd.Options{
+						Queries:           []queries.QueryID{queries.Q1, queries.Q5},
+						InstancesPerScale: 4,
+						Seed:              7,
+						Mode:              vcd.StreamingMode,
+					},
+				}, shard.Options{Shards: shards})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if counters.WorkerFailures != 0 {
+					b.Fatalf("benchmark run degraded: %+v", *counters)
+				}
+				frames = 0
+				for _, q := range report.Queries {
+					frames += q.Frames
+				}
+			}
+			b.ReportMetric(float64(frames)*float64(b.N)/b.Elapsed().Seconds(), "fps")
+		})
+	}
+}

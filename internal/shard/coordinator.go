@@ -1,0 +1,601 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/queries"
+	"repro/internal/stream"
+	"repro/internal/vcd"
+	"repro/internal/vdbms"
+	"repro/internal/vfs"
+)
+
+// Options configure the coordinator.
+type Options struct {
+	// Shards is the worker count (≥ 1). Partitioning is a function of
+	// this number, so the same (seed, config, shards) always produces
+	// the same assignment.
+	Shards int
+	// Transport connects workers; nil spawns in-process pipe workers
+	// (sharing Store when set on Worker).
+	Transport Transport
+	// Worker configures in-process pipe workers (ignored when Transport
+	// is set).
+	Worker WorkerOptions
+	// Heartbeat is the liveness window: a worker silent for this long is
+	// presumed dead and its unfinished shard is retried on a survivor.
+	// 0 selects 10s.
+	Heartbeat time.Duration
+	// Retry governs worker dials (AddrTransport).
+	Retry stream.RetryPolicy
+	// Faults kills in-process worker connections deterministically
+	// (worker i uses the plan scoped to "worker-i"); the robustness
+	// tests' seeded failure source.
+	Faults *stream.FaultPlan
+	// FaultWorkers limits Faults to specific worker indices (nil = all).
+	FaultWorkers []int
+}
+
+// Counters is the run's degradation accounting, PR 5's online-counter
+// idiom applied to the execution plane: zero everywhere means the
+// merged report required no retries and is byte-identical to the
+// single-process run.
+type Counters struct {
+	Workers           int   `json:"workers"`
+	WorkerFailures    int64 `json:"worker_failures"`
+	HeartbeatTimeouts int64 `json:"heartbeat_timeouts"`
+	Reassignments     int64 `json:"reassignments"`
+	RetriedInstances  int64 `json:"retried_instances"`
+	DuplicateResults  int64 `json:"duplicate_results"`
+	DialRetries       int64 `json:"dial_retries"`
+}
+
+// Plan is one sharded run: where workers find the dataset, which engine
+// they instantiate, and the driver options the merged report must match.
+type Plan struct {
+	// Dataset tells workers how to obtain the dataset (shared path or
+	// deterministic regeneration). Ignored by in-process workers when
+	// Store is set.
+	Dataset DatasetSpec
+	// Store is the coordinator-side dataset store, shared directly with
+	// in-process workers (the pipe transport's shared filesystem).
+	Store vfs.Store
+	// System names the engine and its budgets.
+	System SystemSpec
+	// Scale is the dataset's scale factor L (batch size = 4·L by
+	// default, as in the single-process driver).
+	Scale int
+	// Opt is the coordinator-side driver configuration. Mode and
+	// ResultStore act at the coordinator (workers ship payloads back in
+	// WriteMode); the execution-shaping subset travels to workers.
+	Opt vcd.Options
+}
+
+// Run executes the plan across copt.Shards workers and merges a
+// RunReport deterministically: results gather at their global batch
+// index, tallies and validation summaries are recomputed exactly as the
+// single-process driver computes them, and persisted results are
+// written in name order — so a zero-fault sharded run reports
+// byte-identically to vcd.Run on the same seed/config. The returned
+// Counters surface worker failures and retries; faults change them, not
+// the results.
+func Run(ctx context.Context, plan Plan, copt Options) (*vcd.RunReport, *Counters, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if copt.Shards < 1 {
+		copt.Shards = 1
+	}
+	if copt.Heartbeat <= 0 {
+		copt.Heartbeat = 10 * time.Second
+	}
+	opt := vcd.NormalizeOptions(plan.Opt)
+	if opt.Mode == vcd.WriteMode && opt.ResultStore == nil {
+		return nil, nil, errors.New("shard: WriteMode requires a result store")
+	}
+	if plan.Scale < 1 {
+		return nil, nil, fmt.Errorf("shard: plan needs the dataset scale")
+	}
+	// A local engine instance answers Supports and the batch limit; it
+	// never executes anything.
+	sys, err := NewSystem(plan.System)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	transport := copt.Transport
+	if transport == nil {
+		pt := &PipeTransport{Worker: copt.Worker, Faults: copt.Faults, FaultWorkers: copt.FaultWorkers}
+		if pt.Worker.Store == nil {
+			pt.Worker.Store = plan.Store
+		}
+		transport = pt
+		defer pt.Close()
+	}
+
+	c := &coordinator{
+		plan: plan,
+		opt:  opt,
+		copt: copt,
+		sys:  sys,
+		// The channel holds every frame workers can have in flight while
+		// the coordinator is blocked writing an assignment (a full batch
+		// of results, retried duplicates, and per-worker done frames), so
+		// reader goroutines never stall a worker's send mid-scatter.
+		events: make(chan event, 4*opt.InstancesPerScale*plan.Scale+4*copt.Shards+8),
+	}
+	defer c.closeAll()
+	if err := c.connect(ctx, transport); err != nil {
+		return nil, nil, err
+	}
+	report, err := c.run(ctx)
+	if at, ok := transport.(*AddrTransport); ok {
+		c.counters.DialRetries = at.DialRetries()
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return report, &c.counters, nil
+}
+
+// event is one worker-to-coordinator occurrence, funneled from the
+// per-worker reader goroutines into the gather loop.
+type event struct {
+	wid  int
+	kind byte
+	body []byte
+	err  error // connection-level failure (truncation, timeout)
+}
+
+// remoteWorker is the coordinator's view of one worker.
+type remoteWorker struct {
+	id    int
+	conn  net.Conn
+	alive bool
+	// outstanding tracks the indices assigned but not yet resolved for
+	// the in-flight query.
+	outstanding map[int]bool
+	// summary arrives on finish.
+	summary *WorkerSummary
+}
+
+type coordinator struct {
+	plan     Plan
+	opt      vcd.Options
+	copt     Options
+	sys      vdbms.System
+	workers  []*remoteWorker
+	events   chan event
+	counters Counters
+	seq      int
+}
+
+func (c *coordinator) closeAll() {
+	for _, w := range c.workers {
+		if w.conn != nil {
+			w.conn.Close()
+		}
+	}
+}
+
+// connect dials every worker and sends the job manifest.
+func (c *coordinator) connect(ctx context.Context, transport Transport) error {
+	job := JobSpec{
+		Dataset: c.plan.Dataset,
+		System:  c.plan.System,
+		Opt: OptionsWire{
+			InstancesPerScale: c.opt.InstancesPerScale,
+			Seed:              c.opt.Seed,
+			Validate:          c.opt.Validate,
+			ValidateFraction:  c.opt.ValidateFraction,
+			MaxUpsamplePixels: c.opt.MaxUpsamplePixels,
+			Workers:           c.opt.Workers,
+			Sequential:        c.opt.Sequential,
+			DecodedCacheBytes: c.opt.DecodedCacheBytes,
+			FullDecode:        c.opt.FullDecode,
+			ShipResults:       c.opt.Mode == vcd.WriteMode,
+		},
+		Metrics:     metrics.Enabled(),
+		HeartbeatNS: c.copt.Heartbeat.Nanoseconds(),
+	}
+	for i := 0; i < c.copt.Shards; i++ {
+		conn, err := transport.Connect(ctx, i)
+		if err != nil {
+			return err
+		}
+		w := &remoteWorker{id: i, conn: conn, alive: true, outstanding: map[int]bool{}}
+		c.workers = append(c.workers, w)
+		if err := writeMsg(conn, msgJob, job); err != nil {
+			return fmt.Errorf("shard: sending job to worker %d: %w", i, err)
+		}
+		go c.read(w)
+	}
+	c.counters.Workers = c.copt.Shards
+	return nil
+}
+
+// read pumps one worker's frames into the event channel, enforcing the
+// heartbeat deadline on every read. It exits on the first error; the
+// gather loop handles the death.
+func (c *coordinator) read(w *remoteWorker) {
+	for {
+		w.conn.SetReadDeadline(time.Now().Add(c.copt.Heartbeat))
+		kind, body, err := readMsg(w.conn)
+		if err != nil {
+			c.events <- event{wid: w.id, err: err}
+			return
+		}
+		if kind == msgHeartbeat {
+			continue
+		}
+		c.events <- event{wid: w.id, kind: kind, body: body}
+		if kind == msgSummary {
+			return
+		}
+	}
+}
+
+func (c *coordinator) alive() []*remoteWorker {
+	var out []*remoteWorker
+	for _, w := range c.workers {
+		if w.alive {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// markDead records a worker failure and returns the indices it leaves
+// behind.
+func (c *coordinator) markDead(w *remoteWorker, err error) []int {
+	if !w.alive {
+		return nil
+	}
+	w.alive = false
+	w.conn.Close()
+	c.counters.WorkerFailures++
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		c.counters.HeartbeatTimeouts++
+	}
+	var orphaned []int
+	for idx := range w.outstanding {
+		orphaned = append(orphaned, idx)
+	}
+	sort.Ints(orphaned)
+	w.outstanding = map[int]bool{}
+	return orphaned
+}
+
+// assign sends one worker its index subset for the query.
+func (c *coordinator) assign(w *remoteWorker, q queries.QueryID, indices []int) error {
+	c.seq++
+	for _, idx := range indices {
+		w.outstanding[idx] = true
+	}
+	return writeMsg(w.conn, msgAssign, Assignment{Query: q, Indices: indices, Seq: c.seq})
+}
+
+// run drives the full benchmark: scatter each query batch, gather, then
+// collect worker summaries and merge the report.
+func (c *coordinator) run(ctx context.Context) (*vcd.RunReport, error) {
+	report := &vcd.RunReport{System: c.sys.Name(), Scale: c.plan.Scale, Mode: c.opt.Mode}
+	var runBase metrics.Snapshot
+	if metrics.Enabled() {
+		runBase = metrics.Capture()
+	}
+	start := time.Now()
+	for _, q := range c.opt.Queries {
+		qr, err := c.runQuery(ctx, q)
+		if err != nil {
+			return nil, fmt.Errorf("shard: %s on %s: %w", q, c.sys.Name(), err)
+		}
+		report.Queries = append(report.Queries, *qr)
+	}
+	report.Elapsed = time.Since(start)
+
+	summaries, err := c.finish(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var workerDelta metrics.WireDelta
+	haveRemote := false
+	for _, s := range summaries {
+		report.DecodedCache = addCacheStats(report.DecodedCache, s.Cache)
+		if s.Telemetry != nil {
+			workerDelta.Merge(*s.Telemetry)
+			haveRemote = true
+		}
+	}
+	if metrics.Enabled() {
+		// The coordinator's own interval already contains every span
+		// recorded by in-process pipe workers; remote workers contribute
+		// their deltas through the summary merge.
+		d := metrics.Capture().Delta(runBase)
+		if haveRemote {
+			d.Merge(workerDelta)
+		}
+		t := d.Telemetry()
+		report.Telemetry = &t
+	}
+	return report, nil
+}
+
+// runQuery scatters one query batch and gathers its results into a
+// QueryReport identical to the single-process driver's.
+func (c *coordinator) runQuery(ctx context.Context, q queries.QueryID) (*vcd.QueryReport, error) {
+	qr := &vcd.QueryReport{Query: q, System: c.sys.Name()}
+	if !c.sys.Supports(q) {
+		qr.Unsupported = true
+		return qr, nil
+	}
+	n := c.opt.InstancesPerScale * c.plan.Scale
+	qr.BatchSize = n
+	// The batch limit splits the single-process batch into ordered
+	// sub-batches; sharded execution preserves the count arithmetically
+	// (grouping orders execution, it does not change per-instance
+	// results).
+	if bl, ok := c.sys.(vdbms.BatchLimiter); ok {
+		if limit := bl.MaxBatchSize(q); limit > 0 && n > limit {
+			qr.BatchSplits = (n+limit-1)/limit - 1
+		}
+	}
+
+	var batchBase metrics.Snapshot
+	if metrics.Enabled() {
+		batchBase = metrics.Capture()
+	}
+	batchStart := time.Now()
+
+	// Scatter: shard s of the stable partition goes to the s-th alive
+	// worker (shards collapse onto survivors when workers have died in
+	// earlier batches).
+	parts := Partition(q, n, c.copt.Shards)
+	alive := c.alive()
+	if len(alive) == 0 {
+		return nil, errors.New("shard: no workers left")
+	}
+	perWorker := map[int][]int{}
+	for s, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		w := alive[s%len(alive)]
+		perWorker[w.id] = append(perWorker[w.id], part...)
+	}
+	for _, w := range alive {
+		idxs := perWorker[w.id]
+		if len(idxs) == 0 {
+			continue
+		}
+		sort.Ints(idxs)
+		if err := c.assign(w, q, idxs); err != nil {
+			// The write failed — a death; assign already marked the
+			// indices outstanding, so the worker's orphans carry them.
+			if rerr := c.reassign(q, c.markDead(w, err)); rerr != nil {
+				return nil, rerr
+			}
+		}
+	}
+
+	// Gather: per-instance results land at their global index; worker
+	// deaths reassign whatever the dead worker still owed.
+	results := make([]*InstanceResultWire, n)
+	files := map[string][]byte{}
+	remaining := n
+	for remaining > 0 {
+		var ev event
+		select {
+		case ev = <-c.events:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		w := c.workers[ev.wid]
+		if ev.err != nil {
+			if err := c.reassign(q, c.markDead(w, ev.err)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		switch ev.kind {
+		case msgResult:
+			var res InstanceResultWire
+			if err := decode(ev.kind, ev.body, &res); err != nil {
+				return nil, err
+			}
+			if res.Query != string(q) || res.Index < 0 || res.Index >= n {
+				continue // stale frame from a pre-reassignment epoch
+			}
+			delete(w.outstanding, res.Index)
+			if results[res.Index] != nil {
+				// A reassigned instance finished twice; execution is
+				// deterministic, so both copies are identical. Keep the
+				// first, count the duplicate.
+				c.counters.DuplicateResults++
+				continue
+			}
+			results[res.Index] = &res
+			for _, f := range res.Files {
+				files[f.Name] = f.Data
+			}
+			remaining--
+		case msgDone:
+			// Assignment bookkeeping only; results already arrived (a done
+			// frame may also belong to the previous query's tail).
+		case msgError:
+			var werr WorkerError
+			if err := decode(ev.kind, ev.body, &werr); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("worker %d: %s", ev.wid, werr.Msg)
+		}
+	}
+	qr.Elapsed = time.Since(batchStart)
+
+	// Merge: rebuild the instance slice in global order and recompute
+	// the tallies exactly as runQueryBatch does.
+	qr.Instances = make([]vcd.InstanceResult, n)
+	for idx, res := range results {
+		inst := vcd.InstanceResult{
+			Elapsed: time.Duration(res.ElapsedNS),
+			Frames:  res.Frames,
+		}
+		if res.Err != "" {
+			inst.Err = &remoteError{msg: res.Err, resource: res.Resource}
+		}
+		if v := res.Validated; v != nil {
+			iv := &vcd.InstanceValidation{
+				Checked:         v.Checked,
+				PSNR:            v.PSNR,
+				Passed:          v.Passed,
+				SemanticChecked: v.SemanticChecked,
+				SemanticPassed:  v.SemanticPassed,
+			}
+			if v.Err != "" {
+				iv.Err = errors.New(v.Err)
+			}
+			inst.Validation = iv
+		}
+		qr.Instances[idx] = inst
+		if res.Err == "" {
+			qr.Completed++
+			qr.Frames += res.Frames
+		} else if res.Resource {
+			qr.ResourceErrors++
+		}
+	}
+	if c.opt.Validate {
+		qr.Validation = vcd.SummarizeValidation(qr.Instances)
+	}
+	// Persisted results write in name order — a deterministic gather
+	// regardless of which worker finished first.
+	if c.opt.Mode == vcd.WriteMode {
+		names := make([]string, 0, len(files))
+		for name := range files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := c.opt.ResultStore.Write(name, files[name]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if metrics.Enabled() {
+		t := metrics.Capture().Sub(batchBase)
+		qr.Telemetry = &t
+	}
+	return qr, nil
+}
+
+// reassign re-dispatches orphaned indices to the next alive worker.
+func (c *coordinator) reassign(q queries.QueryID, orphaned []int) error {
+	for len(orphaned) > 0 {
+		alive := c.alive()
+		if len(alive) == 0 {
+			return errors.New("shard: no workers left to retry on")
+		}
+		// Spread orphans across survivors by their stable shard hash.
+		perWorker := map[int][]int{}
+		for _, idx := range orphaned {
+			w := alive[shardOf(q, idx, len(alive))]
+			perWorker[w.id] = append(perWorker[w.id], idx)
+		}
+		orphaned = nil
+		for _, w := range alive {
+			idxs := perWorker[w.id]
+			if len(idxs) == 0 {
+				continue
+			}
+			delete(perWorker, w.id)
+			if err := c.assign(w, q, idxs); err != nil {
+				// Died mid-retry: its outstanding indices (including this
+				// round's) and everything not yet dispatched go around
+				// again against the remaining survivors.
+				orphaned = append(orphaned, c.markDead(w, err)...)
+				for _, rest := range perWorker {
+					orphaned = append(orphaned, rest...)
+				}
+				break
+			}
+			c.counters.Reassignments++
+			c.counters.RetriedInstances += int64(len(idxs))
+		}
+		sort.Ints(orphaned)
+	}
+	return nil
+}
+
+// finish tells every surviving worker the run is over and collects
+// their summaries. A worker dying at this stage loses only its
+// telemetry contribution, never results.
+func (c *coordinator) finish(ctx context.Context) ([]*WorkerSummary, error) {
+	waiting := map[int]bool{}
+	for _, w := range c.alive() {
+		if err := writeMsg(w.conn, msgFinish, struct{}{}); err != nil {
+			c.markDead(w, err)
+			continue
+		}
+		waiting[w.id] = true
+	}
+	var out []*WorkerSummary
+	for len(waiting) > 0 {
+		var ev event
+		select {
+		case ev = <-c.events:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if !waiting[ev.wid] {
+			continue
+		}
+		w := c.workers[ev.wid]
+		if ev.err != nil {
+			c.markDead(w, ev.err)
+			delete(waiting, ev.wid)
+			continue
+		}
+		if ev.kind != msgSummary {
+			continue // late result/done frames from the final batch
+		}
+		var sum WorkerSummary
+		if err := decode(ev.kind, ev.body, &sum); err != nil {
+			return nil, err
+		}
+		w.summary = &sum
+		out = append(out, &sum)
+		delete(waiting, ev.wid)
+	}
+	return out, nil
+}
+
+// remoteError carries a worker-side execution error across the wire.
+// The message is the original error string (so reports and comparisons
+// read identically); IsResource reports the vdbms.ErrResource tally
+// class.
+type remoteError struct {
+	msg      string
+	resource bool
+}
+
+func (e *remoteError) Error() string { return e.msg }
+
+// IsResource reports whether the remote error was a resource exhaustion
+// (vdbms.ErrResource on the worker).
+func (e *remoteError) IsResource() bool { return e.resource }
+
+func addCacheStats(a, b metrics.CacheStats) metrics.CacheStats {
+	return metrics.CacheStats{
+		Hits:            a.Hits + b.Hits,
+		Misses:          a.Misses + b.Misses,
+		Evictions:       a.Evictions + b.Evictions,
+		FramesRequested: a.FramesRequested + b.FramesRequested,
+		FramesDecoded:   a.FramesDecoded + b.FramesDecoded,
+	}
+}

@@ -1,0 +1,203 @@
+// Package shard implements the coordinator/worker execution plane that
+// makes the benchmark's node count real: the 4·L query batch is
+// partitioned deterministically across worker processes, each worker
+// rebuilds its assigned instances locally (batches are pure functions
+// of seed and dataset), executes them against its own engine and
+// decoded cache, and streams per-instance results back; the coordinator
+// gathers in global index order and merges a report byte-identical to a
+// single-process run of the same seed/config (zero-fault case).
+//
+// The wire protocol rides the framed-stream transport shared with the
+// RTP path (stream.WriteFramed/ReadFramed): every message is one frame
+// of a type byte followed by a JSON body. The conversation is
+//
+//	coordinator → worker:  job (manifest) → assign* → finish
+//	worker → coordinator:  result* → done (per assignment) →
+//	                       summary (telemetry/cache roll-up) ; heartbeat
+//	                       interleaves whenever an assignment is running
+//
+// and either side treats a truncated frame as a severed peer.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/queries"
+	"repro/internal/stream"
+)
+
+// Message type bytes.
+const (
+	msgJob       byte = 1 // coordinator → worker: job manifest
+	msgAssign    byte = 2 // coordinator → worker: one query's index subset
+	msgFinish    byte = 3 // coordinator → worker: run over, send summary
+	msgResult    byte = 4 // worker → coordinator: one executed instance
+	msgDone      byte = 5 // worker → coordinator: assignment complete
+	msgSummary   byte = 6 // worker → coordinator: final roll-up (the ack)
+	msgHeartbeat byte = 7 // worker → coordinator: liveness while executing
+	msgError     byte = 8 // worker → coordinator: fatal worker error
+)
+
+// GenSpec regenerates a dataset from hyperparameters: generation is
+// deterministic, so in-memory datasets shard by regeneration rather
+// than by copying bytes across the wire.
+type GenSpec struct {
+	Scale    int     `json:"scale"`
+	Width    int     `json:"width"`
+	Height   int     `json:"height"`
+	Duration float64 `json:"duration"`
+	FPS      int     `json:"fps"`
+	Seed     uint64  `json:"seed"`
+	QP       int     `json:"qp"`
+	Captions bool    `json:"captions"`
+}
+
+// DatasetSpec tells a worker where its dataset comes from: a shared
+// filesystem path (real multi-process topologies) or regeneration from
+// hyperparameters (in-process pipe workers and tests). Exactly one
+// field is set.
+type DatasetSpec struct {
+	Path string   `json:"path,omitempty"`
+	Gen  *GenSpec `json:"gen,omitempty"`
+}
+
+// OptionsWire is the executable subset of vcd.Options a job ships:
+// everything that shapes results (seed, batch multiplier, validation,
+// parameter caps) plus the per-worker execution knobs. Result handling
+// stays coordinator-side — workers always capture result payloads and
+// ship them back.
+type OptionsWire struct {
+	InstancesPerScale int     `json:"instances_per_scale"`
+	Seed              uint64  `json:"seed"`
+	Validate          bool    `json:"validate,omitempty"`
+	ValidateFraction  float64 `json:"validate_fraction,omitempty"`
+	MaxUpsamplePixels int     `json:"max_upsample_pixels,omitempty"`
+	Workers           int     `json:"workers,omitempty"`
+	Sequential        bool    `json:"sequential,omitempty"`
+	DecodedCacheBytes int64   `json:"decoded_cache_bytes,omitempty"`
+	FullDecode        bool    `json:"full_decode,omitempty"`
+	// ShipResults is set when the coordinator runs in WriteMode: workers
+	// capture persisted result payloads and attach them to result
+	// frames. Streaming-mode runs skip the copies, exactly as the
+	// single-process driver skips persistence.
+	ShipResults bool `json:"ship_results,omitempty"`
+}
+
+// SystemSpec names the engine a worker instantiates, with the budgets
+// the comparison experiments configure.
+type SystemSpec struct {
+	Name             string `json:"name"`
+	ScannerBudget    int64  `json:"scanner_budget,omitempty"`
+	ScannerHardLimit int64  `json:"scanner_hard_limit,omitempty"`
+}
+
+// JobSpec is the job manifest, the first frame of every worker
+// conversation.
+type JobSpec struct {
+	Dataset DatasetSpec `json:"dataset"`
+	System  SystemSpec  `json:"system"`
+	Opt     OptionsWire `json:"opt"`
+	// Metrics tells remote workers to enable their telemetry registry
+	// and report a wire delta in their summary. In-process workers share
+	// the coordinator's registry and must not double-report.
+	Metrics bool `json:"metrics,omitempty"`
+	// HeartbeatNS is the liveness interval the coordinator enforces;
+	// workers heartbeat at a third of it while executing.
+	HeartbeatNS int64 `json:"heartbeat_ns"`
+}
+
+// Assignment is one query's index subset for one worker. Seq tags the
+// assignment epoch: after a reassignment, stale results from a worker
+// presumed dead are recognizable (same query, earlier seq) and
+// deduplicated by index rather than double-counted.
+type Assignment struct {
+	Query   queries.QueryID `json:"query"`
+	Indices []int           `json:"indices"`
+	Seq     int             `json:"seq"`
+}
+
+// ValidationWire is the serializable part of an instance's validation
+// verdict (outputs stay worker-side; only the verdict travels).
+type ValidationWire struct {
+	Checked         bool    `json:"checked"`
+	PSNR            float64 `json:"psnr"`
+	Passed          bool    `json:"passed"`
+	SemanticChecked int     `json:"semantic_checked,omitempty"`
+	SemanticPassed  int     `json:"semantic_passed,omitempty"`
+	Err             string  `json:"err,omitempty"`
+}
+
+// ResultFile is one persisted result payload, named exactly as the
+// single-process driver would name it.
+type ResultFile struct {
+	Name string `json:"name"`
+	Data []byte `json:"data"`
+}
+
+// InstanceResultWire is one executed instance streaming back.
+type InstanceResultWire struct {
+	Query     string          `json:"query"`
+	Index     int             `json:"index"`
+	Seq       int             `json:"seq"`
+	ElapsedNS int64           `json:"elapsed_ns"`
+	Frames    int             `json:"frames"`
+	Err       string          `json:"err,omitempty"`
+	Resource  bool            `json:"resource,omitempty"`
+	Validated *ValidationWire `json:"validation,omitempty"`
+	Files     []ResultFile    `json:"files,omitempty"`
+}
+
+// AssignmentDone closes one assignment.
+type AssignmentDone struct {
+	Query string `json:"query"`
+	Seq   int    `json:"seq"`
+}
+
+// WorkerSummary is the final ack: the worker's dataset-cache counters
+// and, for remote workers, its telemetry interval in mergeable form.
+type WorkerSummary struct {
+	Cache     metrics.CacheStats `json:"cache"`
+	Telemetry *metrics.WireDelta `json:"telemetry,omitempty"`
+}
+
+// WorkerError reports a fatal worker-side failure (dataset load,
+// unknown system, batch construction); the coordinator aborts the run,
+// matching the single-process driver's behavior for the same error.
+type WorkerError struct {
+	Msg string `json:"msg"`
+}
+
+// writeMsg frames one protocol message: type byte + JSON body.
+func writeMsg(w io.Writer, kind byte, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	pkt := make([]byte, 1+len(body))
+	pkt[0] = kind
+	copy(pkt[1:], body)
+	return stream.WriteFramed(w, pkt)
+}
+
+// readMsg reads one framed protocol message.
+func readMsg(r io.Reader) (byte, []byte, error) {
+	pkt, err := stream.ReadFramed(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(pkt) == 0 {
+		return 0, nil, fmt.Errorf("shard: empty protocol frame")
+	}
+	return pkt[0], pkt[1:], nil
+}
+
+// decode unmarshals a message body into v with a typed error.
+func decode(kind byte, body []byte, v any) error {
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("shard: bad message type %d: %w", kind, err)
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+	"repro/internal/vcd"
+	"repro/internal/vcg"
+	"repro/internal/vcity"
+	"repro/internal/vdbms"
+	"repro/internal/vdbms/lightdblike"
+	"repro/internal/vdbms/noscopelike"
+	"repro/internal/vdbms/scannerlike"
+	"repro/internal/vfs"
+)
+
+// NewSystem instantiates the named engine with the job's budgets — the
+// worker-side counterpart of core.NewSystems.
+func NewSystem(spec SystemSpec) (vdbms.System, error) {
+	switch spec.Name {
+	case "scannerlike":
+		return scannerlike.New(scannerlike.Options{
+			MemoryBudgetBytes: spec.ScannerBudget,
+			HardLimitBytes:    spec.ScannerHardLimit,
+		}), nil
+	case "lightdblike":
+		return lightdblike.New(lightdblike.Options{}), nil
+	case "noscopelike":
+		return noscopelike.NewDefault(), nil
+	}
+	return nil, fmt.Errorf("shard: unknown system %q", spec.Name)
+}
+
+// WorkerOptions configure one worker's environment.
+type WorkerOptions struct {
+	// Store overrides the job's DatasetSpec with an already-open store —
+	// the in-process transport's stand-in for a shared filesystem. The
+	// worker still loads its own Dataset (demux staging, decoded cache)
+	// from it.
+	Store vfs.Store
+	// InProcess marks a worker sharing the coordinator's process: its
+	// spans already land in the coordinator's metrics registry, so the
+	// summary omits the telemetry delta to avoid double counting.
+	InProcess bool
+	// Clock paces heartbeats (nil = wall clock).
+	Clock stream.Clock
+}
+
+// ServeConn runs one worker conversation: job manifest, then
+// assignments until the coordinator finishes the run. It returns when
+// the coordinator sends finish (nil), the connection drops, or a fatal
+// setup error occurs (reported to the coordinator as a protocol error
+// frame first).
+func ServeConn(ctx context.Context, conn net.Conn, wopt WorkerOptions) error {
+	defer conn.Close()
+	w := &worker{conn: conn, opt: wopt}
+	if w.opt.Clock == nil {
+		w.opt.Clock = stream.RealClock{}
+	}
+	if err := w.serve(ctx); err != nil {
+		// Best effort: tell the coordinator why before hanging up.
+		w.send(msgError, WorkerError{Msg: err.Error()})
+		return err
+	}
+	return nil
+}
+
+type worker struct {
+	conn net.Conn
+	opt  WorkerOptions
+
+	mu sync.Mutex // serializes frames: results vs heartbeats
+
+	job     JobSpec
+	runner  *vcd.BatchRunner
+	results vfs.Store       // worker-local result staging
+	shipped map[string]bool // result files already sent
+	base    metrics.Snapshot
+}
+
+func (w *worker) send(kind byte, v any) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return writeMsg(w.conn, kind, v)
+}
+
+func (w *worker) serve(ctx context.Context) error {
+	kind, body, err := readMsg(w.conn)
+	if err != nil {
+		return fmt.Errorf("shard: worker: reading job: %w", err)
+	}
+	if kind != msgJob {
+		return fmt.Errorf("shard: worker: expected job manifest, got type %d", kind)
+	}
+	if err := decode(kind, body, &w.job); err != nil {
+		return err
+	}
+	if err := w.setup(); err != nil {
+		return err
+	}
+	// Heartbeat for the whole conversation — the coordinator enforces a
+	// read deadline even while a worker idles between queries, so
+	// liveness cannot depend on having work.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	if w.job.HeartbeatNS > 0 {
+		interval := time.Duration(w.job.HeartbeatNS) / 3
+		var hbDone sync.WaitGroup
+		hbDone.Add(1)
+		defer hbDone.Wait()
+		go func() {
+			defer hbDone.Done()
+			for {
+				if err := w.opt.Clock.SleepCtx(hbCtx, interval); err != nil {
+					return
+				}
+				if w.send(msgHeartbeat, struct{}{}) != nil {
+					return
+				}
+			}
+		}()
+	}
+	for {
+		kind, body, err := readMsg(w.conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, stream.ErrTruncated) {
+				return nil // coordinator went away; nothing left to do
+			}
+			return err
+		}
+		switch kind {
+		case msgAssign:
+			var a Assignment
+			if err := decode(kind, body, &a); err != nil {
+				return err
+			}
+			if err := w.runAssignment(a); err != nil {
+				return err
+			}
+		case msgFinish:
+			return w.summarize()
+		default:
+			return fmt.Errorf("shard: worker: unexpected message type %d", kind)
+		}
+	}
+}
+
+// setup loads the dataset, instantiates the engine, and prepares the
+// batch runner with a worker-local result store.
+func (w *worker) setup() error {
+	store := w.opt.Store
+	if store == nil {
+		var err error
+		store, err = openDataset(w.job.Dataset)
+		if err != nil {
+			return err
+		}
+	}
+	ds, err := vcd.LoadDataset(store, detect.ProfileSynthetic)
+	if err != nil {
+		return fmt.Errorf("shard: worker: loading dataset: %w", err)
+	}
+	sys, err := NewSystem(w.job.System)
+	if err != nil {
+		return err
+	}
+	if w.job.Metrics && !w.opt.InProcess {
+		metrics.SetEnabled(true)
+		w.base = metrics.Capture()
+	}
+	o := w.job.Opt
+	mode := vcd.StreamingMode
+	if o.ShipResults {
+		w.results = vfs.NewMemory()
+		w.shipped = map[string]bool{}
+		mode = vcd.WriteMode
+	}
+	w.runner, err = vcd.NewBatchRunner(ds, sys, vcd.Options{
+		InstancesPerScale: o.InstancesPerScale,
+		Seed:              o.Seed,
+		Mode:              mode,
+		ResultStore:       w.results,
+		Validate:          o.Validate,
+		ValidateFraction:  o.ValidateFraction,
+		MaxUpsamplePixels: o.MaxUpsamplePixels,
+		Workers:           o.Workers,
+		Sequential:        o.Sequential,
+		DecodedCacheBytes: o.DecodedCacheBytes,
+		FullDecode:        o.FullDecode,
+	})
+	return err
+}
+
+// openDataset resolves a DatasetSpec into a store.
+func openDataset(spec DatasetSpec) (vfs.Store, error) {
+	switch {
+	case spec.Path != "":
+		return vfs.NewLocal(spec.Path)
+	case spec.Gen != nil:
+		g := spec.Gen
+		store := vfs.NewMemory()
+		_, err := vcg.Generate(vcity.Hyperparams{
+			Scale: g.Scale, Width: g.Width, Height: g.Height,
+			Duration: g.Duration, FPS: g.FPS, Seed: g.Seed,
+		}, vcg.Options{Captions: g.Captions, QP: g.QP}, store)
+		if err != nil {
+			return nil, fmt.Errorf("shard: worker: regenerating dataset: %w", err)
+		}
+		return store, nil
+	}
+	return nil, errors.New("shard: worker: empty dataset spec")
+}
+
+// runAssignment executes one index subset and streams results followed
+// by the done frame (heartbeats interleave from the conversation-level
+// heartbeater).
+func (w *worker) runAssignment(a Assignment) error {
+	results, err := w.runner.RunSubset(a.Query, a.Indices)
+	if err != nil {
+		return fmt.Errorf("shard: worker: %s subset: %w", a.Query, err)
+	}
+	for _, res := range results {
+		wire := InstanceResultWire{
+			Query:     string(a.Query),
+			Index:     res.Index,
+			Seq:       a.Seq,
+			ElapsedNS: res.Elapsed.Nanoseconds(),
+			Frames:    res.Frames,
+		}
+		if res.Err != nil {
+			wire.Err = res.Err.Error()
+			var resErr *vdbms.ErrResource
+			wire.Resource = errors.As(res.Err, &resErr)
+		}
+		if v := res.Validation; v != nil {
+			wire.Validated = &ValidationWire{
+				Checked:         v.Checked,
+				PSNR:            v.PSNR,
+				Passed:          v.Passed,
+				SemanticChecked: v.SemanticChecked,
+				SemanticPassed:  v.SemanticPassed,
+			}
+			if v.Err != nil {
+				wire.Validated.Err = v.Err.Error()
+			}
+		}
+		if w.results != nil {
+			files, err := w.collectFiles(vcd.ResultNamePrefix(a.Query, res.Index))
+			if err != nil {
+				return err
+			}
+			wire.Files = files
+		}
+		if err := w.send(msgResult, wire); err != nil {
+			return err
+		}
+	}
+	w.runner.Quiesce()
+	return w.send(msgDone, AssignmentDone{Query: string(a.Query), Seq: a.Seq})
+}
+
+// collectFiles ships the result payloads belonging to one instance:
+// persisted names embed the query and global index, so the prefix
+// attributes store contents exactly. A result frame therefore carries
+// everything its instance produced — if the worker dies before the
+// assignment completes, every received result is still whole.
+func (w *worker) collectFiles(prefix string) ([]ResultFile, error) {
+	names, err := w.results.List()
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	var out []ResultFile
+	for _, name := range names {
+		if w.shipped[name] || !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		data, err := vfs.ReadAll(w.results, name)
+		if err != nil {
+			return nil, err
+		}
+		w.shipped[name] = true
+		out = append(out, ResultFile{Name: name, Data: data})
+	}
+	return out, nil
+}
+
+// summarize sends the final ack: cache counters plus, for remote
+// workers, the telemetry interval in mergeable wire form.
+func (w *worker) summarize() error {
+	sum := WorkerSummary{Cache: w.runner.CacheStats()}
+	if w.job.Metrics && !w.opt.InProcess {
+		d := metrics.Capture().Delta(w.base)
+		sum.Telemetry = &d
+	}
+	return w.send(msgSummary, sum)
+}

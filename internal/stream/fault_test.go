@@ -268,22 +268,22 @@ func TestRetryCancelled(t *testing.T) {
 
 func TestReadFramedTruncation(t *testing.T) {
 	// Zero bytes: clean EOF.
-	if _, err := readFramed(bytes.NewReader(nil)); err != io.EOF {
+	if _, err := ReadFramed(bytes.NewReader(nil)); err != io.EOF {
 		t.Errorf("empty stream = %v, want io.EOF", err)
 	}
 	// Partial 4-byte length prefix: a cut, never EOF.
-	if _, err := readFramed(bytes.NewReader([]byte{0, 0})); !errors.Is(err, ErrTruncated) {
+	if _, err := ReadFramed(bytes.NewReader([]byte{0, 0})); !errors.Is(err, ErrTruncated) {
 		t.Errorf("partial header = %v, want ErrTruncated", err)
 	}
 	// Full header, short body.
 	var buf bytes.Buffer
-	writeFramed(&buf, []byte("hello"))
+	WriteFramed(&buf, []byte("hello"))
 	short := buf.Bytes()[:buf.Len()-2]
-	if _, err := readFramed(bytes.NewReader(short)); !errors.Is(err, ErrTruncated) {
+	if _, err := ReadFramed(bytes.NewReader(short)); !errors.Is(err, ErrTruncated) {
 		t.Errorf("partial body = %v, want ErrTruncated", err)
 	}
 	// Intact frame still round-trips.
-	pkt, err := readFramed(bytes.NewReader(buf.Bytes()))
+	pkt, err := ReadFramed(bytes.NewReader(buf.Bytes()))
 	if err != nil || string(pkt) != "hello" {
 		t.Errorf("round trip: %q, %v", pkt, err)
 	}
@@ -295,10 +295,10 @@ func TestRTPGapReportedAndResynced(t *testing.T) {
 		// AU "aa" (seqs 0,1), then a lost packet (seq 2 never sent),
 		// then the tail of a broken AU (seq 3, marker) that must be
 		// discarded, then a clean AU "dd" (seq 4, marker).
-		writeFramed(c1, marshalRTP(&rtpPacket{Seq: 0, Payload: []byte("a")}))
-		writeFramed(c1, marshalRTP(&rtpPacket{Seq: 1, Marker: true, Timestamp: 0, Payload: []byte("a")}))
-		writeFramed(c1, marshalRTP(&rtpPacket{Seq: 3, Marker: true, Timestamp: 3000, Payload: []byte("x")}))
-		writeFramed(c1, marshalRTP(&rtpPacket{Seq: 4, Marker: true, Timestamp: 6000, Payload: []byte("dd")}))
+		WriteFramed(c1, marshalRTP(&rtpPacket{Seq: 0, Payload: []byte("a")}))
+		WriteFramed(c1, marshalRTP(&rtpPacket{Seq: 1, Marker: true, Timestamp: 0, Payload: []byte("a")}))
+		WriteFramed(c1, marshalRTP(&rtpPacket{Seq: 3, Marker: true, Timestamp: 3000, Payload: []byte("x")}))
+		WriteFramed(c1, marshalRTP(&rtpPacket{Seq: 4, Marker: true, Timestamp: 6000, Payload: []byte("dd")}))
 		c1.Close()
 	}()
 	recv := NewRTPReceiver(c2)
@@ -332,9 +332,9 @@ func TestRTPGapMidUnitSkipsToMarker(t *testing.T) {
 	go func() {
 		// Gap lands mid-unit: seq 0 lost, seqs 1 (no marker) and 2
 		// (marker) are the rest of that broken AU, then a clean one.
-		writeFramed(c1, marshalRTP(&rtpPacket{Seq: 1, Payload: []byte("b")}))
-		writeFramed(c1, marshalRTP(&rtpPacket{Seq: 2, Marker: true, Payload: []byte("b")}))
-		writeFramed(c1, marshalRTP(&rtpPacket{Seq: 3, Marker: true, Payload: []byte("c")}))
+		WriteFramed(c1, marshalRTP(&rtpPacket{Seq: 1, Payload: []byte("b")}))
+		WriteFramed(c1, marshalRTP(&rtpPacket{Seq: 2, Marker: true, Payload: []byte("b")}))
+		WriteFramed(c1, marshalRTP(&rtpPacket{Seq: 3, Marker: true, Payload: []byte("c")}))
 		c1.Close()
 	}()
 	recv := NewRTPReceiver(c2)

@@ -1,0 +1,91 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReadFramed feeds arbitrary bytes to the framed-packet reader: it
+// must never panic, must bound its allocation by the bytes actually
+// present (a corrupt length prefix claiming megabytes against a short
+// body errors instead of allocating up front), and on success must
+// return exactly the framed payload with the remainder of the input
+// untouched.
+func FuzzReadFramed(f *testing.F) {
+	frame := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := WriteFramed(&buf, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x00, 0x00, 0x00})       // partial header
+	f.Add(frame(nil))                     // zero-length packet
+	f.Add(frame([]byte("access unit")))   // well-formed
+	f.Add(frame([]byte("tail"))[:6])      // truncated body
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // implausible size, no body
+	f.Add([]byte{0x01, 0x00, 0x00, 0x00}) // 16 MiB claimed, empty body
+	f.Add(append([]byte{0x00, 0xff, 0xff, 0xff}, bytes.Repeat([]byte{0xAA}, 128)...))
+	f.Add(append(frame([]byte("a")), frame([]byte("b"))...)) // two frames back to back
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		pkt, err := ReadFramed(r)
+		if err != nil {
+			// Every failure must be one of the defined shapes: clean EOF
+			// on an empty stream, a truncation, or a rejected size.
+			switch {
+			case err == io.EOF, errors.Is(err, ErrTruncated):
+			default:
+				if len(data) < 4 {
+					t.Fatalf("short input %x: unexpected error %v", data, err)
+				}
+				if n := binary.BigEndian.Uint32(data[:4]); n <= MaxFrameSize {
+					t.Fatalf("plausible header (size %d) rejected: %v", n, err)
+				}
+			}
+			return
+		}
+		n := binary.BigEndian.Uint32(data[:4])
+		if uint32(len(pkt)) != n {
+			t.Fatalf("returned %d bytes for a %d-byte frame", len(pkt), n)
+		}
+		if !bytes.Equal(pkt, data[4:4+len(pkt)]) {
+			t.Fatalf("payload mismatch")
+		}
+		// Success must not consume past the frame: back-to-back frames
+		// stay readable.
+		if r.Len() != len(data)-4-len(pkt) {
+			t.Fatalf("reader consumed %d bytes past the frame", len(data)-4-len(pkt)-r.Len())
+		}
+	})
+}
+
+// TestReadFramedBoundedAllocation pins the defense the fuzzer probes:
+// a header claiming the maximum frame size backed by a tiny body must
+// fail with ErrTruncated without allocating anywhere near the claimed
+// size.
+func TestReadFramedBoundedAllocation(t *testing.T) {
+	var input bytes.Buffer
+	binary.Write(&input, binary.BigEndian, uint32(MaxFrameSize))
+	input.Write([]byte("short"))
+	data := input.Bytes()
+
+	allocs := testing.AllocsPerRun(16, func() {
+		if _, err := ReadFramed(bytes.NewReader(data)); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("want ErrTruncated, got %v", err)
+		}
+	})
+	// One chunk (64 KiB) plus the error wrapping — far below the 16 MiB
+	// the header claims. The alloc count is tiny; the bound we care
+	// about is that the chunked reader never sizes a buffer off the
+	// header alone, which the small count implies.
+	if allocs > 8 {
+		t.Fatalf("ReadFramed allocated %v times on a truncated max-size claim", allocs)
+	}
+}

@@ -200,17 +200,17 @@ func (s *RTPSender) transmit(raw []byte) error {
 		if s.held != nil {
 			held := s.held
 			s.held = nil
-			if err := writeFramed(s.conn, raw); err != nil {
+			if err := WriteFramed(s.conn, raw); err != nil {
 				return err
 			}
-			return writeFramed(s.conn, held)
+			return WriteFramed(s.conn, held)
 		}
 		if s.plan.ReorderPacket(i) {
 			s.held = append([]byte(nil), raw...)
 			return nil
 		}
 	}
-	return writeFramed(s.conn, raw)
+	return WriteFramed(s.conn, raw)
 }
 
 // Close flushes any reorder-held packet and closes the underlying
@@ -219,7 +219,7 @@ func (s *RTPSender) Close() error {
 	if s.held != nil {
 		held := s.held
 		s.held = nil
-		writeFramed(s.conn, held)
+		WriteFramed(s.conn, held)
 	}
 	return s.conn.Close()
 }
@@ -251,7 +251,7 @@ func (r *RTPReceiver) LastTimestamp() uint32 { return r.lastTS }
 // mid-packet surfaces ErrTruncated, never a clean EOF.
 func (r *RTPReceiver) NextAccessUnit() ([]byte, error) {
 	for {
-		raw, err := readFramed(r.conn)
+		raw, err := ReadFramed(r.conn)
 		if err != nil {
 			if err == io.EOF && len(r.buf) > 0 {
 				return nil, fmt.Errorf("stream: %d byte(s) of partial access unit at EOF: %w", len(r.buf), ErrTruncated)
@@ -299,8 +299,19 @@ func (r *RTPReceiver) NextAccessUnit() ([]byte, error) {
 // Close closes the underlying connection.
 func (r *RTPReceiver) Close() error { return r.conn.Close() }
 
-// writeFramed writes a 4-byte length prefix then the packet.
-func writeFramed(w io.Writer, pkt []byte) error {
+// MaxFrameSize bounds a framed packet: larger length prefixes are
+// treated as corruption, not allocation requests.
+const MaxFrameSize = 1 << 24
+
+// frameChunk is the allocation granularity of ReadFramed's body read:
+// memory grows with bytes actually received, so a corrupt length prefix
+// claiming MaxFrameSize against a short body costs one chunk, not 16 MiB.
+const frameChunk = 64 << 10
+
+// WriteFramed writes a 4-byte big-endian length prefix then the packet.
+// It is the wire unit shared by the RTP transport and the shard
+// protocol.
+func WriteFramed(w io.Writer, pkt []byte) error {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(pkt)))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -310,10 +321,13 @@ func writeFramed(w io.Writer, pkt []byte) error {
 	return err
 }
 
-// readFramed reads one length-prefixed packet. Only a zero-byte header
+// ReadFramed reads one length-prefixed packet. Only a zero-byte header
 // read is a clean io.EOF; a partial header or body means the connection
-// was cut mid-packet and surfaces ErrTruncated.
-func readFramed(r io.Reader) ([]byte, error) {
+// was cut mid-packet and surfaces ErrTruncated. Allocation is bounded
+// by the bytes actually received (plus one chunk), so hostile or
+// corrupt length prefixes error cleanly instead of forcing a large
+// up-front allocation.
+func ReadFramed(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
@@ -321,16 +335,28 @@ func readFramed(r io.Reader) ([]byte, error) {
 		}
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > 1<<24 {
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > MaxFrameSize {
 		return nil, fmt.Errorf("stream: implausible packet size %d", n)
 	}
-	buf := make([]byte, n)
-	if m, err := io.ReadFull(r, buf); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("stream: partial packet body (%d of %d bytes): %w", m, n, ErrTruncated)
+	cap0 := n
+	if cap0 > frameChunk {
+		cap0 = frameChunk
+	}
+	buf := make([]byte, 0, cap0)
+	for len(buf) < n {
+		chunk := n - len(buf)
+		if chunk > frameChunk {
+			chunk = frameChunk
 		}
-		return nil, err
+		start := len(buf)
+		buf = append(buf, make([]byte, chunk)...)
+		if m, err := io.ReadFull(r, buf[start:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("stream: partial packet body (%d of %d bytes): %w", start+m, n, ErrTruncated)
+			}
+			return nil, err
+		}
 	}
 	return buf, nil
 }

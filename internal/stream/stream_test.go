@@ -242,8 +242,8 @@ func TestRTPSequenceGapDetected(t *testing.T) {
 	c1, c2 := net.Pipe()
 	go func() {
 		// Send seq 0 then seq 5 (gap).
-		writeFramed(c1, marshalRTP(&rtpPacket{Seq: 0, Marker: true, Payload: []byte("a")}))
-		writeFramed(c1, marshalRTP(&rtpPacket{Seq: 5, Marker: true, Payload: []byte("b")}))
+		WriteFramed(c1, marshalRTP(&rtpPacket{Seq: 0, Marker: true, Payload: []byte("a")}))
+		WriteFramed(c1, marshalRTP(&rtpPacket{Seq: 5, Marker: true, Payload: []byte("b")}))
 		c1.Close()
 	}()
 	recv := NewRTPReceiver(c2)

@@ -398,24 +398,7 @@ func (v *validator) semanticQ2d(inst *vdbms.QueryInstance, val *InstanceValidati
 
 // summary aggregates instance validations.
 func (v *validator) summary(insts []InstanceResult) ValidationSummary {
-	var s ValidationSummary
-	var psnrs []float64
-	for _, r := range insts {
-		if r.Validation == nil || !r.Validation.Checked {
-			continue
-		}
-		s.Checked++
-		if r.Validation.Passed {
-			s.Passed++
-		}
-		if r.Validation.PSNR >= 0 {
-			psnrs = append(psnrs, r.Validation.PSNR)
-		}
-		s.SemanticChecked += r.Validation.SemanticChecked
-		s.SemanticPassed += r.Validation.SemanticPassed
-	}
-	s.PSNR = metrics.Describe(psnrs)
-	return s
+	return SummarizeValidation(insts)
 }
 
 func allClasses() []vcity.ObjectClass {

@@ -43,7 +43,9 @@ type Options struct {
 	// HardLimitBytes is the allocation size at which the engine fails
 	// outright instead of spilling (default 8× the budget).
 	HardLimitBytes int64
-	// Workers is the kernel worker pool size (default min(4, NumCPU)).
+	// Workers is the kernel worker pool size (default min(4, usable
+	// CPUs) — bounded by GOMAXPROCS so oversubscription is never the
+	// default; explicit counts are honored as given).
 	Workers int
 	// SpillDir is where spilled tables go (default os.TempDir()).
 	SpillDir string
@@ -58,6 +60,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.NumCPU()
+		if g := runtime.GOMAXPROCS(0); g < o.Workers {
+			o.Workers = g
+		}
 		if o.Workers > 4 {
 			o.Workers = 4
 		}
@@ -72,8 +77,8 @@ func (o Options) withDefaults() Options {
 type Engine struct {
 	opt    Options
 	mu     sync.Mutex
-	live   int64                    // bytes of materialized tables currently held
-	ingest map[string]*ingestEntry  // job-level decoded-input cache, keyed by input name
+	live   int64                   // bytes of materialized tables currently held
+	ingest map[string]*ingestEntry // job-level decoded-input cache, keyed by input name
 }
 
 // ingestEntry is one single-flight slot of the ingest cache: the first

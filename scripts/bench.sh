@@ -121,4 +121,12 @@ END {
 go test -run '^$' -bench '^(BenchmarkEncode|BenchmarkDecode|BenchmarkDecodeParallel)$' -benchmem -count 5 ./internal/codec >"$tmp"
 emit_json_min <"$tmp" >BENCH_codec.json
 
-cat BENCH_query.json BENCH_range.json BENCH_online.json BENCH_obs.json BENCH_codec.json
+# BENCH_shard.json: batch throughput through the coordinator/worker
+# scatter-gather plane at shards {1,2,4} over the in-process pipe
+# transport — full wire protocol, no sockets. min-of-5 damps scheduler
+# noise; on a single core the ladder should be flat (protocol overhead
+# only), scaling with cores when they exist.
+go test -run '^$' -bench '^BenchmarkShardedBatch$' -benchtime 1x -count 5 ./internal/shard >"$tmp"
+emit_json_min <"$tmp" >BENCH_shard.json
+
+cat BENCH_query.json BENCH_range.json BENCH_online.json BENCH_obs.json BENCH_codec.json BENCH_shard.json

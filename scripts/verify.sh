@@ -30,3 +30,10 @@ go test -race -run 'TestTelemetryModeInvariance' ./internal/vcd
 # the sub-GOP entropy/reconstruction split plus parallel span extraction
 # run under the race detector.
 go test -race -run 'TestGoldenBitstreams|^Fuzz|StateAllocs$|TestExtractSpanParallel' ./internal/codec ./internal/container
+# Sharded execution plane under the race detector: coordinator reader
+# goroutines, heartbeaters, and in-process pipe workers all interleave;
+# the equivalence test then asserts the deterministic-merge contract —
+# sharded output byte-identical to the single-process run at shards
+# {1,2,4} and under a deterministically killed worker.
+go test -race ./internal/shard
+go test -race -run 'TestShardEquivalence|TestShardWorkerDeathRecovers' ./internal/shard
