@@ -30,7 +30,14 @@ type Options struct {
 	Worker WorkerOptions
 	// Heartbeat is the liveness window: a worker silent for this long is
 	// presumed dead and its unfinished shard is retried on a survivor.
-	// 0 selects 10s.
+	// 0 selects 10s. Frames are written whole under the worker's frame
+	// mutex, so a heartbeat can be delayed by one in-flight result
+	// frame: size Heartbeat above the time a single result payload
+	// (largest WriteMode instance's files) takes to cross the link, or
+	// a healthy worker mid-transfer is declared dead and its work
+	// re-executed. The same window bounds coordinator-side writes — a
+	// worker that stalls without closing its socket surfaces as a write
+	// timeout instead of wedging the gather loop.
 	Heartbeat time.Duration
 	// Retry governs worker dials (AddrTransport).
 	Retry stream.RetryPolicy
@@ -84,7 +91,9 @@ type Plan struct {
 // written in name order — so a zero-fault sharded run reports
 // byte-identically to vcd.Run on the same seed/config. The returned
 // Counters surface worker failures and retries; faults change them, not
-// the results.
+// the results. Counters are non-nil even when Run fails (alongside the
+// error) so callers can see the degradation that preceded the failure;
+// only plan-validation errors before any worker contact return nil.
 func Run(ctx context.Context, plan Plan, copt Options) (*vcd.RunReport, *Counters, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -132,14 +141,14 @@ func Run(ctx context.Context, plan Plan, copt Options) (*vcd.RunReport, *Counter
 	}
 	defer c.closeAll()
 	if err := c.connect(ctx, transport); err != nil {
-		return nil, nil, err
+		return nil, &c.counters, err
 	}
 	report, err := c.run(ctx)
 	if at, ok := transport.(*AddrTransport); ok {
 		c.counters.DialRetries = at.DialRetries()
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, &c.counters, err
 	}
 	return report, &c.counters, nil
 }
@@ -211,7 +220,7 @@ func (c *coordinator) connect(ctx context.Context, transport Transport) error {
 		}
 		w := &remoteWorker{id: i, conn: conn, alive: true, outstanding: map[int]bool{}}
 		c.workers = append(c.workers, w)
-		if err := writeMsg(conn, msgJob, job); err != nil {
+		if err := c.write(w, msgJob, job); err != nil {
 			return fmt.Errorf("shard: sending job to worker %d: %w", i, err)
 		}
 		go c.read(w)
@@ -273,13 +282,27 @@ func (c *coordinator) markDead(w *remoteWorker, err error) []int {
 	return orphaned
 }
 
+// write sends one frame to a worker under the heartbeat window as a
+// write deadline. Without it a worker that stalls while its socket
+// stays open (hung process, full receive buffer) would block the
+// gather loop in a write forever — unable to drain events or observe
+// cancellation — defeating the liveness the heartbeat provides on the
+// read side. With it, a stuck worker surfaces as a write error and
+// flows into markDead/reassign like any read-side failure.
+func (c *coordinator) write(w *remoteWorker, kind byte, v any) error {
+	w.conn.SetWriteDeadline(time.Now().Add(c.copt.Heartbeat))
+	err := writeMsg(w.conn, kind, v)
+	w.conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
 // assign sends one worker its index subset for the query.
 func (c *coordinator) assign(w *remoteWorker, q queries.QueryID, indices []int) error {
 	c.seq++
 	for _, idx := range indices {
 		w.outstanding[idx] = true
 	}
-	return writeMsg(w.conn, msgAssign, Assignment{Query: q, Indices: indices, Seq: c.seq})
+	return c.write(w, msgAssign, Assignment{Query: q, Indices: indices, Seq: c.seq})
 }
 
 // run drives the full benchmark: scatter each query batch, gather, then
@@ -538,7 +561,7 @@ func (c *coordinator) reassign(q queries.QueryID, orphaned []int) error {
 func (c *coordinator) finish(ctx context.Context) ([]*WorkerSummary, error) {
 	waiting := map[int]bool{}
 	for _, w := range c.alive() {
-		if err := writeMsg(w.conn, msgFinish, struct{}{}); err != nil {
+		if err := c.write(w, msgFinish, struct{}{}); err != nil {
 			c.markDead(w, err)
 			continue
 		}

@@ -117,7 +117,9 @@ func (w *worker) serve(ctx context.Context) error {
 		interval := time.Duration(w.job.HeartbeatNS) / 3
 		var hbDone sync.WaitGroup
 		hbDone.Add(1)
-		defer hbDone.Wait()
+		// Cancel before waiting: hbCtx must be dead by the time Wait
+		// runs, or serve stalls up to a full sleep interval on exit.
+		defer func() { stopHB(); hbDone.Wait() }()
 		go func() {
 			defer hbDone.Done()
 			for {

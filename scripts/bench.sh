@@ -124,8 +124,9 @@ emit_json_min <"$tmp" >BENCH_codec.json
 # BENCH_shard.json: batch throughput through the coordinator/worker
 # scatter-gather plane at shards {1,2,4} over the in-process pipe
 # transport — full wire protocol, no sockets. min-of-5 damps scheduler
-# noise; on a single core the ladder should be flat (protocol overhead
-# only), scaling with cores when they exist.
+# noise. On a single core the ladder rises mildly with shard count
+# (~3ms per extra worker: each loads its own dataset and fills its own
+# decoded cache, plus framing); it scales with cores when they exist.
 go test -run '^$' -bench '^BenchmarkShardedBatch$' -benchtime 1x -count 5 ./internal/shard >"$tmp"
 emit_json_min <"$tmp" >BENCH_shard.json
 
