@@ -7,7 +7,7 @@
 //	vcg -out DIR [-scale L] [-res 1k|2k|4k|WxH] [-duration SECONDS]
 //	    [-fps N] [-seed S] [-codec h264|hevc] [-bitrate KBPS]
 //	    [-nodes N] [-workers N] [-sequential]
-//	    [-profile synthetic|recorded]
+//	    [-profile synthetic|recorded] [-tile-grid RxC]
 //
 // Example:
 //
@@ -44,6 +44,7 @@ func main() {
 	density := flag.String("density", "any", "tile density filter: any, Sparse, Moderate, RushHour")
 	traffic := flag.Int("traffic-cams", 4, "traffic cameras per tile")
 	pano := flag.Int("pano-cams", 1, "panoramic cameras per tile")
+	tileGrid := flag.String("tile-grid", "1x1", "encode frames as an RxC grid of independently decodable tiles (1x1 = untiled)")
 	flag.Parse()
 
 	if *out == "" {
@@ -68,6 +69,10 @@ func main() {
 	default:
 		fatal(fmt.Errorf("vcg: unknown profile %q", *profile))
 	}
+	tileRows, tileCols, err := parseTileGrid(*tileGrid)
+	if err != nil {
+		fatal(err)
+	}
 	store, err := vfs.NewLocal(*out)
 	if err != nil {
 		fatal(err)
@@ -85,6 +90,7 @@ func main() {
 		Workers: *workers, Sequential: *sequential,
 		Profile: prof, Captions: true,
 		WeatherFilter: wf, DensityFilter: df,
+		TileRows: tileRows, TileCols: tileCols,
 	}, store)
 	if err != nil {
 		fatal(err)
@@ -120,6 +126,19 @@ func parseResolution(s string) (int, int, error) {
 		}
 	}
 	return 0, 0, fmt.Errorf("vcg: cannot parse resolution %q (use 1k, 2k, 4k, or WxH)", s)
+}
+
+// parseTileGrid accepts an RxC grid spec, e.g. "2x2" or "1x4".
+func parseTileGrid(s string) (rows, cols int, err error) {
+	parts := strings.SplitN(s, "x", 2)
+	if len(parts) == 2 {
+		r, err1 := strconv.Atoi(parts[0])
+		c, err2 := strconv.Atoi(parts[1])
+		if err1 == nil && err2 == nil && r > 0 && c > 0 {
+			return r, c, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("vcg: bad tile grid %q (want RxC, e.g. 2x2)", s)
 }
 
 func fatal(err error) {

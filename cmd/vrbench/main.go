@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vrbench -exp table1|table2|table9|fig2|fig5|fig6|fig7|fig8|fig9|quality|modes|online|shard|all [flags]
+//	vrbench -exp table1|table2|table9|fig2|fig5|fig6|fig7|fig8|fig9|quality|modes|online|shard|tile|all [flags]
 //	vrbench -shard-worker [-shard-listen ADDR]
 package main
 
@@ -110,8 +110,9 @@ func run() int {
 		"modes":   func() error { return runModes(*scale, *duration, *seed, *queryWorkers, *sequential, *fullDecode) },
 		"online":  func() error { return runOnline(*scale, *duration, *onlineSeed, *onlineFaults) },
 		"shard":   func() error { return runShardSweep(*scale, *duration, *seed, *workers) },
+		"tile":    func() error { return runTileSweep(*scale, *duration, *seed, *workers, *queryWorkers) },
 	}
-	order := []string{"table1", "table2", "fig2", "table9", "fig5", "fig6", "fig7", "fig8", "fig9", "quality", "modes", "online", "shard"}
+	order := []string{"table1", "table2", "fig2", "table9", "fig5", "fig6", "fig7", "fig8", "fig9", "quality", "modes", "online", "shard", "tile"}
 
 	code := 0
 	switch {
@@ -411,6 +412,45 @@ func runOnline(scale int, duration float64, seed uint64, ratesSpec string) error
 // counterpart of Figure 9's generator node sweep. The shard plane
 // guarantees identical results at every count; the sweep shows what the
 // topology costs (single core) or buys (multiple cores).
+// runTileSweep measures the tiled spatial decode path: the Q1
+// (select/crop) batch on the same city encoded untiled and as a 2x2
+// tile grid. At 1x1 the bitstream is bit-identical to the pre-tile
+// encoder; at 2x2 each instance's declared ROI reconstructs only the
+// tiles it touches, so decode work shrinks with spatial selectivity
+// while results stay identical within each grid's bitstream.
+func runTileSweep(scale int, duration float64, seed uint64, workers, queryWorkers int) error {
+	fmt.Println("Tiled spatial decode: Q1 batch by tile grid (1x1 = untiled baseline)")
+	points, err := core.TileSweep(core.CompareConfig{
+		Scale: scale, Duration: duration, Seed: seed,
+		Workers: workers, QueryWorkers: queryWorkers,
+	}, [][2]int{{1, 1}, {2, 2}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-14s %12s %8s %12s %10s\n", "Grid", "System", "Elapsed", "Frames", "FramesDec", "HitRate")
+	for _, p := range points {
+		for _, run := range p.Result.Runs {
+			cell, ok := p.Result.Cell(run.System, queries.Q1)
+			if !ok {
+				continue
+			}
+			fmt.Printf("%-8s %-14s %12s %8d %12d %9.0f%%\n",
+				p.Grid(), run.System, cell.Elapsed.Round(1e6), cell.Frames,
+				run.Cache.FramesDecoded, 100*run.Cache.HitRate())
+		}
+	}
+	if len(points) == 2 {
+		for _, run := range points[0].Result.Runs {
+			base, ok1 := points[0].SystemElapsed(run.System)
+			tiled, ok2 := points[1].SystemElapsed(run.System)
+			if ok1 && ok2 && tiled > 0 {
+				fmt.Printf("%s: 2x2 ROI decode speedup %.2fx\n", run.System, base.Seconds()/tiled.Seconds())
+			}
+		}
+	}
+	return nil
+}
+
 func runShardSweep(scale int, duration float64, seed uint64, workers int) error {
 	fmt.Println("Sharded execution: batch runtime by worker count (in-process pipe workers)")
 	fmt.Println("paper shape (Fig. 9 applied to execution): flat on one core, scaling with cores;")

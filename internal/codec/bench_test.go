@@ -165,6 +165,35 @@ func BenchmarkDecodeRange(b *testing.B) {
 // BenchmarkDecodeParallel measures GOP-parallel decode against the
 // serial path on a multi-GOP stream; speedup tracks available cores
 // (chains decode on independent decoders).
+// BenchmarkDecodeTiles measures the spatial-selectivity win of tile
+// mode: decoding a single-tile ROI of a 2x2-tiled stream against the
+// full-frame decode of the same stream. Both run serially (workers=1)
+// so the ratio is pure work reduction, not parallelism.
+func BenchmarkDecodeTiles(b *testing.B) {
+	src := gradientVideo(192, 108, 30)
+	enc, err := EncodeVideo(src, Config{QP: 24, GOP: 5, TileRows: 2, TileCols: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := len(enc.Frames)
+	b.Run("full", func(b *testing.B) {
+		b.SetBytes(int64(enc.Size()))
+		for i := 0; i < b.N; i++ {
+			if _, err := enc.DecodeTiles(1, 0, n, []int{0, 1, 2, 3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("roi1of4", func(b *testing.B) {
+		b.SetBytes(int64(enc.Size()))
+		for i := 0; i < b.N; i++ {
+			if _, err := enc.DecodeTiles(1, 0, n, []int{0}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkDecodeParallel(b *testing.B) {
 	src := gradientVideo(192, 108, 30)
 	enc, err := EncodeVideo(src, Config{QP: 24, GOP: 5})

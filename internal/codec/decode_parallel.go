@@ -30,16 +30,26 @@ func (e *Encoded) DecodeParallel(workers int) (*video.Video, error) {
 		return e.Decode()
 	}
 	if len(chains) < workers {
+		if e.Config.Tiled() {
+			// Tiled access units don't parse with the sub-GOP entropy
+			// pass; tiles are the finer-grained parallel unit instead.
+			all := make([]int, e.Config.TileCount())
+			for i := range all {
+				all[i] = i
+			}
+			return e.DecodeTiles(workers, 0, len(e.Frames), all)
+		}
 		return e.decodeSubGOP(workers, chains)
 	}
 	decoded := make([][]*video.Frame, len(chains))
 	err := parallel.ForEachWorker(workers, len(chains), func(worker, ci int) error {
 		sp := metrics.StartSpan(metrics.StageGOPDecode)
 		sp.Worker(worker)
-		dec, err := NewDecoder(e.Config)
+		dec, err := getDecoder(e.Config)
 		if err != nil {
 			return err
 		}
+		defer putDecoder(dec)
 		start := chains[ci]
 		end := len(e.Frames)
 		if ci+1 < len(chains) {

@@ -129,10 +129,11 @@ func (e *Encoded) DecodeRangeParallel(workers, first, last int) (*video.Video, e
 		if ci+1 < len(covering) && covering[ci+1] < end {
 			end = covering[ci+1]
 		}
-		dec, err := NewDecoder(e.Config)
+		dec, err := getDecoder(e.Config)
 		if err != nil {
 			return err
 		}
+		defer putDecoder(dec)
 		out := make([]*video.Frame, 0, end-start)
 		for i := start; i < end; i++ {
 			fr, err := dec.Decode(e.Frames[i].Data)

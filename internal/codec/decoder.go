@@ -19,6 +19,10 @@ type Decoder struct {
 	curY, curU, curV *plane
 	haveRef          bool
 	pool             *video.FramePool
+
+	// tiles, when non-nil, switches the decoder to tile mode: each entry
+	// is a self-contained sub-decoder for one tile rectangle (tile.go).
+	tiles []tileDec
 }
 
 // NewDecoder returns a decoder for the given configuration. Only the
@@ -27,6 +31,13 @@ func NewDecoder(cfg Config) (*Decoder, error) {
 	c := cfg.withDefaults()
 	if err := c.Validate(); err != nil {
 		return nil, err
+	}
+	if c.Tiled() {
+		tiles, err := newTileDecs(c)
+		if err != nil {
+			return nil, err
+		}
+		return &Decoder{cfg: c, tiles: tiles}, nil
 	}
 	cw, ch := (c.Width+1)/2, (c.Height+1)/2
 	return &Decoder{
@@ -38,6 +49,17 @@ func NewDecoder(cfg Config) (*Decoder, error) {
 		curU: newPlane(cw, ch, 8),
 		curV: newPlane(cw, ch, 8),
 	}, nil
+}
+
+// reset clears reference state so a pooled decoder behaves like a
+// freshly constructed one. Pixel planes need no clearing: keyframes
+// rewrite every sample without reading the reference, and a P-frame
+// before any keyframe is rejected by the haveRef guard.
+func (d *Decoder) reset() {
+	d.haveRef = false
+	for i := range d.tiles {
+		d.tiles[i].dec.reset()
+	}
 }
 
 // Recycle returns a frame obtained from Decode to the decoder's pool.
@@ -61,6 +83,9 @@ func (d *Decoder) newFrame() *video.Frame {
 
 // Decode decompresses one access unit into a frame.
 func (d *Decoder) Decode(data []byte) (*video.Frame, error) {
+	if d.tiles != nil {
+		return d.decodeTiled(data)
+	}
 	r := bitReader{buf: data}
 	isKey, qp, err := readFrameHeader(&r)
 	if err != nil {

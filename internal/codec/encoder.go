@@ -70,6 +70,13 @@ type Config struct {
 	// the stream — it is cleared from the encoder's effective Config so
 	// container metadata and config comparisons are unaffected.
 	Workers int
+	// TileRows and TileCols, when the product exceeds 1, split every
+	// frame into a grid of independently decodable tiles (motion and
+	// prediction confined within tile boundaries, per-tile entropy
+	// payloads) so spatially selective queries can decode only the tiles
+	// an ROI touches — see tile.go. Zero means 1; the 1x1 default is
+	// bit-identical to the pre-tile encoder.
+	TileRows, TileCols int
 }
 
 func (c *Config) withDefaults() Config {
@@ -86,6 +93,11 @@ func (c *Config) withDefaults() Config {
 	if out.QP == 0 && out.BitrateKbps == 0 {
 		out.QP = 24
 	}
+	if out.TileRows <= 1 && out.TileCols <= 1 {
+		// An explicit 1x1 grid is the untiled default; normalizing keeps
+		// container round-trips and config comparisons exact.
+		out.TileRows, out.TileCols = 0, 0
+	}
 	return out
 }
 
@@ -97,7 +109,7 @@ func (c *Config) Validate() error {
 	if c.QP < qpMin || c.QP > qpMax {
 		return fmt.Errorf("codec: QP %d outside [%d, %d]", c.QP, qpMin, qpMax)
 	}
-	return nil
+	return c.validateTiles()
 }
 
 // EncodedFrame is one compressed access unit.
@@ -126,6 +138,10 @@ type Encoder struct {
 
 	frameIdx int
 	rc       rateControl
+
+	// tiles, when non-nil, switches the encoder to tile mode: each entry
+	// is a self-contained sub-encoder for one tile rectangle (tile.go).
+	tiles []tileCoder
 }
 
 // mbCode is the analysis result for one macroblock: the mode decision,
@@ -150,6 +166,13 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 		workers = 1
 	}
 	c.Workers = 0 // execution knob, not part of the stream description
+	if c.Tiled() {
+		tiles, err := newTileCoders(c)
+		if err != nil {
+			return nil, err
+		}
+		return &Encoder{cfg: c, workers: workers, tiles: tiles}, nil
+	}
 	cw, ch := (c.Width+1)/2, (c.Height+1)/2
 	e := &Encoder{
 		cfg:     c,
@@ -172,6 +195,9 @@ func (e *Encoder) Config() Config { return e.cfg }
 // Encode compresses the next frame and returns its access unit. The
 // frame dimensions must match the configuration.
 func (e *Encoder) Encode(f *video.Frame) (EncodedFrame, error) {
+	if e.tiles != nil {
+		return e.encodeTiled(f)
+	}
 	if f.W != e.cfg.Width || f.H != e.cfg.Height {
 		return EncodedFrame{}, fmt.Errorf("codec: frame is %dx%d, encoder configured for %dx%d",
 			f.W, f.H, e.cfg.Width, e.cfg.Height)

@@ -221,10 +221,11 @@ func (e *Encoded) decodeSubGOP(workers int, chains []int) (*video.Video, error) 
 	}
 	decoded := make([][]*video.Frame, len(chains))
 	err = parallel.ForEachWorker(workers, len(chains), func(worker, ci int) error {
-		dec, err := NewDecoder(e.Config)
+		dec, err := getDecoder(e.Config)
 		if err != nil {
 			return err
 		}
+		defer putDecoder(dec)
 		start := chains[ci]
 		end := len(e.Frames)
 		if ci+1 < len(chains) {

@@ -119,6 +119,10 @@ type indexEntry struct {
 	pts      uint64
 	offset   uint64
 	size     uint32
+	// tiles holds the per-tile payload sizes of a tiled video sample
+	// (parsed from the access unit's directory at write time); nil for
+	// untiled tracks. Close aggregates them into the TIDX box.
+	tiles []uint32
 }
 
 // NewWriter begins a container file on w.
@@ -164,6 +168,13 @@ func (cw *Writer) WriteSample(s Sample) error {
 		return fmt.Errorf("container: sample references track %d of %d", s.Track, len(cw.tracks))
 	}
 	cw.started = true
+	var tiles []uint32
+	if t := &cw.tracks[s.Track]; t.Kind == TrackVideo && t.Codec.Tiled() {
+		var err error
+		if tiles, err = codec.TileSizes(s.Data, t.Codec.TileCount()); err != nil {
+			return fmt.Errorf("container: sample for tiled track %d: %w", s.Track, err)
+		}
+	}
 	var buf bytes.Buffer
 	var b4 [4]byte
 	binary.BigEndian.PutUint32(b4[:], uint32(s.Track))
@@ -183,7 +194,7 @@ func (cw *Writer) WriteSample(s Sample) error {
 	}
 	cw.index = append(cw.index, indexEntry{
 		track: uint32(s.Track), keyframe: s.Keyframe, pts: s.PTS,
-		offset: off, size: uint32(len(s.Data)),
+		offset: off, size: uint32(len(s.Data)), tiles: tiles,
 	})
 	return nil
 }
@@ -214,7 +225,10 @@ func (cw *Writer) Close() error {
 		binary.BigEndian.PutUint32(b4[:], e.size)
 		buf.Write(b4[:])
 	}
-	return cw.writeBox(tagIndex, buf.Bytes())
+	if err := cw.writeBox(tagIndex, buf.Bytes()); err != nil {
+		return err
+	}
+	return cw.writeTileIndexes()
 }
 
 func (cw *Writer) writeBox(tag [4]byte, payload []byte) error {
@@ -238,10 +252,17 @@ func (cw *Writer) writeBox(tag [4]byte, payload []byte) error {
 
 func writeCodecConfig(buf *bytes.Buffer, c codec.Config) {
 	var b4 [4]byte
-	for _, v := range [...]uint32{
+	vals := []uint32{
 		uint32(c.Width), uint32(c.Height), uint32(c.FPS),
 		uint32(c.Preset.ID), uint32(c.QP), uint32(c.BitrateKbps), uint32(c.GOP),
-	} {
+	}
+	// The tile grid is appended only for tiled streams, so untiled
+	// container bytes are unchanged from the pre-tile format (the golden
+	// corpus pins this) and old readers stop after the seventh field.
+	if c.Tiled() {
+		vals = append(vals, uint32(c.TileRows), uint32(c.TileCols))
+	}
+	for _, v := range vals {
 		binary.BigEndian.PutUint32(b4[:], v)
 		buf.Write(b4[:])
 	}
@@ -258,10 +279,27 @@ func readCodecConfig(r io.Reader) (codec.Config, error) {
 	if err != nil {
 		return codec.Config{}, err
 	}
-	return codec.Config{
+	cfg := codec.Config{
 		Width: int(vals[0]), Height: int(vals[1]), FPS: int(vals[2]),
 		Preset: preset, QP: int(vals[4]), BitrateKbps: int(vals[5]), GOP: int(vals[6]),
-	}, nil
+	}
+	// Optional trailing tile grid (tiled streams only; see
+	// writeCodecConfig). A clean EOF here is the untiled default.
+	var tiles [2]uint32
+	if err := binary.Read(r, binary.BigEndian, &tiles[0]); err != nil {
+		if err == io.EOF {
+			return cfg, nil
+		}
+		return codec.Config{}, err
+	}
+	if err := binary.Read(r, binary.BigEndian, &tiles[1]); err != nil {
+		return codec.Config{}, fmt.Errorf("container: truncated tile grid: %w", err)
+	}
+	cfg.TileRows, cfg.TileCols = int(tiles[0]), int(tiles[1])
+	if err := cfg.Validate(); err != nil {
+		return codec.Config{}, err
+	}
+	return cfg, nil
 }
 
 // Parse reads an entire container file from r.

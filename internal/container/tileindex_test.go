@@ -1,0 +1,240 @@
+package container
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/video"
+)
+
+// muxedTiled builds a muxed container whose video track is tile-mode
+// (2x2 grid) across several GOPs.
+func muxedTiled(t *testing.T, frames, gop int) ([]byte, *codec.Encoded) {
+	t.Helper()
+	v := video.NewVideo(10)
+	for i := 0; i < frames; i++ {
+		f := video.NewFrame(48, 32)
+		for j := range f.Y {
+			f.Y[j] = byte(i*31 + j)
+		}
+		v.Append(f)
+	}
+	enc, err := codec.EncodeVideo(v, codec.Config{
+		Width: 48, Height: 32, FPS: 10, QP: 20, GOP: gop, TileRows: 2, TileCols: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Mux(&buf, enc, nil); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), enc
+}
+
+// TestTiledConfigRoundTrip pins that the tile grid survives mux/demux
+// and that untiled tracks keep the pre-tile TRAK byte layout.
+func TestTiledConfigRoundTrip(t *testing.T) {
+	data, enc := muxedTiled(t, 8, 4)
+	got, _, err := Demux(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config.TileRows != 2 || got.Config.TileCols != 2 {
+		t.Fatalf("demuxed grid %dx%d, want 2x2", got.Config.TileRows, got.Config.TileCols)
+	}
+	if got.Config != enc.Config {
+		t.Fatalf("demuxed config %+v differs from encoded %+v", got.Config, enc.Config)
+	}
+	// Untiled: no trailing tile fields, config round-trips with zero grid.
+	untiled, enc2 := muxedMultiGOP(t, 4, 2)
+	got2, _, err := Demux(bytes.NewReader(untiled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Config.TileRows != 0 || got2.Config.TileCols != 0 {
+		t.Fatalf("untiled demux reports grid %dx%d", got2.Config.TileRows, got2.Config.TileCols)
+	}
+	if got2.Config != enc2.Config {
+		t.Fatalf("untiled config changed across mux: %+v vs %+v", got2.Config, enc2.Config)
+	}
+}
+
+// TestTileIndexRoundTrip checks the TIDX box: sizes match the access
+// units' directories, full-tile extraction is byte-identical to plain
+// span extraction, and a tile subset fetches strictly fewer bytes while
+// decoding to the same pixels as the full decode inside the ROI.
+func TestTileIndexRoundTrip(t *testing.T) {
+	data, enc := muxedTiled(t, 10, 5)
+	r := bytes.NewReader(data)
+	idx, err := ReadIndex(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt := 0
+	tx, err := ReadTileIndex(r, vt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx == nil {
+		t.Fatal("tiled file has no TIDX box")
+	}
+	if tx.Tiles != 4 || len(tx.Sizes) != len(enc.Frames) {
+		t.Fatalf("TIDX: %d tiles × %d samples, want 4 × %d", tx.Tiles, len(tx.Sizes), len(enc.Frames))
+	}
+	for i, f := range enc.Frames {
+		want, err := codec.TileSizes(f.Data, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ti := range want {
+			if tx.Sizes[i][ti] != want[ti] {
+				t.Fatalf("sample %d tile %d: TIDX size %d, directory says %d", i, ti, tx.Sizes[i][ti], want[ti])
+			}
+		}
+	}
+
+	span := idx.WindowSpan(vt, Ticks90k(3, 10), Ticks90k(9, 10))
+	full, err := ExtractSpan(r, vt, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := ExtractTileSpan(r, vt, idx, tx, span, []int{0, 1, 2, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(full) {
+		t.Fatalf("tile span yielded %d samples, plain span %d", len(all), len(full))
+	}
+	for i := range full {
+		if !bytes.Equal(all[i].Data, full[i].Data) {
+			t.Fatalf("sample %d: full-tile extraction differs from plain extraction", i)
+		}
+		if all[i].Keyframe != full[i].Keyframe || all[i].PTS != full[i].PTS {
+			t.Fatalf("sample %d: header mismatch", i)
+		}
+	}
+
+	// Single-tile fetch: fewer bytes on the wire, same pixels in the ROI.
+	sub, err := ExtractTileSpan(r, vt, idx, tx, span, []int{2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subBytes, fullBytes int
+	for i := range sub {
+		subBytes += len(sub[i].Data)
+		fullBytes += len(full[i].Data)
+	}
+	if subBytes >= fullBytes {
+		t.Fatalf("single-tile span fetched %d bytes, full fetch is %d", subBytes, fullBytes)
+	}
+	partial := &codec.Encoded{Config: enc.Config}
+	for _, s := range sub {
+		partial.Frames = append(partial.Frames, codec.EncodedFrame{Data: s.Data, Keyframe: s.Keyframe})
+	}
+	want, err := enc.DecodeTiles(1, span.First, span.Last, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := partial.DecodeTiles(1, 0, len(partial.Frames), []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Frames) != len(want.Frames) {
+		t.Fatalf("partial decode yielded %d frames, want %d", len(got.Frames), len(want.Frames))
+	}
+	for i := range want.Frames {
+		a, b := want.Frames[i], got.Frames[i]
+		if !bytes.Equal(a.Y, b.Y) || !bytes.Equal(a.U, b.U) || !bytes.Equal(a.V, b.V) {
+			t.Fatalf("frame %d: decode of extracted tile span differs from in-memory tile decode", i)
+		}
+	}
+
+	// Asking for a tile the fetch skipped errors cleanly at decode time.
+	if _, err := partial.DecodeTiles(1, 0, len(partial.Frames), []int{0}); err == nil {
+		t.Error("decoding an absent tile: want error")
+	}
+}
+
+// TestTileIndexAbsent: untiled files have no TIDX and report (nil, nil).
+func TestTileIndexAbsent(t *testing.T) {
+	data, _ := muxedMultiGOP(t, 4, 2)
+	tx, err := ReadTileIndex(bytes.NewReader(data), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx != nil {
+		t.Fatalf("untiled file yielded a tile index: %+v", tx)
+	}
+}
+
+// TestTileIndexCorrupt covers the corrupt-table paths without the fuzzer.
+func TestTileIndexCorrupt(t *testing.T) {
+	data, _ := muxedTiled(t, 4, 4)
+	r := bytes.NewReader(data)
+	idx, err := ReadIndex(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := ReadTileIndex(r, 0)
+	if err != nil || tx == nil {
+		t.Fatal(err)
+	}
+	span := idx.WindowSpan(0, 0, Ticks90k(4, 10))
+	// Sizes inconsistent with the sample size must error, not misread.
+	tx.Sizes[0][0]++
+	if _, err := ExtractTileSpan(r, 0, idx, tx, span, []int{0}, 1); err == nil {
+		t.Error("inconsistent tile sizes: want error")
+	}
+	tx.Sizes[0][0]--
+	// Truncated coverage.
+	short := &TileIndex{Track: 0, Tiles: tx.Tiles, Sizes: tx.Sizes[:1]}
+	if _, err := ExtractTileSpan(r, 0, idx, short, span, []int{0}, 1); err == nil {
+		t.Error("tile index shorter than span: want error")
+	}
+	// Tile out of range.
+	if _, err := ExtractTileSpan(r, 0, idx, tx, span, []int{9}, 1); err == nil {
+		t.Error("tile outside grid: want error")
+	}
+	// Missing index.
+	if _, err := ExtractTileSpan(r, 0, idx, nil, span, []int{0}, 1); err == nil {
+		t.Error("nil tile index: want error")
+	}
+}
+
+// FuzzTileIndex feeds arbitrary bytes to the TIDX parser: it must error
+// cleanly, never panic, and never allocate tables beyond what the
+// payload length itself supports (the parser validates declared counts
+// against the payload size before allocating).
+func FuzzTileIndex(f *testing.F) {
+	// Seed: a valid 2-sample × 2-tile table.
+	valid := make([]byte, 12+2*2*4)
+	binary.BigEndian.PutUint32(valid[0:], 0)
+	binary.BigEndian.PutUint32(valid[4:], 2)
+	binary.BigEndian.PutUint32(valid[8:], 2)
+	for i := 0; i < 4; i++ {
+		binary.BigEndian.PutUint32(valid[12+4*i:], uint32(10+i))
+	}
+	f.Add(valid)
+	f.Add(valid[:11])
+	f.Add([]byte{})
+	huge := make([]byte, 12)
+	binary.BigEndian.PutUint32(huge[4:], 1)
+	binary.BigEndian.PutUint32(huge[8:], 0xFFFFFFFF) // declares 4 billion samples
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		tx, err := parseTileIndexBox(payload)
+		if err != nil {
+			return
+		}
+		if tx.Tiles < 1 || tx.Tiles > 64 {
+			t.Fatalf("accepted tile count %d", tx.Tiles)
+		}
+		if len(tx.Sizes)*tx.Tiles*4 != len(payload)-12 {
+			t.Fatalf("table shape %d×%d inconsistent with %d payload bytes",
+				len(tx.Sizes), tx.Tiles, len(payload))
+		}
+	})
+}

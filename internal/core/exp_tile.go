@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/queries"
+)
+
+// TilePoint is one grid configuration of the tiled spatial decode
+// sweep: the Q1 (select/crop) batch measured on the same city encoded
+// with the given tile grid.
+type TilePoint struct {
+	Rows, Cols int
+	Result     *ComparisonResult
+}
+
+// Grid formats the point's grid ("1x1" = untiled).
+func (p TilePoint) Grid() string { return fmt.Sprintf("%dx%d", p.Rows, p.Cols) }
+
+// SystemElapsed returns a system's total Q1 batch time at this point.
+func (p TilePoint) SystemElapsed(system string) (time.Duration, bool) {
+	c, ok := p.Result.Cell(system, queries.Q1)
+	if !ok {
+		return 0, false
+	}
+	return c.Elapsed, true
+}
+
+// TileSweep measures the tiled spatial decode path: the Q1 batch — the
+// one benchmark query whose plan declares both a frame window and a
+// spatial box — executed by all three engine families over the same
+// city encoded at each tile grid. The 1x1 point is the untiled
+// baseline (bit-identical to the pre-tile encoder); at larger grids the
+// ROI-aware plans reconstruct only the tiles each instance's box
+// touches, so decode work shrinks with spatial selectivity while every
+// result stays byte-identical across grids' shared pixel regions.
+// Results within one grid are identical to a full-frame decode of the
+// same bitstream (the driver-level equivalence tests pin this).
+func TileSweep(cfg CompareConfig, grids [][2]int) ([]TilePoint, error) {
+	cfg = cfg.withDefaults()
+	cfg.Queries = []queries.QueryID{queries.Q1}
+	var out []TilePoint
+	for _, g := range grids {
+		c := cfg
+		c.TileRows, c.TileCols = g[0], g[1]
+		r, err := CompareSystems(c)
+		if err != nil {
+			return nil, fmt.Errorf("core: tile sweep at %dx%d: %w", g[0], g[1], err)
+		}
+		out = append(out, TilePoint{Rows: g[0], Cols: g[1], Result: r})
+	}
+	return out, nil
+}

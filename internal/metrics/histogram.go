@@ -12,8 +12,8 @@ import (
 // range. The layout is fixed, so histograms recorded anywhere are
 // mergeable and snapshot deltas are exact per bucket.
 const (
-	histLinear  = 8 // exact buckets for 0..7 ns
-	histSub     = 8 // sub-buckets per octave
+	histLinear  = 8                           // exact buckets for 0..7 ns
+	histSub     = 8                           // sub-buckets per octave
 	histBuckets = histLinear + (63-3)*histSub // 488
 )
 

@@ -92,8 +92,8 @@ type stageStats struct {
 	lat     Histogram
 	frames  Counter
 	bytes   Counter
-	hits    Counter // cache-served span outcomes
-	misses  Counter // decode-served span outcomes
+	hits    Counter  // cache-served span outcomes
+	misses  Counter  // decode-served span outcomes
 	workers MaxGauge // 1 + highest worker id observed
 }
 
@@ -130,8 +130,8 @@ var reg struct {
 	// keyframe resynchronizations, and dial/accept retries.
 	online OnlineCounters
 
-	errMu     sync.Mutex
-	errs      []string
+	errMu      sync.Mutex
+	errs       []string
 	errDropped int64
 }
 
@@ -364,7 +364,7 @@ type Snapshot struct {
 }
 
 type stageSnapshot struct {
-	lat          HistogramSnapshot
+	lat           HistogramSnapshot
 	frames, bytes int64
 	hits, misses  int64
 	workers       int64

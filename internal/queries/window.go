@@ -25,6 +25,38 @@ func FrameWindow(q QueryID, p Params, fps, frames int) (first, last int, windowe
 	return 0, frames, false
 }
 
+// ROI reports the spatial pixel window [x1, x2) × [y1, y2) a query
+// instance touches on an input of the given dimensions — the spatial
+// counterpart of FrameWindow, consumed by the tile-aware decode layer.
+// windowed=false means the query reads full frames (and the rectangle
+// covers them); engines must then decode every tile.
+//
+// Only the select/crop family (Q1) declares a spatial box in Table 3;
+// every other benchmark query transforms whole frames. The rectangle is
+// clamped exactly as video.Frame.Crop clamps it, so the declared ROI is
+// the pixels Q1 actually reads.
+func ROI(q QueryID, p Params, w, h int) (x1, y1, x2, y2 int, windowed bool) {
+	switch q {
+	case Q1:
+		x1 = clampROI(p.X1, 0, w-1)
+		y1 = clampROI(p.Y1, 0, h-1)
+		x2 = clampROI(p.X2, x1+1, w)
+		y2 = clampROI(p.Y2, y1+1, h)
+		return x1, y1, x2, y2, true
+	}
+	return 0, 0, w, h, false
+}
+
+func clampROI(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
 // frameSpan converts a [t1, t2) second window to frame indices, exactly
 // as RunQ1 sliced a decoded clip: first = ⌊t1·fps⌋, last = ⌈t2·fps⌉,
 // clamped to the clip.

@@ -161,7 +161,7 @@ func (d *Dataset) Decoded(in *vdbms.Input) (*video.Video, error) {
 	if c == nil {
 		return decodeFull(in)
 	}
-	return c.acquire(in.Name, 0, len(in.Encoded.Frames), nil, fillFor(in))
+	return c.acquire(in.Name, 0, len(in.Encoded.Frames), 0, nil, fillFor(in))
 }
 
 // DecodedRange implements vdbms.RangedDecodedSource: serve frames
@@ -189,7 +189,56 @@ func (d *Dataset) DecodedRange(in *vdbms.Input, first, last int) (*video.Video, 
 		// Degenerate window: validate bounds without touching the cache.
 		return vdbms.DecodeRange(in.Encoded, first, last)
 	}
-	return c.acquire(in.Name, first, last, in.Encoded.KeyframeBefore, fillFor(in))
+	return c.acquire(in.Name, first, last, 0, in.Encoded.KeyframeBefore, fillFor(in))
+}
+
+// tileMask folds a tile index list into the cache's uint64 selection
+// mask. Indices are grid positions, already validated against the grid
+// (the codec caps grids at 64 tiles, so every index fits the mask).
+func tileMask(tiles []int) uint64 {
+	var m uint64
+	for _, t := range tiles {
+		m |= 1 << uint(t)
+	}
+	return m
+}
+
+// tileFillFor returns the cache fill function for a (window × tile-set)
+// request: tile-parallel partial decode of the selected tiles only.
+func tileFillFor(in *vdbms.Input, tiles []int) func(lo, hi int) (*video.Video, error) {
+	return func(lo, hi int) (*video.Video, error) {
+		return vdbms.DecodeTiles(in.Encoded, lo, hi, tiles)
+	}
+}
+
+// DecodedTiles implements vdbms.TiledDecodedSource: serve the (frame
+// window × tile set) rectangle of a tile-mode input from the
+// (interval × tile-set)-keyed cache, decoding only the selected tiles
+// on a miss. A resident full-frame window covering the interval serves
+// any tile set without a decode. In full-decode mode the rectangle is
+// sliced out of a whole-clip decode instead (the baseline superset).
+func (d *Dataset) DecodedTiles(in *vdbms.Input, first, last int, tiles []int) (*video.Video, error) {
+	mask := tileMask(tiles)
+	c, full := d.decodedCache()
+	if full || mask == 0 {
+		// Full frames are a correct superset of any tile set.
+		return d.DecodedRange(in, first, last)
+	}
+	if c == nil || first >= last {
+		return vdbms.DecodeTiles(in.Encoded, first, last, tiles)
+	}
+	return c.acquire(in.Name, first, last, mask, in.Encoded.KeyframeBefore, tileFillFor(in, tiles))
+}
+
+// DecodedSharedTiles implements vdbms.SharedTiledDecodedSource: the
+// tiled analogue of DecodedSharedRange.
+func (d *Dataset) DecodedSharedTiles(in *vdbms.Input, first, last int, tiles []int) (*video.Video, bool, error) {
+	c, _ := d.decodedCache()
+	if c == nil {
+		return nil, false, nil
+	}
+	v, err := d.DecodedTiles(in, first, last, tiles)
+	return v, true, err
 }
 
 // DecodedShared implements vdbms.SharedDecodedSource: decode through

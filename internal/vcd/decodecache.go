@@ -12,16 +12,18 @@ import (
 const DefaultDecodedCacheBytes = 256 << 20
 
 // decodedCache is the driver's shared decoded-input cache: decoded
-// frame windows keyed by (input ID, interval), byte-budgeted with LRU
-// eviction and protected by window-granular ref-counted pins. A lookup
-// hits when any resident window covers the requested interval; a miss
-// decodes the keyframe-aligned request and coalesces it with every
-// resident window it overlaps into one union entry, so an input's
-// windows never fragment into overlapping copies. Fills are
-// single-flight — concurrent requests covered by an in-flight window
-// wait for it instead of decoding — and every acquire returns a view
-// (fresh frame headers over shared plane storage) so consumers never
-// write to each other's frames.
+// frame windows keyed by (input ID, interval, tile set), byte-budgeted
+// with LRU eviction and protected by window-granular ref-counted pins.
+// A lookup hits when any resident window covers the requested interval
+// and its tile mask covers the requested tiles (a full-frame window,
+// mask 0, covers every tile set); a miss decodes the keyframe-aligned
+// request and coalesces it with every same-mask resident window it
+// overlaps into one union entry, so an input's windows never fragment
+// into overlapping copies. Fills are single-flight — concurrent
+// requests covered by an in-flight window wait for it instead of
+// decoding — and every acquire returns a view (fresh frame headers over
+// shared plane storage) so consumers never write to each other's
+// frames.
 type decodedCache struct {
 	mu      sync.Mutex
 	budget  int64
@@ -36,11 +38,15 @@ type decodedCache struct {
 // decodedEntry is one resident frame window [lo, hi) of an input. Once
 // done is closed, video/err/bytes are immutable: waiters read them
 // after <-done without the lock. video holds exactly hi−lo frames in
-// stream order (Frame.Index carries absolute indices). A failed fill is
-// never resurrected — a retry creates a fresh entry.
+// stream order (Frame.Index carries absolute indices). mask is the tile
+// selection the window was decoded with: 0 means full frames (every
+// pixel valid); a non-zero bit t means tile t's region is valid and the
+// rest is undefined. A failed fill is never resurrected — a retry
+// creates a fresh entry.
 type decodedEntry struct {
 	name   string
 	lo, hi int
+	mask   uint64
 	done   chan struct{}
 	video  *video.Video
 	bytes  int64
@@ -76,6 +82,15 @@ func newDecodedCache(budget int64) *decodedCache {
 func (e *decodedEntry) covers(lo, hi int) bool   { return e.lo <= lo && hi <= e.hi }
 func (e *decodedEntry) overlaps(lo, hi int) bool { return e.lo < hi && lo < e.hi }
 
+// maskCovers reports whether a resident window decoded with tile mask
+// have serves a request for tile mask want. Full-frame windows (mask 0)
+// serve everything; a tiled window serves exactly the tile requests
+// whose bits it contains — never a full-frame request, whose pixels
+// outside the window's tiles are undefined.
+func maskCovers(have, want uint64) bool {
+	return have == 0 || (want != 0 && want&^have == 0)
+}
+
 // filled reports whether the entry's fill completed successfully.
 // Callers hold the lock.
 func (e *decodedEntry) filled() bool {
@@ -99,19 +114,21 @@ func (e *decodedEntry) failed() bool {
 }
 
 // acquire returns frames [lo, hi) of input name (lo < hi), decoding at
-// most once across concurrent callers per window. align maps the window
-// start to its decode seed position — the governing keyframe — so
-// stored windows begin on intra frames and the frames-decoded counter
-// is exact; nil align is the identity (whole-clip fills). decode is
-// called with the aligned window to reconstruct. The returned video is
-// a per-caller view of exactly hi−lo frames; its plane storage is
-// shared and must be treated as read-only.
-func (c *decodedCache) acquire(name string, lo, hi int, align func(int) int, decode func(lo, hi int) (*video.Video, error)) (*video.Video, error) {
+// most once across concurrent callers per window. mask selects the tile
+// set the caller needs (0 = full frames); decode must produce frames
+// whose mask-selected regions are valid. align maps the window start to
+// its decode seed position — the governing keyframe — so stored windows
+// begin on intra frames and the frames-decoded counter is exact; nil
+// align is the identity (whole-clip fills). decode is called with the
+// aligned window to reconstruct. The returned video is a per-caller
+// view of exactly hi−lo frames; its plane storage is shared and must be
+// treated as read-only.
+func (c *decodedCache) acquire(name string, lo, hi int, mask uint64, align func(int) int, decode func(lo, hi int) (*video.Video, error)) (*video.Video, error) {
 	c.counters.FramesRequested.Add(int64(hi - lo))
 	globalCacheCounters.FramesRequested.Add(int64(hi - lo))
 	c.mu.Lock()
 	c.tick++
-	if e := c.coveringLocked(name, lo, hi); e != nil {
+	if e := c.coveringLocked(name, lo, hi, mask); e != nil {
 		// A covering fill finished or is in flight: either way this
 		// caller skips a decode.
 		e.lru = c.tick
@@ -125,10 +142,13 @@ func (c *decodedCache) acquire(name string, lo, hi int, align func(int) int, dec
 		return viewRange(e.video, lo-e.lo, hi-e.lo), nil
 	}
 	// Miss: decode the keyframe-aligned request and coalesce it with
-	// every resident window it overlaps into one union entry. Absorbed
-	// entries leave the map now — concurrent requests they covered
-	// route to the union and wait — and contribute their frames to the
-	// union by pointer, so no pixels are copied or re-decoded.
+	// every same-mask resident window it overlaps into one union entry.
+	// Absorbed entries leave the map now — concurrent requests they
+	// covered route to the union and wait — and contribute their frames
+	// to the union by pointer, so no pixels are copied or re-decoded.
+	// Windows with a different tile mask are left alone: their frames
+	// carry different valid regions, so pointer-stitching across masks
+	// would mix them.
 	alo := lo
 	if align != nil {
 		alo = align(lo)
@@ -137,7 +157,7 @@ func (c *decodedCache) acquire(name string, lo, hi int, align func(int) int, dec
 	var absorbed []*decodedEntry
 	kept := c.entries[name][:0]
 	for _, e := range c.entries[name] {
-		if e.filled() && e.overlaps(alo, hi) {
+		if e.mask == mask && e.filled() && e.overlaps(alo, hi) {
 			if e.lo < ulo {
 				ulo = e.lo
 			}
@@ -150,7 +170,7 @@ func (c *decodedCache) acquire(name string, lo, hi int, align func(int) int, dec
 		}
 		kept = append(kept, e)
 	}
-	e := &decodedEntry{name: name, lo: ulo, hi: uhi, done: make(chan struct{}), lru: c.tick}
+	e := &decodedEntry{name: name, lo: ulo, hi: uhi, mask: mask, done: make(chan struct{}), lru: c.tick}
 	c.entries[name] = append(kept, e)
 	c.mu.Unlock()
 	c.counters.Misses.Inc()
@@ -204,26 +224,27 @@ func stitchUnion(fresh *video.Video, alo int, absorbed []*decodedEntry, ulo, uhi
 	return &video.Video{FPS: fresh.FPS, Frames: frames}
 }
 
-// coveringLocked returns an entry covering [lo, hi) whose fill
-// succeeded or is still in flight.
-func (c *decodedCache) coveringLocked(name string, lo, hi int) *decodedEntry {
+// coveringLocked returns an entry covering [lo, hi) and the requested
+// tile mask whose fill succeeded or is still in flight.
+func (c *decodedCache) coveringLocked(name string, lo, hi int, mask uint64) *decodedEntry {
 	for _, e := range c.entries[name] {
-		if e.covers(lo, hi) && !e.failed() {
+		if e.covers(lo, hi) && maskCovers(e.mask, mask) && !e.failed() {
 			return e
 		}
 	}
 	return nil
 }
 
-// peek returns a view of frames [lo, hi) only if a resident window
-// already covers them; it never triggers a fill and counts neither hit
-// nor miss (the caller will decode through its own path on a cold
-// cache).
+// peek returns a full-frame view of frames [lo, hi) only if a resident
+// full-frame window already covers them; it never triggers a fill and
+// counts neither hit nor miss (the caller will decode through its own
+// path on a cold cache). Tiled windows never serve a peek: their pixels
+// outside the decoded tiles are undefined.
 func (c *decodedCache) peek(name string, lo, hi int) (*video.Video, bool) {
 	c.mu.Lock()
 	var e *decodedEntry
 	for _, cand := range c.entries[name] {
-		if cand.covers(lo, hi) && cand.filled() {
+		if cand.mask == 0 && cand.covers(lo, hi) && cand.filled() {
 			e = cand
 			break
 		}

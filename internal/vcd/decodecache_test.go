@@ -42,7 +42,7 @@ func TestDecodedCacheSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := c.acquire("in", 0, 4, nil, func(lo, hi int) (*video.Video, error) {
+			v, err := c.acquire("in", 0, 4, 0, nil, func(lo, hi int) (*video.Video, error) {
 				decodes.Add(1)
 				return src, nil
 			})
@@ -86,7 +86,7 @@ func TestDecodedCacheWindowHitAndAlignment(t *testing.T) {
 	c := newDecodedCache(1 << 30)
 	align4 := func(i int) int { return i - i%4 } // GOP-4 keyframe alignment
 
-	v, err := c.acquire("in", 6, 10, align4, windowFill(src))
+	v, err := c.acquire("in", 6, 10, 0, align4, windowFill(src))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestDecodedCacheWindowHitAndAlignment(t *testing.T) {
 	}
 	// The stored window is keyframe-aligned [4, 10): requests inside it
 	// hit without decoding, including the seed run frames.
-	if _, err := c.acquire("in", 4, 9, align4, windowFill(src)); err != nil {
+	if _, err := c.acquire("in", 4, 9, 0, align4, windowFill(src)); err != nil {
 		t.Fatal(err)
 	}
 	st := c.stats()
@@ -107,7 +107,7 @@ func TestDecodedCacheWindowHitAndAlignment(t *testing.T) {
 			st.FramesRequested, st.FramesDecoded)
 	}
 	// A window outside misses again.
-	if _, err := c.acquire("in", 0, 2, align4, windowFill(src)); err != nil {
+	if _, err := c.acquire("in", 0, 2, 0, align4, windowFill(src)); err != nil {
 		t.Fatal(err)
 	}
 	if st := c.stats(); st.Misses != 2 {
@@ -122,7 +122,7 @@ func TestDecodedCacheWindowCoalescing(t *testing.T) {
 
 	mustAcquire := func(lo, hi int) *video.Video {
 		t.Helper()
-		v, err := c.acquire("in", lo, hi, nil, fill)
+		v, err := c.acquire("in", lo, hi, 0, nil, fill)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -180,7 +180,7 @@ func TestDecodedCacheLRUEviction(t *testing.T) {
 
 	for i := 0; i < 3; i++ {
 		name := fmt.Sprintf("in%d", i)
-		if _, err := c.acquire(name, 0, 1, nil, func(lo, hi int) (*video.Video, error) {
+		if _, err := c.acquire(name, 0, 1, 0, nil, func(lo, hi int) (*video.Video, error) {
 			return cacheTestVideo(1, 32, 16, byte(i)), nil
 		}); err != nil {
 			t.Fatalf("acquire %s: %v", name, err)
@@ -211,14 +211,14 @@ func TestDecodedCachePinnedWindowSurvivesEviction(t *testing.T) {
 	c := newDecodedCache(per) // room for exactly one entry
 
 	c.pin("pinned", 0, 1)
-	if _, err := c.acquire("pinned", 0, 1, nil, func(lo, hi int) (*video.Video, error) {
+	if _, err := c.acquire("pinned", 0, 1, 0, nil, func(lo, hi int) (*video.Video, error) {
 		return cacheTestVideo(1, 32, 16, 1), nil
 	}); err != nil {
 		t.Fatal(err)
 	}
 	// Filling a second entry overflows the budget, but the window
 	// overlapping the pin must not be the victim.
-	if _, err := c.acquire("other", 0, 1, nil, func(lo, hi int) (*video.Video, error) {
+	if _, err := c.acquire("other", 0, 1, 0, nil, func(lo, hi int) (*video.Video, error) {
 		return cacheTestVideo(1, 32, 16, 2), nil
 	}); err != nil {
 		t.Fatal(err)
@@ -228,7 +228,7 @@ func TestDecodedCachePinnedWindowSurvivesEviction(t *testing.T) {
 	}
 	c.unpin("pinned", 0, 1)
 	// Now a third fill can evict it.
-	if _, err := c.acquire("third", 0, 1, nil, func(lo, hi int) (*video.Video, error) {
+	if _, err := c.acquire("third", 0, 1, 0, nil, func(lo, hi int) (*video.Video, error) {
 		return cacheTestVideo(1, 32, 16, 3), nil
 	}); err != nil {
 		t.Fatal(err)
@@ -244,20 +244,20 @@ func TestDecodedCachePinProtectsOverlapOnly(t *testing.T) {
 	c := newDecodedCache(per) // room for one 4-frame window
 
 	c.pin("in", 2, 3) // protects any window overlapping frame 2
-	if _, err := c.acquire("in", 0, 4, nil, windowFill(src)); err != nil {
+	if _, err := c.acquire("in", 0, 4, 0, nil, windowFill(src)); err != nil {
 		t.Fatal(err)
 	}
 	// A disjoint window of the same input overflows the budget; the
 	// pinned-overlap window survives and the new one is kept (soft
 	// budget exempts the just-filled entry).
-	if _, err := c.acquire("in", 4, 8, nil, windowFill(src)); err != nil {
+	if _, err := c.acquire("in", 4, 8, 0, nil, windowFill(src)); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := c.peek("in", 0, 4); !ok {
 		t.Fatal("pin-overlapping window evicted")
 	}
 	// The disjoint window is unprotected: the next fill evicts it.
-	if _, err := c.acquire("other", 0, 4, nil, windowFill(src)); err != nil {
+	if _, err := c.acquire("other", 0, 4, 0, nil, windowFill(src)); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := c.peek("in", 4, 8); ok {
@@ -277,7 +277,7 @@ func TestDecodedCachePeekNeverFills(t *testing.T) {
 	if st.Hits != 0 || st.Misses != 0 {
 		t.Fatalf("cold peek moved counters: %+v", st)
 	}
-	if _, err := c.acquire("cold", 0, 1, nil, func(lo, hi int) (*video.Video, error) {
+	if _, err := c.acquire("cold", 0, 1, 0, nil, func(lo, hi int) (*video.Video, error) {
 		return cacheTestVideo(1, 32, 16, 9), nil
 	}); err != nil {
 		t.Fatal(err)
@@ -293,13 +293,13 @@ func TestDecodedCachePeekNeverFills(t *testing.T) {
 func TestDecodedCacheFailedFillRetries(t *testing.T) {
 	c := newDecodedCache(1 << 20)
 	boom := errors.New("decode failed")
-	if _, err := c.acquire("in", 0, 2, nil, func(lo, hi int) (*video.Video, error) {
+	if _, err := c.acquire("in", 0, 2, 0, nil, func(lo, hi int) (*video.Video, error) {
 		return nil, boom
 	}); !errors.Is(err, boom) {
 		t.Fatalf("first acquire err = %v, want %v", err, boom)
 	}
 	// The failure is not cached: the next acquire re-runs decode.
-	v, err := c.acquire("in", 0, 2, nil, func(lo, hi int) (*video.Video, error) {
+	v, err := c.acquire("in", 0, 2, 0, nil, func(lo, hi int) (*video.Video, error) {
 		return cacheTestVideo(2, 32, 16, 5), nil
 	})
 	if err != nil {
@@ -317,12 +317,12 @@ func TestDecodedCacheFailedFillRetriesWhilePinned(t *testing.T) {
 	c := newDecodedCache(1 << 20)
 	c.pin("in", 0, 1)
 	boom := errors.New("decode failed")
-	if _, err := c.acquire("in", 0, 1, nil, func(lo, hi int) (*video.Video, error) {
+	if _, err := c.acquire("in", 0, 1, 0, nil, func(lo, hi int) (*video.Video, error) {
 		return nil, boom
 	}); !errors.Is(err, boom) {
 		t.Fatalf("first acquire err = %v, want %v", err, boom)
 	}
-	if _, err := c.acquire("in", 0, 1, nil, func(lo, hi int) (*video.Video, error) {
+	if _, err := c.acquire("in", 0, 1, 0, nil, func(lo, hi int) (*video.Video, error) {
 		return cacheTestVideo(1, 32, 16, 5), nil
 	}); err != nil {
 		t.Fatalf("pinned retry acquire: %v", err)
@@ -336,11 +336,11 @@ func TestDecodedCacheFailedFillRetriesWhilePinned(t *testing.T) {
 func TestDecodedCacheHitRate(t *testing.T) {
 	c := newDecodedCache(1 << 20)
 	fill := func(lo, hi int) (*video.Video, error) { return cacheTestVideo(1, 32, 16, 1), nil }
-	if _, err := c.acquire("a", 0, 1, nil, fill); err != nil {
+	if _, err := c.acquire("a", 0, 1, 0, nil, fill); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := c.acquire("a", 0, 1, nil, fill); err != nil {
+		if _, err := c.acquire("a", 0, 1, 0, nil, fill); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -80,6 +80,12 @@ type Options struct {
 	// DensityFilter restricts the tile pool by density name ("Sparse",
 	// "Moderate", "RushHour"); "" or "any" admits all.
 	DensityFilter string
+	// TileRows × TileCols, when their product exceeds 1, encode every
+	// video in tile mode: frames split into a grid of independently
+	// decodable tiles, so ROI queries reconstruct only the tiles they
+	// touch. Zero (or 1×1) keeps the untiled bitstream, bit-identical to
+	// earlier generators.
+	TileRows, TileCols int
 }
 
 // BuildTileFilter converts the serializable weather/density filter
@@ -293,7 +299,8 @@ func generateCamera(city *vcity.City, cam *vcity.Camera, opt Options, store vfs.
 	cfg := codec.Config{
 		Width: p.Width, Height: p.Height, FPS: p.FPS,
 		Preset: opt.Preset, QP: opt.QP, BitrateKbps: opt.BitrateKbps,
-		Workers: opt.Workers,
+		Workers:  opt.Workers,
+		TileRows: opt.TileRows, TileCols: opt.TileCols,
 	}
 	enc, err := codec.NewEncoder(cfg)
 	if err != nil {

@@ -225,6 +225,51 @@ func (e *Engine) streamMapRange(in *vdbms.Input, lo, hi int, transform func(i in
 	return out, nil
 }
 
+// streamMapTiles is streamMapRange restricted to the tiles a declared
+// ROI rectangle touches: on tile-mode inputs with an active shared
+// cache, only those tiles reconstruct, served from the tile-keyed
+// decoded cache. The engine's own paths — the recent-decode ring and
+// the memory-flat streaming decoder — operate on full frames (a correct
+// superset of any tile set), so everything else falls through to
+// streamMapRange unchanged; span accounting stays one request-level
+// span per call in every mode.
+func (e *Engine) streamMapTiles(in *vdbms.Input, lo, hi, x1, y1, x2, y2 int, transform func(i int, f *video.Frame) (*video.Frame, error)) (*video.Video, error) {
+	if _, all := vdbms.InputTiles(in, x1, y1, x2, y2); all {
+		return e.streamMapRange(in, lo, hi, transform)
+	}
+	n := len(in.Encoded.Frames)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if hi < lo {
+		hi = lo
+	}
+	// A locally resident full-frame window beats a tile decode.
+	if _, ok := e.cache.get(in, lo, hi); ok {
+		return e.streamMapRange(in, lo, hi, transform)
+	}
+	if shared, ok, err := vdbms.DecodeSharedTiles(in, lo, hi, x1, y1, x2, y2); ok || err != nil {
+		if err != nil {
+			return nil, err
+		}
+		out := video.NewVideo(in.Encoded.Config.FPS)
+		for i, f := range shared.Frames {
+			g, err := transform(lo+i, f)
+			if err != nil {
+				return nil, err
+			}
+			if g != nil {
+				out.Append(g)
+			}
+		}
+		return out, nil
+	}
+	return e.streamMapRange(in, lo, hi, transform)
+}
+
 // streamDecoder decodes an input incrementally.
 type streamDecoder struct {
 	in  *vdbms.Input

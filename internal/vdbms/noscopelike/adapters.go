@@ -24,7 +24,10 @@ func (e *Engine) runQ1(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
 		return err
 	}
 	f1, f2, _ := queries.FrameWindow(inst.Query, p, cfg.FPS, n)
-	v, err := vdbms.DecodeInputRange(in, f1, f2)
+	// The spatial box is part of the plan too: on tile-mode inputs only
+	// the tiles the ROI touches are reconstructed.
+	x1, y1, x2, y2, _ := queries.ROI(inst.Query, p, cfg.Width, cfg.Height)
+	v, err := vdbms.DecodeInputTiles(in, f1, f2, x1, y1, x2, y2)
 	if err != nil {
 		return err
 	}

@@ -34,10 +34,14 @@ func resizeKernel(f *video.Frame, x1, y1, x2, y2, outW, outH int) *video.Frame {
 func (e *Engine) runQ1(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
 	in := inst.Inputs[0]
 	p := inst.Params
-	fps := in.Encoded.Config.FPS
-	// The [t1, t2) window is part of the plan: ingest only its frames.
+	cfg := in.Encoded.Config
+	fps := cfg.FPS
+	// The [t1, t2) window and spatial box are both part of the plan:
+	// ingest only the window's frames, and on tile-mode inputs only the
+	// tiles the box touches.
 	f1, f2, _ := queries.FrameWindow(inst.Query, p, fps, len(in.Encoded.Frames))
-	t, err := e.loadTableRange(inst.Query, in, f1, f2)
+	x1, y1, x2, y2, _ := queries.ROI(inst.Query, p, cfg.Width, cfg.Height)
+	t, err := e.loadTableTiles(inst.Query, in, f1, f2, x1, y1, x2, y2)
 	if err != nil {
 		return err
 	}

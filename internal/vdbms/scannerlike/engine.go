@@ -331,6 +331,44 @@ func (e *Engine) loadTableRange(q queries.QueryID, in *vdbms.Input, lo, hi int) 
 	if lo != 0 || hi != len(in.Encoded.Frames) {
 		key = fmt.Sprintf("%s#%d-%d", in.Name, lo, hi)
 	}
+	return e.loadTableKeyed(key, func() (*table, error) { return e.fillTable(q, in, lo, hi) })
+}
+
+// loadTableTiles ingests the (frame window × ROI) rectangle an instance
+// declared: on tile-mode inputs only the tiles the rectangle touches
+// are decoded into the table (rows stay full-dimension, so operator
+// coordinates need no translation). Tables get an ingest-cache slot
+// keyed by their tile mask as well as their window, so a tile-subset
+// ingest can never satisfy a later full-frame load.
+func (e *Engine) loadTableTiles(q queries.QueryID, in *vdbms.Input, lo, hi, x1, y1, x2, y2 int) (*table, error) {
+	tiles, all := vdbms.InputTiles(in, x1, y1, x2, y2)
+	if all {
+		return e.loadTableRange(q, in, lo, hi)
+	}
+	var mask uint64
+	for _, t := range tiles {
+		mask |= 1 << uint(t)
+	}
+	key := fmt.Sprintf("%s#%d-%d@%x", in.Name, lo, hi, mask)
+	return e.loadTableKeyed(key, func() (*table, error) {
+		v, err := vdbms.DecodeInputTiles(in, lo, hi, x1, y1, x2, y2)
+		if err != nil {
+			return nil, err
+		}
+		w, h := v.Resolution()
+		t, err := e.newTable(q, v.Frames, w, h, v.FPS)
+		if err != nil {
+			return nil, err
+		}
+		t.pinned = true
+		return t, nil
+	})
+}
+
+// loadTableKeyed runs the single-flight ingest protocol for one
+// ingest-cache slot: the first caller fills, concurrent callers block
+// on the filling one, failed fills vanish so a later instance retries.
+func (e *Engine) loadTableKeyed(key string, fill func() (*table, error)) (*table, error) {
 	e.mu.Lock()
 	if ent, ok := e.ingest[key]; ok {
 		e.mu.Unlock()
@@ -351,7 +389,7 @@ func (e *Engine) loadTableRange(q queries.QueryID, in *vdbms.Input, lo, hi int) 
 	e.ingest[key] = ent
 	e.mu.Unlock()
 
-	ent.t, ent.err = e.fillTable(q, in, lo, hi)
+	ent.t, ent.err = fill()
 	if ent.err != nil {
 		// Failed ingests are not cached: a later instance retries (and
 		// reports the failure under its own query).

@@ -84,6 +84,23 @@ type SharedRangedDecodedSource interface {
 	DecodedSharedRange(in *Input, first, last int) (v *video.Video, ok bool, err error)
 }
 
+// TiledDecodedSource is optionally implemented by sources that can
+// serve the (frame window × tile set) rectangle of a tile-mode input —
+// the VCD's (interval × tile-set)-keyed decoded cache. tiles holds
+// row-major tile indices; returned frames are full-dimension with
+// unselected tile regions undefined (engines only read the declared
+// ROI). Plane storage is shared and read-only like Decoded's.
+type TiledDecodedSource interface {
+	DecodedTiles(in *Input, first, last int, tiles []int) (*video.Video, error)
+}
+
+// SharedTiledDecodedSource is the tiled analogue of
+// SharedRangedDecodedSource: decode a (window × tile-set) rectangle
+// through the shared cache when one is active, ok=false otherwise.
+type SharedTiledDecodedSource interface {
+	DecodedSharedTiles(in *Input, first, last int, tiles []int) (v *video.Video, ok bool, err error)
+}
+
 // Camera returns the input's originating camera.
 func (in *Input) Camera() *vcity.Camera { return in.Env.Camera }
 
@@ -255,6 +272,16 @@ func DecodeRange(enc *codec.Encoded, first, last int) (*video.Video, error) {
 	return enc.DecodeRangeParallel(parallel.Default(), first, last)
 }
 
+// DecodeTiles decodes the (frame window × tile set) rectangle of a
+// tile-mode payload with tile-parallel partial decode: only the
+// selected tiles of the window's covering chains reconstruct. Returned
+// frames are full-dimension with unselected tile regions black; the
+// selected regions are byte-identical to the corresponding DecodeRange
+// frames.
+func DecodeTiles(enc *codec.Encoded, first, last int, tiles []int) (*video.Video, error) {
+	return enc.DecodeTiles(parallel.Default(), first, last, tiles)
+}
+
 // DecodeInputRange decodes the frame window [first, last) of an input,
 // declared up front by the query plan (queries.FrameWindow). Inputs
 // staged with a range-capable source are served from the VCD's
@@ -322,6 +349,84 @@ func decodeSharedRange(in *Input, first, last int) (*video.Video, bool, error) {
 		return v, true, err
 	}
 	return nil, false, nil
+}
+
+// InputTiles maps a declared ROI rectangle to the input's tile set.
+// all=true means the request needs every tile (untiled input, or the
+// rectangle touches the whole grid) and should take the existing
+// full-frame paths unchanged. Engines use it to key tile-scoped work
+// (e.g. ingest tables) by the tile set a plan actually touches.
+func InputTiles(in *Input, x1, y1, x2, y2 int) (tiles []int, all bool) {
+	cfg := &in.Encoded.Config
+	if !cfg.Tiled() {
+		return nil, true
+	}
+	tiles = cfg.TilesCovering(x1, y1, x2, y2)
+	return tiles, len(tiles) == cfg.TileCount()
+}
+
+// DecodeInputTiles decodes the (frame window × ROI) rectangle of an
+// input, both declared up front by the query plan (queries.FrameWindow
+// and queries.ROI). Untiled inputs and full-frame ROIs take the range
+// path unchanged; tile-mode inputs reconstruct only the tiles the ROI
+// touches — from a tile-capable source (the VCD's tile-keyed decoded
+// cache) when staged with one, directly off the payload otherwise.
+// Returned frames are full-dimension (unselected tile regions are
+// black), so ROI pixel coordinates need no translation.
+func DecodeInputTiles(in *Input, first, last, x1, y1, x2, y2 int) (*video.Video, error) {
+	tiles, all := InputTiles(in, x1, y1, x2, y2)
+	if all {
+		return DecodeInputRange(in, first, last)
+	}
+	sp := metrics.StartSpan(metrics.StageDecode)
+	v, err := decodeInputTiles(in, first, last, tiles)
+	if err != nil {
+		return nil, err
+	}
+	sp.Frames(len(v.Frames))
+	sp.End()
+	return v, nil
+}
+
+// decodeInputTiles is DecodeInputTiles's uninstrumented body.
+func decodeInputTiles(in *Input, first, last int, tiles []int) (*video.Video, error) {
+	if src, ok := in.Source.(TiledDecodedSource); ok {
+		return src.DecodedTiles(in, first, last, tiles)
+	}
+	if in.Source != nil {
+		// Tile-unaware source: its full-frame window is a correct
+		// superset of the requested tiles.
+		return decodeInputRange(in, first, last)
+	}
+	return in.Encoded.DecodeTiles(parallel.Default(), first, last, tiles)
+}
+
+// DecodeSharedTiles decodes a (frame window × ROI) rectangle through
+// the input source's shared decoded cache when one is active. ok=false
+// means no cache is active and the caller should use its own decode
+// path. Span accounting mirrors DecodeSharedRange: one request-level
+// span, recorded only when the request was actually served.
+func DecodeSharedTiles(in *Input, first, last, x1, y1, x2, y2 int) (*video.Video, bool, error) {
+	tiles, all := InputTiles(in, x1, y1, x2, y2)
+	if all {
+		return DecodeSharedRange(in, first, last)
+	}
+	sp := metrics.StartSpan(metrics.StageDecode)
+	v, ok, err := decodeSharedTiles(in, first, last, tiles)
+	if ok && err == nil {
+		sp.Frames(len(v.Frames))
+		sp.End()
+	}
+	return v, ok, err
+}
+
+// decodeSharedTiles is DecodeSharedTiles's uninstrumented body.
+func decodeSharedTiles(in *Input, first, last int, tiles []int) (*video.Video, bool, error) {
+	if src, ok := in.Source.(SharedTiledDecodedSource); ok {
+		return src.DecodedSharedTiles(in, first, last, tiles)
+	}
+	// Tile-unaware shared source: full frames are a correct superset.
+	return decodeSharedRange(in, first, last)
 }
 
 // sliceVideo views frames [first, last) of a decoded clip.

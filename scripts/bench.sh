@@ -59,9 +59,13 @@ emit_json_min() {
     '
 }
 
-go test -run '^$' -bench '^BenchmarkRunBatch$' -benchtime 3x -benchmem . >"$tmp"
-go test -run '^$' -bench '^BenchmarkDecodeParallel$' -benchmem ./internal/codec >>"$tmp"
-emit_json <"$tmp" >BENCH_query.json
+# min-of-5 per row: single-run sampling once produced an apparent 24%
+# serial-vs-parallel inversion on the full mix that was pure cross-row
+# scheduler noise (the span breakdown in the BenchmarkRunBatch comment
+# has the real shape — parallel wins by the decode share, ~7%).
+go test -run '^$' -bench '^BenchmarkRunBatch$' -benchtime 3x -benchmem -count 5 . >"$tmp"
+go test -run '^$' -bench '^BenchmarkDecodeParallel$' -benchmem -count 5 ./internal/codec >>"$tmp"
+emit_json_min <"$tmp" >BENCH_query.json
 
 go test -run '^$' -bench '^BenchmarkDecodeRange$' -benchtime 3x ./internal/codec >"$tmp"
 emit_json <"$tmp" >BENCH_range.json
@@ -121,6 +125,15 @@ END {
 go test -run '^$' -bench '^(BenchmarkEncode|BenchmarkDecode|BenchmarkDecodeParallel)$' -benchmem -count 5 ./internal/codec >"$tmp"
 emit_json_min <"$tmp" >BENCH_codec.json
 
+# BENCH_tile.json: the spatial-selectivity win of tile mode — a
+# single-tile ROI decode of a 2x2-tiled stream vs the full-frame decode
+# of the same stream, both serial so the ratio is pure work reduction
+# (entropy decode + reconstruction confined to the requested tile).
+# min-of-5 per row; the roi1of4 ns/op should sit well under half the
+# full row's.
+go test -run '^$' -bench '^BenchmarkDecodeTiles$' -benchmem -count 5 ./internal/codec >"$tmp"
+emit_json_min <"$tmp" >BENCH_tile.json
+
 # BENCH_shard.json: batch throughput through the coordinator/worker
 # scatter-gather plane at shards {1,2,4} over the in-process pipe
 # transport — full wire protocol, no sockets. min-of-5 damps scheduler
@@ -130,4 +143,4 @@ emit_json_min <"$tmp" >BENCH_codec.json
 go test -run '^$' -bench '^BenchmarkShardedBatch$' -benchtime 1x -count 5 ./internal/shard >"$tmp"
 emit_json_min <"$tmp" >BENCH_shard.json
 
-cat BENCH_query.json BENCH_range.json BENCH_online.json BENCH_obs.json BENCH_codec.json BENCH_shard.json
+cat BENCH_query.json BENCH_range.json BENCH_online.json BENCH_obs.json BENCH_codec.json BENCH_tile.json BENCH_shard.json

@@ -30,6 +30,13 @@ go test -race -run 'TestTelemetryModeInvariance' ./internal/vcd
 # the sub-GOP entropy/reconstruction split plus parallel span extraction
 # run under the race detector.
 go test -race -run 'TestGoldenBitstreams|^Fuzz|StateAllocs$|TestExtractSpanParallel' ./internal/codec ./internal/container
+# Tiled spatial decode under the race detector: tile-parallel
+# reconstruction must stitch byte-identically to the full-frame decode
+# at every worker count and grid, the driver-level equivalence test
+# exercises the tile-keyed decoded cache (mask-scoped windows,
+# full-frame supersets serving tile requests), and FuzzTileIndex's seed
+# corpus pins that corrupt per-tile offset tables error cleanly.
+go test -race -run 'TestTileStitchIdentity|TestTiledEncodeDeterministicAcrossWorkers|TestRunTileDecodeEquivalence|TestDatasetDecodedTiles|FuzzTileIndex' ./internal/codec ./internal/container ./internal/vcd
 # Sharded execution plane under the race detector: coordinator reader
 # goroutines, heartbeaters, and in-process pipe workers all interleave;
 # the equivalence test then asserts the deterministic-merge contract —
