@@ -46,7 +46,29 @@ import (
 	"repro/internal/vfs"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// exitDebugClose is the exit status when the benchmark itself succeeded
+// but the debug server failed mid-run (listener died, serve error) —
+// distinct from 1 (run failure) and 2 (usage) so scrapers polling
+// /debug endpoints learn their window had a hole.
+const exitDebugClose = 3
+
+// closeDebug shuts the debug server down and maps the outcome to an
+// exit status contribution: 0 when there was no server or it closed
+// cleanly, exitDebugClose when the close surfaced a mid-run failure.
+func closeDebug(closeFn func() error) int {
+	if closeFn == nil {
+		return 0
+	}
+	if err := closeFn(); err != nil {
+		fmt.Fprintf(os.Stderr, "vcd: debug server: %v\n", err)
+		return exitDebugClose
+	}
+	return 0
+}
+
+func run() int {
 	data := flag.String("data", "", "dataset directory written by vcg (required)")
 	system := flag.String("system", "lightdblike", "system under test: scannerlike, lightdblike, noscopelike")
 	queryList := flag.String("queries", "", "comma-separated query list (e.g. Q1,Q2a,Q7); default all")
@@ -76,18 +98,19 @@ func main() {
 	if *metricsJSON != "" || *reportFlag || *debugAddr != "" {
 		metrics.SetEnabled(true)
 	}
+	var debugClose func() error
 	if *debugAddr != "" {
 		addr, closeFn, err := metrics.ServeDebug(*debugAddr)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "vcd: serving telemetry on http://%s/debug/metrics\n", addr)
-		defer closeFn()
+		debugClose = closeFn
 	}
 
 	if *shardWorker {
 		runShardWorker(*shardListen, *data)
-		return
+		return closeDebug(debugClose)
 	}
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "vcd: -data is required")
@@ -147,7 +170,7 @@ func main() {
 			timeout:     *onlineTimeout,
 			metricsJSON: *metricsJSON,
 		})
-		return
+		return closeDebug(debugClose)
 	}
 	var report *vcd.RunReport
 	if *shardWorkers > 1 || *shardAddrs != "" {
@@ -170,6 +193,10 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "vcd: shard plane: %d workers, %d failures, %d instances retried\n",
 			counters.Workers, counters.WorkerFailures, counters.RetriedInstances)
+		if t := report.Trace; t != nil && t.SlowestShard >= 0 {
+			fmt.Fprintf(os.Stderr, "vcd: stragglers: slowest shard %d (%.2fx mean), p99 instance %.1fms, critical path %.1fms\n",
+				t.SlowestShard, t.StragglerRatio, t.P99InstanceMS, t.CriticalPathMS)
+		}
 	} else {
 		report, err = vcd.Run(ds, sys, opt)
 		if err != nil {
@@ -197,19 +224,24 @@ func main() {
 		if err := enc.Encode(summarizeReport(report)); err != nil {
 			fatal(err)
 		}
-		return
+		return closeDebug(debugClose)
 	}
 	printReport(report, *validate)
+	return closeDebug(debugClose)
 }
 
 // telemetryArtifact is the -metrics-json schema: the run's telemetry
-// plus each query batch's interval record.
+// plus each query batch's interval record, the distributed-trace
+// summary (per-instance timelines, straggler attribution), and the
+// event journal covering the run.
 type telemetryArtifact struct {
 	System       string                        `json:"system"`
 	Scale        int                           `json:"scale"`
 	DecodedCache metrics.CacheTelemetry        `json:"decoded_cache"`
 	Run          *metrics.Telemetry            `json:"run"`
 	Queries      map[string]*metrics.Telemetry `json:"queries"`
+	Trace        *metrics.TraceReport          `json:"trace,omitempty"`
+	Events       []metrics.Event               `json:"events,omitempty"`
 }
 
 // writeTelemetryArtifact serializes the run's telemetry atomically
@@ -221,6 +253,8 @@ func writeTelemetryArtifact(path string, r *vcd.RunReport) error {
 		DecodedCache: r.DecodedCache.Report(),
 		Run:          r.Telemetry,
 		Queries:      map[string]*metrics.Telemetry{},
+		Trace:        r.Trace,
+		Events:       r.Events,
 	}
 	for i := range r.Queries {
 		if qr := &r.Queries[i]; qr.Telemetry != nil {

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestCloseDebugExitPath pins the exit-status contract for the debug
+// server: no server and a clean shutdown exit 0, a listener that died
+// mid-run exits with the distinct exitDebugClose status instead of
+// being printed and discarded. (The closer's own failure detection is
+// covered in internal/metrics; this pins the mapping to exit codes.)
+func TestCloseDebugExitPath(t *testing.T) {
+	if got := closeDebug(nil); got != 0 {
+		t.Errorf("closeDebug(nil) = %d, want 0", got)
+	}
+	if got := closeDebug(func() error { return nil }); got != 0 {
+		t.Errorf("clean close = %d, want 0", got)
+	}
+	if got := closeDebug(func() error { return errors.New("listener died") }); got != exitDebugClose {
+		t.Errorf("failed close = %d, want %d", got, exitDebugClose)
+	}
+	// The real closer from a healthy server maps to a clean exit.
+	_, closeFn, err := metrics.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := closeDebug(closeFn); got != 0 {
+		t.Errorf("healthy server close = %d, want 0", got)
+	}
+}

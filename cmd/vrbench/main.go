@@ -23,9 +23,29 @@ import (
 
 func main() { os.Exit(run()) }
 
+// exitDebugClose is the exit status when the experiments themselves
+// succeeded but the debug server failed mid-run — distinct from 1
+// (experiment failure) and 2 (usage) so scrapers polling /debug
+// endpoints learn their window had a hole.
+const exitDebugClose = 3
+
+// closeDebug shuts the debug server down and maps the outcome to an
+// exit status contribution: 0 when there was no server or it closed
+// cleanly, exitDebugClose when the close surfaced a mid-run failure.
+func closeDebug(closeFn func() error) int {
+	if closeFn == nil {
+		return 0
+	}
+	if err := closeFn(); err != nil {
+		fmt.Fprintf(os.Stderr, "vrbench: debug server: %v\n", err)
+		return exitDebugClose
+	}
+	return 0
+}
+
 // run holds the whole CLI body so profile-writing defers fire on every
 // exit path (os.Exit would skip them).
-func run() int {
+func run() (code int) {
 	exp := flag.String("exp", "all", "experiment to run (table1, table2, table9, fig2, fig5, fig6, fig7, fig8, fig9, quality, modes, online, shard, all)")
 	scale := flag.Int("scale", 4, "scale factor L for comparison experiments")
 	duration := flag.Float64("duration", 1.0, "per-camera video duration in seconds (model scale)")
@@ -64,9 +84,11 @@ func run() int {
 			return 1
 		}
 		fmt.Fprintf(os.Stderr, "vrbench: serving telemetry on http://%s/debug/metrics\n", addr)
+		// A mid-run server failure surfaces from the closer; it must
+		// change the exit status even when the experiments passed.
 		defer func() {
-			if err := closeFn(); err != nil {
-				fmt.Fprintf(os.Stderr, "vrbench: debug-addr: close: %v\n", err)
+			if c := closeDebug(closeFn); code == 0 {
+				code = c
 			}
 		}()
 	}
@@ -90,6 +112,8 @@ func run() int {
 		defer writeHeapProfile(*memprofile)
 	}
 	base := metrics.Capture()
+	traceBase := metrics.TraceSeq()
+	eventBase := metrics.EventSeq()
 
 	runners := map[string]func() error{
 		"table1": runTable1,
@@ -114,7 +138,6 @@ func run() int {
 	}
 	order := []string{"table1", "table2", "fig2", "table9", "fig5", "fig6", "fig7", "fig8", "fig9", "quality", "modes", "online", "shard", "tile"}
 
-	code := 0
 	switch {
 	case *exp == "all":
 		for _, name := range order {
@@ -142,7 +165,7 @@ func run() int {
 		metrics.Capture().Sub(base).WriteTable(os.Stdout)
 	}
 	if *metricsJSON != "" {
-		if err := writeMetricsJSON(*metricsJSON, base); err != nil {
+		if err := writeMetricsJSON(*metricsJSON, base, traceBase, eventBase); err != nil {
 			fmt.Fprintf(os.Stderr, "vrbench: metrics-json: %v\n", err)
 			if code == 0 {
 				code = 1

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCloseDebugExitPath mirrors cmd/vcd's contract: a debug listener
+// that died mid-run turns into the distinct exitDebugClose status even
+// when the experiments themselves succeeded.
+func TestCloseDebugExitPath(t *testing.T) {
+	if got := closeDebug(nil); got != 0 {
+		t.Errorf("closeDebug(nil) = %d, want 0", got)
+	}
+	if got := closeDebug(func() error { return nil }); got != 0 {
+		t.Errorf("clean close = %d, want 0", got)
+	}
+	if got := closeDebug(func() error { return errors.New("listener died") }); got != exitDebugClose {
+		t.Errorf("failed close = %d, want %d", got, exitDebugClose)
+	}
+}

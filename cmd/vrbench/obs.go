@@ -36,11 +36,15 @@ type runTelemetryJSON struct {
 }
 
 // metricsArtifact is the -metrics-json schema (see README
-// "Observability").
+// "Observability"): process-level telemetry, per-run and per-query
+// roll-ups, plus the invocation's distributed-trace summary and event
+// journal.
 type metricsArtifact struct {
-	Process metrics.Telemetry   `json:"process"`
-	Runs    []runTelemetryJSON  `json:"runs,omitempty"`
-	Queries []cellTelemetryJSON `json:"queries,omitempty"`
+	Process metrics.Telemetry    `json:"process"`
+	Runs    []runTelemetryJSON   `json:"runs,omitempty"`
+	Queries []cellTelemetryJSON  `json:"queries,omitempty"`
+	Trace   *metrics.TraceReport `json:"trace,omitempty"`
+	Events  []metrics.Event      `json:"events,omitempty"`
 }
 
 // collected accumulates per-batch and per-run telemetry from every
@@ -82,11 +86,15 @@ func collectTelemetry(res *core.ComparisonResult) {
 // writeMetricsJSON serializes the telemetry artifact atomically:
 // written to a temp file and renamed into place, so a crash mid-write
 // never leaves a truncated artifact.
-func writeMetricsJSON(path string, base metrics.Snapshot) error {
+func writeMetricsJSON(path string, base metrics.Snapshot, traceBase, eventBase uint64) error {
 	art := metricsArtifact{
 		Process: metrics.Capture().Sub(base),
 		Runs:    collected.runs,
 		Queries: collected.queries,
+		Events:  metrics.EventsSince(eventBase),
+	}
+	if spans := metrics.TraceSpansSince(traceBase); len(spans) > 0 {
+		art.Trace = metrics.SummarizeTraces(spans)
 	}
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {

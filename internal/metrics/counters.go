@@ -80,3 +80,57 @@ func (s CacheStats) HitRate() float64 {
 	}
 	return float64(s.Hits) / float64(total)
 }
+
+// ShardCounters groups the shard plane's fault/recovery accounting:
+// the coordinator increments these alongside its per-run shard.Counters
+// so live snapshots (/debug/metrics, /debug/prom) see coordinator
+// behavior without a handle on the current run.
+type ShardCounters struct {
+	WorkerFailures    Counter
+	HeartbeatTimeouts Counter
+	Reassignments     Counter
+	RetriedInstances  Counter
+	DuplicateResults  Counter
+	DialRetries       Counter
+}
+
+// Snapshot returns an immutable copy of the current counts.
+func (c *ShardCounters) Snapshot() ShardStats {
+	return ShardStats{
+		WorkerFailures:    c.WorkerFailures.Value(),
+		HeartbeatTimeouts: c.HeartbeatTimeouts.Value(),
+		Reassignments:     c.Reassignments.Value(),
+		RetriedInstances:  c.RetriedInstances.Value(),
+		DuplicateResults:  c.DuplicateResults.Value(),
+		DialRetries:       c.DialRetries.Value(),
+	}
+}
+
+// ShardStats is a point-in-time snapshot of ShardCounters, also the
+// mergeable wire form worker summaries carry.
+type ShardStats struct {
+	WorkerFailures    int64 `json:"worker_failures,omitempty"`
+	HeartbeatTimeouts int64 `json:"heartbeat_timeouts,omitempty"`
+	Reassignments     int64 `json:"reassignments,omitempty"`
+	RetriedInstances  int64 `json:"retried_instances,omitempty"`
+	DuplicateResults  int64 `json:"duplicate_results,omitempty"`
+	DialRetries       int64 `json:"dial_retries,omitempty"`
+}
+
+// Sub returns the per-interval delta s − prev.
+func (s ShardStats) Sub(prev ShardStats) ShardStats {
+	return ShardStats{
+		WorkerFailures:    s.WorkerFailures - prev.WorkerFailures,
+		HeartbeatTimeouts: s.HeartbeatTimeouts - prev.HeartbeatTimeouts,
+		Reassignments:     s.Reassignments - prev.Reassignments,
+		RetriedInstances:  s.RetriedInstances - prev.RetriedInstances,
+		DuplicateResults:  s.DuplicateResults - prev.DuplicateResults,
+		DialRetries:       s.DialRetries - prev.DialRetries,
+	}
+}
+
+func (s ShardStats) zero() bool { return s == ShardStats{} }
+
+// GlobalShardCounters returns the process-wide shard-plane counters the
+// coordinator feeds.
+func GlobalShardCounters() *ShardCounters { return &reg.shard }

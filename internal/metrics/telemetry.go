@@ -89,9 +89,24 @@ type Telemetry struct {
 	Cache     CacheTelemetry            `json:"decoded_cache"`
 	// Online carries the interval's online-mode degradation accounting,
 	// present only when an online session ran.
-	Online        *OnlineTelemetry `json:"online,omitempty"`
-	Errors        []string         `json:"errors,omitempty"`
-	ErrorsDropped int64            `json:"errors_dropped,omitempty"`
+	Online *OnlineTelemetry `json:"online,omitempty"`
+	// Shard carries the interval's shard-plane fault/recovery counters,
+	// present only when the coordinator recorded any.
+	Shard         *ShardTelemetry `json:"shard,omitempty"`
+	Errors        []string        `json:"errors,omitempty"`
+	ErrorsDropped int64           `json:"errors_dropped,omitempty"`
+}
+
+// ShardTelemetry is the serialized shard-plane fault/recovery record:
+// what worker failures cost the run (heartbeat timeouts, reassignments,
+// re-executed instances, dropped duplicates) and dial retries.
+type ShardTelemetry struct {
+	WorkerFailures    int64 `json:"worker_failures"`
+	HeartbeatTimeouts int64 `json:"heartbeat_timeouts"`
+	Reassignments     int64 `json:"reassignments"`
+	RetriedInstances  int64 `json:"retried_instances"`
+	DuplicateResults  int64 `json:"duplicate_results"`
+	DialRetries       int64 `json:"dial_retries"`
 }
 
 // Sub derives the interval telemetry between two captures: stage
@@ -140,6 +155,10 @@ func (t Telemetry) WriteTable(w io.Writer) {
 	if o := t.Online; o != nil {
 		fmt.Fprintf(w, "online: %d frames, %d dropped, %d gap(s), %d resync(s), %d retry(ies), %d degraded run(s)\n",
 			o.Frames, o.Dropped, o.Gaps, o.Resyncs, o.Retries, o.Degraded)
+	}
+	if sh := t.Shard; sh != nil {
+		fmt.Fprintf(w, "shard: %d worker failure(s), %d heartbeat timeout(s), %d reassignment(s), %d retried instance(s), %d duplicate(s), %d dial retry(ies)\n",
+			sh.WorkerFailures, sh.HeartbeatTimeouts, sh.Reassignments, sh.RetriedInstances, sh.DuplicateResults, sh.DialRetries)
 	}
 	if t.FramePool.Gets > 0 {
 		fmt.Fprintf(w, "frame pool: %d gets, %d allocs (%.0f%% reuse)\n",

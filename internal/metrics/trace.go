@@ -60,6 +60,18 @@ const (
 	// StageOnline is one online (live-paced) query execution — the
 	// full transport + decode + kernel session of vcd.RunOnline.
 	StageOnline
+	// StageShardPartition is one query batch's instance partitioning at
+	// the shard coordinator.
+	StageShardPartition
+	// StageShardDial is one worker connection + job handshake.
+	StageShardDial
+	// StageShardAssign is one assignment frame written to a worker.
+	StageShardAssign
+	// StageShardGather is one instance's scatter-to-arrival latency as
+	// observed by the coordinator (assignment write to result frame).
+	StageShardGather
+	// StageShardMerge is one query batch's deterministic result merge.
+	StageShardMerge
 
 	numStages
 )
@@ -77,6 +89,11 @@ var stageNames = [numStages]string{
 	"validate",
 	"result.encode",
 	"online.stream",
+	"shard.partition",
+	"shard.dial",
+	"shard.assign",
+	"shard.gather",
+	"shard.merge",
 }
 
 // String returns the stage's telemetry key.
@@ -130,6 +147,11 @@ var reg struct {
 	// keyframe resynchronizations, and dial/accept retries.
 	online OnlineCounters
 
+	// Shard-plane fault/recovery counters (fed by the shard
+	// coordinator), mirroring shard.Counters into the process registry
+	// so /debug/metrics and Telemetry see them live.
+	shard ShardCounters
+
 	errMu      sync.Mutex
 	errs       []string
 	errDropped int64
@@ -153,7 +175,9 @@ type Span struct {
 	region *rtrace.Region
 	frames int64
 	bytes  int64
+	trace  TraceID
 	worker int32
+	shard  int32
 	stage  Stage
 	active bool
 	hit    int8 // 0 unset, 1 hit, 2 miss
@@ -170,7 +194,7 @@ func StartSpan(stage Stage) Span {
 	if !reg.enabled.Load() {
 		return Span{}
 	}
-	sp := Span{stage: stage, active: true, worker: -1, start: time.Now()}
+	sp := Span{stage: stage, active: true, worker: -1, shard: -1, start: time.Now()}
 	if rtrace.IsEnabled() {
 		sp.region = rtrace.StartRegion(background, stageNames[stage])
 	}
@@ -198,6 +222,23 @@ func (sp *Span) Worker(w int) {
 	}
 }
 
+// Trace tags the span with a distributed trace ID; on End, a traced
+// span additionally lands in the trace ring for timeline
+// reconstruction. Zero leaves the span untraced.
+func (sp *Span) Trace(id TraceID) {
+	if sp.active {
+		sp.trace = id
+	}
+}
+
+// Shard tags the span with the shard (worker process index) executing
+// it, for per-worker straggler attribution.
+func (sp *Span) Shard(s int) {
+	if sp.active && s >= 0 {
+		sp.shard = int32(s)
+	}
+}
+
 // Cache records whether the span's work was served from a cache (hit)
 // or had to be produced (miss).
 func (sp *Span) Cache(hit bool) {
@@ -221,8 +262,16 @@ func (sp *Span) End() {
 	if sp.region != nil {
 		sp.region.End()
 	}
+	d := time.Since(sp.start)
 	st := &reg.stages[sp.stage]
-	st.lat.Record(time.Since(sp.start))
+	st.lat.Record(d)
+	if sp.trace != 0 {
+		recordTraceSpan(TraceSpan{
+			Trace: sp.trace, Stage: stageNames[sp.stage],
+			Shard: sp.shard, Worker: sp.worker,
+			StartNS: sp.start.UnixNano(), DurNS: int64(d),
+		})
+	}
 	if sp.frames != 0 {
 		st.frames.Add(sp.frames)
 	}
@@ -358,6 +407,7 @@ type Snapshot struct {
 	gauges     GaugeSnapshot
 	cache      CacheStats
 	online     OnlineStats
+	shard      ShardStats
 	framePool  video.PoolCounters
 	errs       []string
 	errDropped int64
@@ -416,6 +466,7 @@ func Capture() Snapshot {
 	}
 	s.cache = reg.cache.Snapshot()
 	s.online = reg.online.Snapshot()
+	s.shard = reg.shard.Snapshot()
 	s.framePool = video.PoolCountersSnapshot()
 	reg.errMu.Lock()
 	s.errs = append([]string(nil), reg.errs...)

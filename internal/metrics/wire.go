@@ -35,6 +35,7 @@ type WireDelta struct {
 	Cache         CacheStats    `json:"cache"`
 	FramePool     FramePoolWire `json:"frame_pool"`
 	Online        OnlineStats   `json:"online"`
+	Shard         ShardStats    `json:"shard"`
 	Errors        []string      `json:"errors,omitempty"`
 	ErrorsDropped int64         `json:"errors_dropped,omitempty"`
 }
@@ -78,6 +79,7 @@ func (s Snapshot) Delta(prev Snapshot) WireDelta {
 	}
 	d.Cache = s.cache.Sub(prev.cache)
 	d.Online = s.online.Sub(prev.online)
+	d.Shard = s.shard.Sub(prev.shard)
 	d.FramePool = FramePoolWire{
 		Gets:   s.framePool.Gets - prev.framePool.Gets,
 		Puts:   s.framePool.Puts - prev.framePool.Puts,
@@ -125,6 +127,7 @@ func (d *WireDelta) Merge(o WireDelta) {
 	d.Gauges = mergeGauges(d.Gauges, o.Gauges)
 	d.Cache = addCache(d.Cache, o.Cache)
 	d.Online = addOnline(d.Online, o.Online)
+	d.Shard = addShard(d.Shard, o.Shard)
 	d.FramePool.Gets += o.FramePool.Gets
 	d.FramePool.Puts += o.FramePool.Puts
 	d.FramePool.Allocs += o.FramePool.Allocs
@@ -199,9 +202,31 @@ func (d WireDelta) Telemetry() Telemetry {
 			Degraded: d.Online.Degraded,
 		}
 	}
+	if !d.Shard.zero() {
+		sh := d.Shard
+		t.Shard = &ShardTelemetry{
+			WorkerFailures:    sh.WorkerFailures,
+			HeartbeatTimeouts: sh.HeartbeatTimeouts,
+			Reassignments:     sh.Reassignments,
+			RetriedInstances:  sh.RetriedInstances,
+			DuplicateResults:  sh.DuplicateResults,
+			DialRetries:       sh.DialRetries,
+		}
+	}
 	t.Errors = d.Errors
 	t.ErrorsDropped = d.ErrorsDropped
 	return t
+}
+
+func addShard(a, b ShardStats) ShardStats {
+	return ShardStats{
+		WorkerFailures:    a.WorkerFailures + b.WorkerFailures,
+		HeartbeatTimeouts: a.HeartbeatTimeouts + b.HeartbeatTimeouts,
+		Reassignments:     a.Reassignments + b.Reassignments,
+		RetriedInstances:  a.RetriedInstances + b.RetriedInstances,
+		DuplicateResults:  a.DuplicateResults + b.DuplicateResults,
+		DialRetries:       a.DialRetries + b.DialRetries,
+	}
 }
 
 func mergeGauges(a, b GaugeSnapshot) GaugeSnapshot {

@@ -140,12 +140,19 @@ func Run(ctx context.Context, plan Plan, copt Options) (*vcd.RunReport, *Counter
 		events: make(chan event, 4*opt.InstancesPerScale*plan.Scale+4*copt.Shards+8),
 	}
 	defer c.closeAll()
+	// Bracket the observability interval before connect: the job
+	// submission event and the dial spans belong to this run.
+	if metrics.Enabled() {
+		c.traceBase = metrics.TraceSeq()
+		c.eventBase = metrics.EventSeq()
+	}
 	if err := c.connect(ctx, transport); err != nil {
 		return nil, &c.counters, err
 	}
 	report, err := c.run(ctx)
 	if at, ok := transport.(*AddrTransport); ok {
 		c.counters.DialRetries = at.DialRetries()
+		metrics.GlobalShardCounters().DialRetries.Add(c.counters.DialRetries)
 	}
 	if err != nil {
 		return nil, &c.counters, err
@@ -183,6 +190,16 @@ type coordinator struct {
 	events   chan event
 	counters Counters
 	seq      int
+	// traceBase/eventBase bracket the run's interval in the process
+	// trace-span and event-journal rings (captured when metrics are on).
+	traceBase uint64
+	eventBase uint64
+}
+
+// instTrace mints one instance's deterministic trace ID — identical to
+// what workers and a single-process run of the same plan derive.
+func (c *coordinator) instTrace(q queries.QueryID, idx int) metrics.TraceID {
+	return metrics.InstanceTraceID(c.opt.Seed, string(q), idx)
 }
 
 func (c *coordinator) closeAll() {
@@ -213,16 +230,29 @@ func (c *coordinator) connect(ctx context.Context, transport Transport) error {
 		Metrics:     metrics.Enabled(),
 		HeartbeatNS: c.copt.Heartbeat.Nanoseconds(),
 	}
+	metrics.RecordEvent(metrics.Event{
+		Kind: metrics.EventJobSubmitted, Shard: -1,
+		Count: c.copt.Shards, Detail: c.plan.System.Name,
+	})
+	var runTrace metrics.TraceID
+	if metrics.Enabled() {
+		runTrace = metrics.RunTraceID(c.opt.Seed)
+	}
 	for i := 0; i < c.copt.Shards; i++ {
+		sp := metrics.StartSpan(metrics.StageShardDial)
+		sp.Trace(runTrace)
+		sp.Shard(i)
 		conn, err := transport.Connect(ctx, i)
 		if err != nil {
 			return err
 		}
 		w := &remoteWorker{id: i, conn: conn, alive: true, outstanding: map[int]bool{}}
 		c.workers = append(c.workers, w)
+		job.Shard = i
 		if err := c.write(w, msgJob, job); err != nil {
 			return fmt.Errorf("shard: sending job to worker %d: %w", i, err)
 		}
+		sp.End()
 		go c.read(w)
 	}
 	c.counters.Workers = c.copt.Shards
@@ -269,10 +299,17 @@ func (c *coordinator) markDead(w *remoteWorker, err error) []int {
 	w.alive = false
 	w.conn.Close()
 	c.counters.WorkerFailures++
+	metrics.GlobalShardCounters().WorkerFailures.Inc()
 	var nerr net.Error
 	if errors.As(err, &nerr) && nerr.Timeout() {
 		c.counters.HeartbeatTimeouts++
+		metrics.GlobalShardCounters().HeartbeatTimeouts.Inc()
+		metrics.RecordEvent(metrics.Event{Kind: metrics.EventHeartbeatMissed, Shard: w.id})
 	}
+	metrics.RecordEvent(metrics.Event{
+		Kind: metrics.EventWorkerDead, Shard: w.id,
+		Count: len(w.outstanding), Detail: err.Error(),
+	})
 	var orphaned []int
 	for idx := range w.outstanding {
 		orphaned = append(orphaned, idx)
@@ -296,13 +333,32 @@ func (c *coordinator) write(w *remoteWorker, kind byte, v any) error {
 	return err
 }
 
-// assign sends one worker its index subset for the query.
+// assign sends one worker its index subset for the query, carrying the
+// coordinator-minted trace IDs and journaling the assignment.
 func (c *coordinator) assign(w *remoteWorker, q queries.QueryID, indices []int) error {
 	c.seq++
 	for _, idx := range indices {
 		w.outstanding[idx] = true
 	}
-	return c.write(w, msgAssign, Assignment{Query: q, Indices: indices, Seq: c.seq})
+	a := Assignment{Query: q, Indices: indices, Seq: c.seq}
+	if metrics.Enabled() {
+		a.Traces = make([]metrics.TraceID, len(indices))
+		for i, idx := range indices {
+			a.Traces[i] = c.instTrace(q, idx)
+		}
+	}
+	sp := metrics.StartSpan(metrics.StageShardAssign)
+	sp.Trace(metrics.BatchTraceID(c.opt.Seed, string(q)))
+	sp.Shard(w.id)
+	err := c.write(w, msgAssign, a)
+	sp.End()
+	if err == nil {
+		metrics.RecordEvent(metrics.Event{
+			Kind: metrics.EventShardAssigned, Shard: w.id,
+			Query: string(q), Count: len(indices),
+		})
+	}
+	return err
 }
 
 // run drives the full benchmark: scatter each query batch, gather, then
@@ -346,6 +402,24 @@ func (c *coordinator) run(ctx context.Context) (*vcd.RunReport, error) {
 		}
 		t := d.Telemetry()
 		report.Telemetry = &t
+		// The trace report joins the coordinator's own spans (which include
+		// every in-process pipe worker's) with remote workers' shipped
+		// spans; remote spans that predate the per-worker shard tag get it
+		// from the worker identity here.
+		spans := metrics.TraceSpansSince(c.traceBase)
+		for _, w := range c.workers {
+			if w.summary == nil {
+				continue
+			}
+			for _, sp := range w.summary.Spans {
+				if sp.Shard < 0 {
+					sp.Shard = int32(w.id)
+				}
+				spans = append(spans, sp)
+			}
+		}
+		report.Trace = metrics.SummarizeTraces(spans)
+		report.Events = metrics.EventsSince(c.eventBase)
 	}
 	return report, nil
 }
@@ -371,15 +445,20 @@ func (c *coordinator) runQuery(ctx context.Context, q queries.QueryID) (*vcd.Que
 	}
 
 	var batchBase metrics.Snapshot
+	var batchTrace metrics.TraceID
 	if metrics.Enabled() {
 		batchBase = metrics.Capture()
+		batchTrace = metrics.BatchTraceID(c.opt.Seed, string(q))
 	}
 	batchStart := time.Now()
 
 	// Scatter: shard s of the stable partition goes to the s-th alive
 	// worker (shards collapse onto survivors when workers have died in
 	// earlier batches).
+	psp := metrics.StartSpan(metrics.StageShardPartition)
+	psp.Trace(batchTrace)
 	parts := Partition(q, n, c.copt.Shards)
+	psp.End()
 	alive := c.alive()
 	if len(alive) == 0 {
 		return nil, errors.New("shard: no workers left")
@@ -441,6 +520,11 @@ func (c *coordinator) runQuery(ctx context.Context, q queries.QueryID) (*vcd.Que
 				// deterministic, so both copies are identical. Keep the
 				// first, count the duplicate.
 				c.counters.DuplicateResults++
+				metrics.GlobalShardCounters().DuplicateResults.Inc()
+				metrics.RecordEvent(metrics.Event{
+					Kind: metrics.EventDuplicateDropped, Shard: ev.wid,
+					Query: string(q), Trace: res.Trace,
+				})
 				continue
 			}
 			results[res.Index] = &res
@@ -448,6 +532,16 @@ func (c *coordinator) runQuery(ctx context.Context, q queries.QueryID) (*vcd.Que
 				files[f.Name] = f.Data
 			}
 			remaining--
+			if metrics.Enabled() {
+				// The gather span spans scatter to arrival, so an instance's
+				// timeline wall is its end-to-end latency as the coordinator
+				// saw it — the quantity straggler attribution ranks.
+				tid := res.Trace
+				if tid == 0 {
+					tid = c.instTrace(q, res.Index)
+				}
+				metrics.RecordSpanAt(metrics.StageShardGather, tid, ev.wid, batchStart, time.Since(batchStart))
+			}
 		case msgDone:
 			// Assignment bookkeeping only; results already arrived (a done
 			// frame may also belong to the previous query's tail).
@@ -463,6 +557,8 @@ func (c *coordinator) runQuery(ctx context.Context, q queries.QueryID) (*vcd.Que
 
 	// Merge: rebuild the instance slice in global order and recompute
 	// the tallies exactly as runQueryBatch does.
+	msp := metrics.StartSpan(metrics.StageShardMerge)
+	msp.Trace(batchTrace)
 	qr.Instances = make([]vcd.InstanceResult, n)
 	for idx, res := range results {
 		inst := vcd.InstanceResult{
@@ -506,10 +602,16 @@ func (c *coordinator) runQuery(ctx context.Context, q queries.QueryID) (*vcd.Que
 		sort.Strings(names)
 		for _, name := range names {
 			if err := c.opt.ResultStore.Write(name, files[name]); err != nil {
+				msp.End()
 				return nil, err
 			}
 		}
 	}
+	msp.End()
+	metrics.RecordEvent(metrics.Event{
+		Kind: metrics.EventMergeComplete, Query: string(q),
+		Trace: batchTrace, Count: n, Shard: -1,
+	})
 	if metrics.Enabled() {
 		t := metrics.Capture().Sub(batchBase)
 		qr.Telemetry = &t
@@ -549,6 +651,12 @@ func (c *coordinator) reassign(q queries.QueryID, orphaned []int) error {
 			}
 			c.counters.Reassignments++
 			c.counters.RetriedInstances += int64(len(idxs))
+			metrics.GlobalShardCounters().Reassignments.Inc()
+			metrics.GlobalShardCounters().RetriedInstances.Add(int64(len(idxs)))
+			metrics.RecordEvent(metrics.Event{
+				Kind: metrics.EventInstanceReassigned, Shard: w.id,
+				Query: string(q), Count: len(idxs),
+			})
 		}
 		sort.Ints(orphaned)
 	}

@@ -1,0 +1,228 @@
+package shard_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/shard"
+	"repro/internal/stream"
+	"repro/internal/vdbms/scannerlike"
+)
+
+// withMetrics turns the global registry on for one test and restores
+// the previous state afterwards, so the observability tests compose
+// with the default-off suite.
+func withMetrics(t *testing.T) {
+	t.Helper()
+	prev := metrics.Enabled()
+	metrics.SetEnabled(true)
+	t.Cleanup(func() { metrics.SetEnabled(prev) })
+}
+
+// checkTraceRoundTrip asserts the merged report carries a reconstructed
+// trace layer whose instance timelines use exactly the deterministic
+// IDs the contract promises: InstanceTraceID(seed, query, index) for
+// every instance the run executed, regardless of transport.
+func checkTraceRoundTrip(t *testing.T, label string, got outcome) {
+	t.Helper()
+	tr := got.report.Trace
+	if tr == nil {
+		t.Fatalf("%s: traced run produced no trace report", label)
+	}
+	// The expected ID set is a pure function of the plan.
+	want := map[metrics.TraceID]string{}
+	for _, q := range got.report.Queries {
+		for i := 0; i < q.BatchSize; i++ {
+			want[metrics.InstanceTraceID(equivalenceOptions(nil).Seed, string(q.Query), i)] = string(q.Query)
+		}
+	}
+	if tr.Instances != len(want) {
+		t.Errorf("%s: %d instance timelines, want %d", label, tr.Instances, len(want))
+	}
+	if len(tr.Timelines) != tr.Instances {
+		t.Errorf("%s: %d timelines carried, want %d", label, len(tr.Timelines), tr.Instances)
+	}
+	seen := map[metrics.TraceID]bool{}
+	for _, tl := range tr.Timelines {
+		q, ok := want[tl.Trace]
+		if !ok {
+			t.Errorf("%s: timeline trace %#x is not a deterministic instance ID", label, uint64(tl.Trace))
+			continue
+		}
+		if seen[tl.Trace] {
+			t.Errorf("%s: %s trace %#x has two timelines", label, q, uint64(tl.Trace))
+		}
+		seen[tl.Trace] = true
+		if tl.Shard < 0 {
+			t.Errorf("%s: %s trace %#x not attributed to a shard", label, q, uint64(tl.Trace))
+		}
+		if len(tl.Spans) == 0 || tl.WallMS <= 0 {
+			t.Errorf("%s: %s trace %#x has empty timeline (%d spans, %.3fms)",
+				label, q, uint64(tl.Trace), len(tl.Spans), tl.WallMS)
+		}
+	}
+	for id, q := range want {
+		if !seen[id] {
+			t.Errorf("%s: no timeline for %s trace %#x", label, q, uint64(id))
+		}
+	}
+	// Per-worker attribution covers every instance and names a straggler.
+	sum := 0
+	for _, w := range tr.Workers {
+		if w.Shard < 0 {
+			t.Errorf("%s: worker row with unattributed shard %d", label, w.Shard)
+		}
+		if w.Instances <= 0 || w.TotalMS <= 0 || w.P99MS <= 0 {
+			t.Errorf("%s: empty worker row %+v", label, w)
+		}
+		sum += w.Instances
+	}
+	if sum != tr.Instances {
+		t.Errorf("%s: worker rows cover %d instances, want %d", label, sum, tr.Instances)
+	}
+	if tr.SlowestShard < 0 || tr.CriticalPathMS <= 0 || tr.P99InstanceMS <= 0 {
+		t.Errorf("%s: straggler attribution missing: slowest=%d critical=%.3f p99=%.3f",
+			label, tr.SlowestShard, tr.CriticalPathMS, tr.P99InstanceMS)
+	}
+}
+
+// checkEventJournal asserts the run's journal interval is ordered and
+// contains the lifecycle skeleton every successful run emits.
+func checkEventJournal(t *testing.T, label string, got outcome) map[string]int {
+	t.Helper()
+	events := got.report.Events
+	if len(events) == 0 {
+		t.Fatalf("%s: traced run produced no events", label)
+	}
+	kinds := map[string]int{}
+	var last uint64
+	for _, e := range events {
+		if e.Seq <= last {
+			t.Fatalf("%s: event seq %d after %d — journal not ordered", label, e.Seq, last)
+		}
+		last = e.Seq
+		kinds[e.Kind]++
+	}
+	if kinds[metrics.EventJobSubmitted] != 1 {
+		t.Errorf("%s: %d job_submitted events, want 1", label, kinds[metrics.EventJobSubmitted])
+	}
+	if kinds[metrics.EventShardAssigned] == 0 {
+		t.Errorf("%s: no shard_assigned events", label)
+	}
+	if kinds[metrics.EventMergeComplete] != len(equivalenceQueries) {
+		t.Errorf("%s: %d merge_complete events, want %d",
+			label, kinds[metrics.EventMergeComplete], len(equivalenceQueries))
+	}
+	return kinds
+}
+
+// TestShardTraceRoundTripPipe is the tracing contract over the
+// in-process pipe transport: with instrumentation on, the sharded
+// output stays byte-identical to the single-process run, and the merged
+// report reconstructs one timeline per instance under the deterministic
+// trace IDs, with per-worker straggler attribution and a complete event
+// journal.
+func TestShardTraceRoundTripPipe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end sharded runs in -short mode")
+	}
+	withMetrics(t)
+	want := baseline(t, scannerlike.New(scannerlike.Options{}))
+	got, counters := shardRun(t, shard.Options{Shards: 2})
+	compareOutcomes(t, "traced-pipe", want, got)
+	if counters.WorkerFailures != 0 || counters.Reassignments != 0 {
+		t.Errorf("zero-fault traced run has degradation counters %+v", *counters)
+	}
+	checkTraceRoundTrip(t, "traced-pipe", got)
+	kinds := checkEventJournal(t, "traced-pipe", got)
+	for _, k := range []string{metrics.EventWorkerDead, metrics.EventInstanceReassigned, metrics.EventDuplicateDropped} {
+		if kinds[k] != 0 {
+			t.Errorf("zero-fault run journaled %d %s events", kinds[k], k)
+		}
+	}
+}
+
+// TestShardTraceRoundTripTCP lifts the same round-trip over real
+// sockets: trace IDs travel in the assignment frames, workers tag their
+// spans with them and ship the spans back in the final summary, and the
+// coordinator joins both sides into the same per-instance timelines.
+func TestShardTraceRoundTripTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end sharded runs in -short mode")
+	}
+	withMetrics(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		srv, err := shard.ListenWorker("127.0.0.1:0", shard.WorkerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		go srv.Serve(ctx)
+		addrs = append(addrs, srv.Addr())
+	}
+	want := baseline(t, scannerlike.New(scannerlike.Options{}))
+	got, counters := shardRun(t, shard.Options{
+		Shards:    2,
+		Transport: &shard.AddrTransport{Addrs: addrs},
+	})
+	compareOutcomes(t, "traced-tcp", want, got)
+	if counters.WorkerFailures != 0 {
+		t.Errorf("traced tcp run recorded failures: %+v", *counters)
+	}
+	checkTraceRoundTrip(t, "traced-tcp", got)
+	checkEventJournal(t, "traced-tcp", got)
+}
+
+// TestShardEventJournalOnWorkerDeath kills a worker mid-run and checks
+// the journal is an exact audit trail for the degradation counters:
+// exactly one instance_reassigned event per Counters.Reassignments, a
+// worker_dead event journaled before the first reassignment, and the
+// merged output still byte-identical to the single-process run.
+func TestShardEventJournalOnWorkerDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end sharded runs in -short mode")
+	}
+	withMetrics(t)
+	want := baseline(t, scannerlike.New(scannerlike.Options{}))
+	got, counters := shardRun(t, shard.Options{
+		Shards:       3,
+		Faults:       &stream.FaultPlan{Seed: 1, CutAtPacket: 1},
+		FaultWorkers: []int{1},
+	})
+	compareOutcomes(t, "traced-killed-worker", want, got)
+	if counters.Reassignments < 1 {
+		t.Fatalf("fault plan produced no reassignments: counters %+v", *counters)
+	}
+	kinds := checkEventJournal(t, "traced-killed-worker", got)
+	if kinds[metrics.EventInstanceReassigned] != int(counters.Reassignments) {
+		t.Errorf("journal has %d instance_reassigned events, counters report %d reassignments",
+			kinds[metrics.EventInstanceReassigned], counters.Reassignments)
+	}
+	if kinds[metrics.EventWorkerDead] < 1 {
+		t.Errorf("worker death not journaled: kinds %v", kinds)
+	}
+	var deadSeq, reassignSeq uint64
+	for _, e := range got.report.Events {
+		switch e.Kind {
+		case metrics.EventWorkerDead:
+			if deadSeq == 0 {
+				deadSeq = e.Seq
+			}
+		case metrics.EventInstanceReassigned:
+			if reassignSeq == 0 {
+				reassignSeq = e.Seq
+			}
+			if e.Count <= 0 {
+				t.Errorf("reassignment event carries no instance count: %+v", e)
+			}
+		}
+	}
+	if deadSeq == 0 || reassignSeq == 0 || deadSeq > reassignSeq {
+		t.Errorf("worker_dead (seq %d) does not precede instance_reassigned (seq %d)", deadSeq, reassignSeq)
+	}
+	checkTraceRoundTrip(t, "traced-killed-worker", got)
+}

@@ -104,6 +104,9 @@ type JobSpec struct {
 	// and report a wire delta in their summary. In-process workers share
 	// the coordinator's registry and must not double-report.
 	Metrics bool `json:"metrics,omitempty"`
+	// Shard is this worker's index in the run, tagged onto its spans so
+	// merged trace reports attribute work per worker.
+	Shard int `json:"shard"`
 	// HeartbeatNS is the liveness interval the coordinator enforces;
 	// workers heartbeat at a third of it while executing.
 	HeartbeatNS int64 `json:"heartbeat_ns"`
@@ -117,6 +120,11 @@ type Assignment struct {
 	Query   queries.QueryID `json:"query"`
 	Indices []int           `json:"indices"`
 	Seq     int             `json:"seq"`
+	// Traces carries the coordinator-minted trace ID of each index
+	// (parallel to Indices), present when metrics are enabled. IDs are
+	// deterministic, so this is a convenience, not a contract: a worker
+	// minting locally derives the same values.
+	Traces []metrics.TraceID `json:"traces,omitempty"`
 }
 
 // ValidationWire is the serializable part of an instance's validation
@@ -148,6 +156,9 @@ type InstanceResultWire struct {
 	Resource  bool            `json:"resource,omitempty"`
 	Validated *ValidationWire `json:"validation,omitempty"`
 	Files     []ResultFile    `json:"files,omitempty"`
+	// Trace echoes the instance's trace ID so the coordinator's gather
+	// spans join the worker's spans under one timeline.
+	Trace metrics.TraceID `json:"trace,omitempty"`
 }
 
 // AssignmentDone closes one assignment.
@@ -157,10 +168,14 @@ type AssignmentDone struct {
 }
 
 // WorkerSummary is the final ack: the worker's dataset-cache counters
-// and, for remote workers, its telemetry interval in mergeable form.
+// and, for remote workers, its telemetry interval in mergeable form
+// plus the trace spans it recorded under coordinator-minted trace IDs.
+// In-process workers omit both — their spans already live in the
+// coordinator's rings.
 type WorkerSummary struct {
-	Cache     metrics.CacheStats `json:"cache"`
-	Telemetry *metrics.WireDelta `json:"telemetry,omitempty"`
+	Cache     metrics.CacheStats  `json:"cache"`
+	Telemetry *metrics.WireDelta  `json:"telemetry,omitempty"`
+	Spans     []metrics.TraceSpan `json:"spans,omitempty"`
 }
 
 // WorkerError reports a fatal worker-side failure (dataset load,

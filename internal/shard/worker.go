@@ -86,6 +86,9 @@ type worker struct {
 	results vfs.Store       // worker-local result staging
 	shipped map[string]bool // result files already sent
 	base    metrics.Snapshot
+	// traceBase marks where this job's spans start in the local trace
+	// ring; summarize ships everything after it (remote workers only).
+	traceBase uint64
 }
 
 func (w *worker) send(kind byte, v any) error {
@@ -179,6 +182,7 @@ func (w *worker) setup() error {
 	if w.job.Metrics && !w.opt.InProcess {
 		metrics.SetEnabled(true)
 		w.base = metrics.Capture()
+		w.traceBase = metrics.TraceSeq()
 	}
 	o := w.job.Opt
 	mode := vcd.StreamingMode
@@ -200,7 +204,11 @@ func (w *worker) setup() error {
 		DecodedCacheBytes: o.DecodedCacheBytes,
 		FullDecode:        o.FullDecode,
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	w.runner.SetShard(w.job.Shard)
+	return nil
 }
 
 // openDataset resolves a DatasetSpec into a store.
@@ -227,7 +235,13 @@ func openDataset(spec DatasetSpec) (vfs.Store, error) {
 // by the done frame (heartbeats interleave from the conversation-level
 // heartbeater).
 func (w *worker) runAssignment(a Assignment) error {
-	results, err := w.runner.RunSubset(a.Query, a.Indices)
+	traces := map[int]metrics.TraceID{}
+	for i, idx := range a.Indices {
+		if i < len(a.Traces) {
+			traces[idx] = a.Traces[i]
+		}
+	}
+	results, err := w.runner.RunSubsetTraced(a.Query, a.Indices, a.Traces)
 	if err != nil {
 		return fmt.Errorf("shard: worker: %s subset: %w", a.Query, err)
 	}
@@ -238,6 +252,7 @@ func (w *worker) runAssignment(a Assignment) error {
 			Seq:       a.Seq,
 			ElapsedNS: res.Elapsed.Nanoseconds(),
 			Frames:    res.Frames,
+			Trace:     traces[res.Index],
 		}
 		if res.Err != nil {
 			wire.Err = res.Err.Error()
@@ -304,6 +319,7 @@ func (w *worker) summarize() error {
 	if w.job.Metrics && !w.opt.InProcess {
 		d := metrics.Capture().Delta(w.base)
 		sum.Telemetry = &d
+		sum.Spans = metrics.TraceSpansSince(w.traceBase)
 	}
 	return w.send(msgSummary, sum)
 }

@@ -158,6 +158,15 @@ type RunReport struct {
 	// latency histograms, pool/cache gauges, frame-pool recycling —
 	// present when metrics are enabled (metrics.SetEnabled).
 	Telemetry *metrics.Telemetry
+	// Trace is the run's distributed-trace summary: per-instance
+	// timelines reconstructed from trace-tagged spans, with per-worker
+	// straggler attribution. Present when metrics are enabled. Trace IDs
+	// are deterministic (same seed + plan ⇒ same IDs), so single-process
+	// and sharded runs of one plan are directly comparable.
+	Trace *metrics.TraceReport
+	// Events is the run's lifecycle event-journal interval (populated by
+	// the shard plane; empty for single-process runs).
+	Events []metrics.Event
 }
 
 // QueryReport returns the report for q, if present.
@@ -182,8 +191,11 @@ func Run(ds *Dataset, sys vdbms.System, opt Options) (*RunReport, error) {
 	report := &RunReport{System: sys.Name(), Scale: ds.Manifest.Scale, Mode: opt.Mode}
 	ds.configureDecodedCache(opt.decodedCacheBudget(), opt.FullDecode)
 	var runBase metrics.Snapshot
+	var traceBase, eventBase uint64
 	if metrics.Enabled() {
 		runBase = metrics.Capture()
+		traceBase = metrics.TraceSeq()
+		eventBase = metrics.EventSeq()
 	}
 	start := time.Now()
 	for _, q := range opt.Queries {
@@ -204,6 +216,8 @@ func Run(ds *Dataset, sys vdbms.System, opt Options) (*RunReport, error) {
 	if metrics.Enabled() {
 		t := metrics.Capture().Sub(runBase)
 		report.Telemetry = &t
+		report.Trace = metrics.SummarizeTraces(metrics.TraceSpansSince(traceBase))
+		report.Events = metrics.EventsSince(eventBase)
 	}
 	return report, nil
 }
@@ -261,7 +275,7 @@ func runQueryBatch(ds *Dataset, sys vdbms.System, q queries.QueryID, opt Options
 		run := func(worker, i int) {
 			inst := group[i]
 			unpin := ds.pinInputs(inst)
-			results[gbase+i] = executeInstance(ds, sys, inst, opt, gbase+i, worker)
+			results[gbase+i] = executeInstance(ds, sys, inst, opt, gbase+i, worker, instanceTrace(opt, q, gbase+i), -1)
 			unpin()
 		}
 		if workers <= 1 || len(group) <= 1 {
@@ -297,6 +311,7 @@ func runQueryBatch(ds *Dataset, sys vdbms.System, q queries.QueryID, opt Options
 				continue
 			}
 			sp := metrics.StartSpan(metrics.StageValidate)
+			sp.Trace(instanceTrace(opt, q, i))
 			validator.validate(insts[i], res.Validation)
 			sp.Frames(res.Frames)
 			sp.End()
@@ -310,10 +325,39 @@ func runQueryBatch(ds *Dataset, sys vdbms.System, q queries.QueryID, opt Options
 	return qr, nil
 }
 
+// instanceTrace mints the instance's deterministic trace ID when
+// instrumentation is on — a pure function of the run seed, query, and
+// global instance index, so every process executing the plan agrees.
+func instanceTrace(opt Options, q queries.QueryID, idx int) metrics.TraceID {
+	if !metrics.Enabled() {
+		return 0
+	}
+	return metrics.InstanceTraceID(opt.Seed, string(q), idx)
+}
+
+// traceInputs retags the instance's input handles with the trace ID via
+// shallow copies: the underlying handles are shared per camera across
+// instances, so the per-instance ID must never be written through the
+// shared pointer. Pinning and caching key on the input name, which the
+// copies preserve.
+func traceInputs(inst *vdbms.QueryInstance, tid metrics.TraceID) {
+	for i, in := range inst.Inputs {
+		if in.Trace == tid {
+			continue
+		}
+		c := *in
+		c.Trace = tid
+		inst.Inputs[i] = &c
+	}
+}
+
 // executeInstance runs one instance through the system, capturing
 // outputs for validation and handling the result mode. worker is the
-// pool worker index executing the instance, tagged on its span.
-func executeInstance(ds *Dataset, sys vdbms.System, inst *vdbms.QueryInstance, opt Options, idx, worker int) InstanceResult {
+// pool worker index executing the instance, tagged on its span; tid is
+// the instance's distributed trace ID (0 untraced) and shard the
+// executing shard (-1 single-process), threaded onto the execute span
+// and the instance's decode spans.
+func executeInstance(ds *Dataset, sys vdbms.System, inst *vdbms.QueryInstance, opt Options, idx, worker int, tid metrics.TraceID, shard int) InstanceResult {
 	var res InstanceResult
 	var capture *InstanceValidation
 	wantValidate := opt.Validate && sampleForValidation(opt, idx)
@@ -338,9 +382,14 @@ func executeInstance(ds *Dataset, sys vdbms.System, inst *vdbms.QueryInstance, o
 		}
 		return nil
 	})
+	if tid != 0 {
+		traceInputs(inst, tid)
+	}
 	start := time.Now()
 	sp := metrics.StartSpan(metrics.StageExecute)
 	sp.Worker(worker)
+	sp.Trace(tid)
+	sp.Shard(shard)
 	res.Err = sys.Execute(inst, sink)
 	sp.Frames(res.Frames)
 	sp.End()

@@ -22,10 +22,11 @@ import (
 // a coordinator can merge subset results into a report identical to a
 // single-process run.
 type BatchRunner struct {
-	ds  *Dataset
-	sys vdbms.System
-	opt Options
-	val *validator
+	ds    *Dataset
+	sys   vdbms.System
+	opt   Options
+	val   *validator
+	shard int
 }
 
 // NewBatchRunner prepares subset execution against ds with sys.
@@ -35,8 +36,13 @@ func NewBatchRunner(ds *Dataset, sys vdbms.System, opt Options) (*BatchRunner, e
 		return nil, errors.New("vcd: WriteMode requires a result store")
 	}
 	ds.configureDecodedCache(opt.decodedCacheBudget(), opt.FullDecode)
-	return &BatchRunner{ds: ds, sys: sys, opt: opt, val: newValidator(ds, opt)}, nil
+	return &BatchRunner{ds: ds, sys: sys, opt: opt, val: newValidator(ds, opt), shard: -1}, nil
 }
+
+// SetShard tags the runner's spans with the shard (worker index) it
+// executes as, for per-worker straggler attribution in merged trace
+// reports. -1 (the default) means unsharded.
+func (r *BatchRunner) SetShard(shard int) { r.shard = shard }
 
 // IndexedResult is one executed instance tagged with its global batch
 // index.
@@ -53,6 +59,15 @@ type IndexedResult struct {
 // their global indices; persisted result names use the same indices, so
 // subsets from different workers never collide.
 func (r *BatchRunner) RunSubset(q queries.QueryID, indices []int) ([]IndexedResult, error) {
+	return r.RunSubsetTraced(q, indices, nil)
+}
+
+// RunSubsetTraced is RunSubset with coordinator-minted trace IDs:
+// traces[i] is the distributed trace ID of indices[i] (nil or a zero
+// entry leaves the instance locally minted, which yields the same ID —
+// trace IDs are deterministic — but carrying them over the wire keeps
+// the worker oblivious to the minting policy).
+func (r *BatchRunner) RunSubsetTraced(q queries.QueryID, indices []int, traces []metrics.TraceID) ([]IndexedResult, error) {
 	if !r.sys.Supports(q) {
 		return nil, nil
 	}
@@ -60,6 +75,14 @@ func (r *BatchRunner) RunSubset(q queries.QueryID, indices []int) ([]IndexedResu
 	insts, err := BuildBatch(r.ds, q, batch, r.opt)
 	if err != nil {
 		return nil, err
+	}
+	tids := make(map[int]metrics.TraceID, len(indices))
+	for i, idx := range indices {
+		if i < len(traces) && traces[i] != 0 {
+			tids[idx] = traces[i]
+		} else {
+			tids[idx] = instanceTrace(r.opt, q, idx)
+		}
 	}
 	idxs := append([]int(nil), indices...)
 	sort.Ints(idxs)
@@ -73,7 +96,7 @@ func (r *BatchRunner) RunSubset(q queries.QueryID, indices []int) ([]IndexedResu
 		idx := idxs[i]
 		inst := insts[idx]
 		unpin := r.ds.pinInputs(inst)
-		out[i] = IndexedResult{Index: idx, InstanceResult: executeInstance(r.ds, r.sys, inst, r.opt, idx, worker)}
+		out[i] = IndexedResult{Index: idx, InstanceResult: executeInstance(r.ds, r.sys, inst, r.opt, idx, worker, tids[idx], r.shard)}
 		unpin()
 	}
 	workers := r.opt.queryWorkers()
@@ -94,6 +117,8 @@ func (r *BatchRunner) RunSubset(q queries.QueryID, indices []int) ([]IndexedResu
 				continue
 			}
 			sp := metrics.StartSpan(metrics.StageValidate)
+			sp.Trace(tids[out[i].Index])
+			sp.Shard(r.shard)
 			r.val.validate(insts[out[i].Index], res.Validation)
 			sp.Frames(res.Frames)
 			sp.End()

@@ -103,6 +103,7 @@ func (e *Engine) runQ2d(inst *vdbms.QueryInstance, sink vdbms.Sink) error {
 	// Like streamMapRange's streaming fallback, the decode span covers
 	// the fused decode+mask loop: one span per call in every mode.
 	sp := metrics.StartSpan(metrics.StageDecode)
+	sp.Trace(in.Trace)
 	sp.Cache(false)
 	dec, err := newStreamDecoder(in)
 	if err != nil {

@@ -143,6 +143,7 @@ func (e *Engine) streamMapRange(in *vdbms.Input, lo, hi int, transform func(i in
 	// counts per streamMapRange call are invariant across modes.
 	if cached, ok := e.cache.get(in, lo, hi); ok {
 		sp := metrics.StartSpan(metrics.StageDecode)
+		sp.Trace(in.Trace)
 		sp.Cache(true)
 		sp.Frames(len(cached.Frames))
 		sp.End()
@@ -184,6 +185,7 @@ func (e *Engine) streamMapRange(in *vdbms.Input, lo, hi int, transform func(i in
 	// span covers the fused decode+transform loop: the engine's
 	// streaming evaluation does not separate the two.
 	sp := metrics.StartSpan(metrics.StageDecode)
+	sp.Trace(in.Trace)
 	sp.Cache(false)
 	dec, err := newStreamDecoder(in)
 	if err != nil {

@@ -331,7 +331,7 @@ func (e *Engine) loadTableRange(q queries.QueryID, in *vdbms.Input, lo, hi int) 
 	if lo != 0 || hi != len(in.Encoded.Frames) {
 		key = fmt.Sprintf("%s#%d-%d", in.Name, lo, hi)
 	}
-	return e.loadTableKeyed(key, func() (*table, error) { return e.fillTable(q, in, lo, hi) })
+	return e.loadTableKeyed(in, key, func() (*table, error) { return e.fillTable(q, in, lo, hi) })
 }
 
 // loadTableTiles ingests the (frame window × ROI) rectangle an instance
@@ -350,7 +350,7 @@ func (e *Engine) loadTableTiles(q queries.QueryID, in *vdbms.Input, lo, hi, x1, 
 		mask |= 1 << uint(t)
 	}
 	key := fmt.Sprintf("%s#%d-%d@%x", in.Name, lo, hi, mask)
-	return e.loadTableKeyed(key, func() (*table, error) {
+	return e.loadTableKeyed(in, key, func() (*table, error) {
 		v, err := vdbms.DecodeInputTiles(in, lo, hi, x1, y1, x2, y2)
 		if err != nil {
 			return nil, err
@@ -368,7 +368,7 @@ func (e *Engine) loadTableTiles(q queries.QueryID, in *vdbms.Input, lo, hi, x1, 
 // loadTableKeyed runs the single-flight ingest protocol for one
 // ingest-cache slot: the first caller fills, concurrent callers block
 // on the filling one, failed fills vanish so a later instance retries.
-func (e *Engine) loadTableKeyed(key string, fill func() (*table, error)) (*table, error) {
+func (e *Engine) loadTableKeyed(in *vdbms.Input, key string, fill func() (*table, error)) (*table, error) {
 	e.mu.Lock()
 	if ent, ok := e.ingest[key]; ok {
 		e.mu.Unlock()
@@ -377,6 +377,7 @@ func (e *Engine) loadTableKeyed(key string, fill func() (*table, error)) (*table
 		// engines) and times how long the instance blocked on the
 		// filling one.
 		sp := metrics.StartSpan(metrics.StageDecode)
+		sp.Trace(in.Trace)
 		sp.Cache(true)
 		<-ent.done
 		if ent.err == nil {

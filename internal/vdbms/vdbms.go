@@ -40,6 +40,11 @@ type Input struct {
 	// Engines reach it through DecodeInput/PeekDecoded; a nil Source
 	// decodes the payload directly.
 	Source DecodedSource
+	// Trace is the distributed trace ID of the query instance this
+	// handle was staged for; decode spans record under it. The driver
+	// sets it on per-instance shallow copies — the underlying handle is
+	// shared across instances and must not carry per-instance state.
+	Trace metrics.TraceID
 }
 
 // DecodedSource supplies decoded videos for staged inputs. The returned
@@ -205,6 +210,7 @@ func (e *ErrResource) Error() string {
 // codec.gop stage measures the actual reconstruction work).
 func DecodeInput(in *Input) (*video.Video, error) {
 	sp := metrics.StartSpan(metrics.StageDecode)
+	sp.Trace(in.Trace)
 	var v *video.Video
 	var err error
 	if in.Source != nil {
@@ -244,6 +250,7 @@ func PeekDecoded(in *Input) (*video.Video, bool) {
 func DecodeShared(in *Input) (*video.Video, bool, error) {
 	if src, ok := in.Source.(SharedDecodedSource); ok {
 		sp := metrics.StartSpan(metrics.StageDecode)
+		sp.Trace(in.Trace)
 		v, active, err := src.DecodedShared(in)
 		if active && err == nil {
 			sp.Frames(len(v.Frames))
@@ -293,6 +300,7 @@ func DecodeInputRange(in *Input, first, last int) (*video.Video, error) {
 		return DecodeInput(in) // full window: the whole-video path records the span
 	}
 	sp := metrics.StartSpan(metrics.StageDecode)
+	sp.Trace(in.Trace)
 	v, err := decodeInputRange(in, first, last)
 	if err != nil {
 		return nil, err
@@ -327,6 +335,7 @@ func DecodeSharedRange(in *Input, first, last int) (*video.Video, bool, error) {
 		return DecodeShared(in)
 	}
 	sp := metrics.StartSpan(metrics.StageDecode)
+	sp.Trace(in.Trace)
 	v, ok, err := decodeSharedRange(in, first, last)
 	if ok && err == nil {
 		sp.Frames(len(v.Frames))
@@ -379,6 +388,7 @@ func DecodeInputTiles(in *Input, first, last, x1, y1, x2, y2 int) (*video.Video,
 		return DecodeInputRange(in, first, last)
 	}
 	sp := metrics.StartSpan(metrics.StageDecode)
+	sp.Trace(in.Trace)
 	v, err := decodeInputTiles(in, first, last, tiles)
 	if err != nil {
 		return nil, err
@@ -412,6 +422,7 @@ func DecodeSharedTiles(in *Input, first, last, x1, y1, x2, y2 int) (*video.Video
 		return DecodeSharedRange(in, first, last)
 	}
 	sp := metrics.StartSpan(metrics.StageDecode)
+	sp.Trace(in.Trace)
 	v, ok, err := decodeSharedTiles(in, first, last, tiles)
 	if ok && err == nil {
 		sp.Frames(len(v.Frames))

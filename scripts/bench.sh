@@ -88,6 +88,10 @@ trap 'rm -f "$tmp" "$tmp_on"' EXIT
 run_obs_benches() {
     VR_OBS="$1" go test -run '^$' -bench '^BenchmarkDecodeRange$' -benchtime 100x -count 5 ./internal/codec
     VR_OBS="$1" go test -run '^$' -bench '^BenchmarkRunBatch$' -benchtime 3x -count 5 .
+    # The trace/event layer in isolation: a trace-tagged span plus one
+    # journal record per op. The off row is the single gating atomic
+    # load; the on row is the full ring-publication cost.
+    VR_OBS="$1" go test -run '^$' -bench '^BenchmarkTraceEventPath$' -benchtime 100000x -count 5 ./internal/metrics
 }
 run_obs_benches "" >"$tmp"
 run_obs_benches 1 >"$tmp_on"
