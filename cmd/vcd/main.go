@@ -36,6 +36,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/metrics"
 	"repro/internal/queries"
+	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/stream"
 	"repro/internal/vcd"
@@ -129,7 +130,7 @@ func run() int {
 	if err != nil {
 		fatal(err)
 	}
-	qs, err := parseQueries(*queryList)
+	qs, err := queries.ParseList(*queryList)
 	if err != nil {
 		fatal(err)
 	}
@@ -221,7 +222,7 @@ func run() int {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(summarizeReport(report)); err != nil {
+		if err := enc.Encode(vcd.Summarize(report)); err != nil {
 			fatal(err)
 		}
 		return closeDebug(debugClose)
@@ -274,75 +275,6 @@ func writeTelemetryArtifact(path string, r *vcd.RunReport) error {
 		return err
 	}
 	return nil
-}
-
-// reportJSON is the machine-readable benchmark report: the global
-// election (scale, resolution, mode) plus per-query runtime, throughput,
-// and validation descriptive statistics, as §3.2 requires evaluators to
-// report.
-type reportJSON struct {
-	System    string  `json:"system"`
-	Scale     int     `json:"scale"`
-	Mode      string  `json:"mode"`
-	ElapsedMS float64 `json:"elapsed_ms"`
-	// DecodedCache carries the shared decoded-input cache counters with
-	// their derived hit-rate and decode-ratio.
-	DecodedCache metrics.CacheTelemetry `json:"decoded_cache"`
-	// Telemetry is the run's stage-level observability record, present
-	// when metrics are enabled (-metrics-json / -report / -debug-addr).
-	Telemetry *metrics.Telemetry `json:"telemetry,omitempty"`
-	Queries   []queryJSON        `json:"queries"`
-}
-
-type queryJSON struct {
-	Query          string  `json:"query"`
-	Unsupported    bool    `json:"unsupported,omitempty"`
-	BatchSize      int     `json:"batch_size"`
-	Completed      int     `json:"completed"`
-	ResourceErrors int     `json:"resource_errors,omitempty"`
-	BatchSplits    int     `json:"batch_splits,omitempty"`
-	ElapsedMS      float64 `json:"elapsed_ms"`
-	Frames         int     `json:"frames"`
-	FPS            float64 `json:"fps"`
-	ValidatedPct   float64 `json:"validated_pct"`
-	PSNRMean       float64 `json:"psnr_mean_db"`
-	PSNRMin        float64 `json:"psnr_min_db"`
-	SemanticPct    float64 `json:"semantic_pct"`
-	// Telemetry is the batch's observability record, present when
-	// metrics are enabled.
-	Telemetry *metrics.Telemetry `json:"telemetry,omitempty"`
-}
-
-func summarizeReport(r *vcd.RunReport) reportJSON {
-	mode := "streaming"
-	if r.Mode == vcd.WriteMode {
-		mode = "write"
-	}
-	out := reportJSON{
-		System: r.System, Scale: r.Scale, Mode: mode,
-		ElapsedMS:    r.Elapsed.Seconds() * 1000,
-		DecodedCache: r.DecodedCache.Report(),
-		Telemetry:    r.Telemetry,
-	}
-	for _, qr := range r.Queries {
-		out.Queries = append(out.Queries, queryJSON{
-			Query:          string(qr.Query),
-			Unsupported:    qr.Unsupported,
-			BatchSize:      qr.BatchSize,
-			Completed:      qr.Completed,
-			ResourceErrors: qr.ResourceErrors,
-			BatchSplits:    qr.BatchSplits,
-			ElapsedMS:      qr.Elapsed.Seconds() * 1000,
-			Frames:         qr.Frames,
-			FPS:            qr.FPS(),
-			ValidatedPct:   qr.Validation.PassRate() * 100,
-			PSNRMean:       qr.Validation.PSNR.Mean,
-			PSNRMin:        qr.Validation.PSNR.Min,
-			SemanticPct:    qr.Validation.SemanticPassRate() * 100,
-			Telemetry:      qr.Telemetry,
-		})
-	}
-	return out
 }
 
 // onlineConfig carries the online-mode CLI knobs.
@@ -437,27 +369,45 @@ func runOnline(ds *vcd.Dataset, opt vcd.Options, cfg onlineConfig) {
 	}
 }
 
-// runShardWorker serves coordinator connections until killed: the
-// worker half of multi-process sharded execution. With -data the worker
-// reads the dataset from the shared directory; otherwise the job's
-// dataset spec tells it where to look (or how to regenerate).
+// runShardWorker serves coordinator connections until SIGINT/SIGTERM:
+// the worker half of multi-process sharded execution. The first signal
+// drains gracefully — the listener closes, the in-flight conversation
+// finishes — and a second signal kills the process outright.
 func runShardWorker(listen, data string) {
+	ctx, stop := serve.SignalContext(context.Background())
+	defer stop()
+	if err := shardWorkerServe(ctx, listen, data); err != nil {
+		fatal(err)
+	}
+}
+
+// shardWorkerServe runs one worker server until ctx ends. With -data
+// the worker reads the dataset from the shared directory; otherwise
+// the job's dataset spec tells it where to look (or how to
+// regenerate). A ctx cancellation (the signal path) is a clean exit.
+func shardWorkerServe(ctx context.Context, listen, data string) error {
 	wopt := shard.WorkerOptions{}
 	if data != "" {
 		store, err := vfs.NewLocal(data)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		wopt.Store = store
 	}
 	srv, err := shard.ListenWorker(listen, wopt)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	srv.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
 	fmt.Printf("vcd: shard worker listening on %s\n", srv.Addr())
-	if err := srv.Serve(context.Background()); err != nil {
-		fatal(err)
+	err = srv.Serve(ctx)
+	if errors.Is(err, context.Canceled) {
+		fmt.Println("vcd: shard worker stopped: signal received")
+		return nil
 	}
+	return err
 }
 
 // splitAddrs parses the -shard-addrs list.
@@ -481,28 +431,6 @@ func systemByName(name string) (vdbms.System, error) {
 		return noscopelike.NewDefault(), nil
 	}
 	return nil, fmt.Errorf("vcd: unknown system %q", name)
-}
-
-// parseQueries maps short names like "Q2a" to query IDs.
-func parseQueries(s string) ([]queries.QueryID, error) {
-	if s == "" {
-		return nil, nil
-	}
-	byShort := map[string]queries.QueryID{}
-	for _, q := range queries.AllQueries {
-		short := strings.NewReplacer("(", "", ")", "").Replace(string(q))
-		byShort[strings.ToLower(short)] = q
-		byShort[strings.ToLower(string(q))] = q
-	}
-	var out []queries.QueryID
-	for _, part := range strings.Split(s, ",") {
-		q, ok := byShort[strings.ToLower(strings.TrimSpace(part))]
-		if !ok {
-			return nil, fmt.Errorf("vcd: unknown query %q", part)
-		}
-		out = append(out, q)
-	}
-	return out, nil
 }
 
 func printReport(r *vcd.RunReport, validated bool) {

@@ -1,10 +1,15 @@
 package main
 
 import (
+	"context"
 	"errors"
+	"os"
+	"syscall"
 	"testing"
+	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/serve"
 )
 
 // TestCloseDebugExitPath pins the exit-status contract for the debug
@@ -29,5 +34,32 @@ func TestCloseDebugExitPath(t *testing.T) {
 	}
 	if got := closeDebug(closeFn); got != 0 {
 		t.Errorf("healthy server close = %d, want 0", got)
+	}
+}
+
+// TestShardWorkerSignalShutdown pins satellite contract of the worker
+// CLI: a -shard-worker process drains cleanly on SIGTERM instead of
+// ignoring it. The signal context is registered before the kill, so
+// the signal lands on the handler rather than the default action
+// (which would kill this test binary).
+func TestShardWorkerSignalShutdown(t *testing.T) {
+	ctx, stop := serve.SignalContext(context.Background())
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- shardWorkerServe(ctx, "127.0.0.1:0", "") }()
+	// Let the worker reach its accept loop before signalling.
+	time.Sleep(100 * time.Millisecond)
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shardWorkerServe after SIGTERM = %v, want nil (clean drain)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker did not shut down on SIGTERM")
 	}
 }

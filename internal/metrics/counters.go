@@ -92,6 +92,10 @@ type ShardCounters struct {
 	RetriedInstances  Counter
 	DuplicateResults  Counter
 	DialRetries       Counter
+	// ConvFailures counts worker-server conversations that ended in an
+	// error (bad data dir, codec failure, half-open coordinator) — the
+	// signal a silently-failing worker daemon otherwise swallows.
+	ConvFailures Counter
 }
 
 // Snapshot returns an immutable copy of the current counts.
@@ -103,6 +107,7 @@ func (c *ShardCounters) Snapshot() ShardStats {
 		RetriedInstances:  c.RetriedInstances.Value(),
 		DuplicateResults:  c.DuplicateResults.Value(),
 		DialRetries:       c.DialRetries.Value(),
+		ConvFailures:      c.ConvFailures.Value(),
 	}
 }
 
@@ -115,6 +120,7 @@ type ShardStats struct {
 	RetriedInstances  int64 `json:"retried_instances,omitempty"`
 	DuplicateResults  int64 `json:"duplicate_results,omitempty"`
 	DialRetries       int64 `json:"dial_retries,omitempty"`
+	ConvFailures      int64 `json:"conv_failures,omitempty"`
 }
 
 // Sub returns the per-interval delta s − prev.
@@ -126,6 +132,7 @@ func (s ShardStats) Sub(prev ShardStats) ShardStats {
 		RetriedInstances:  s.RetriedInstances - prev.RetriedInstances,
 		DuplicateResults:  s.DuplicateResults - prev.DuplicateResults,
 		DialRetries:       s.DialRetries - prev.DialRetries,
+		ConvFailures:      s.ConvFailures - prev.ConvFailures,
 	}
 }
 

@@ -38,10 +38,11 @@ func ServeDebug(addr string) (string, func() error, error) {
 	return boundAddr, closeFn, nil
 }
 
-// serveDebugOn runs the debug mux on an already-bound listener and
-// returns the bound address and closer (split from ServeDebug so tests
-// can kill the listener underneath the server).
-func serveDebugOn(ln net.Listener) (string, func() error) {
+// NewDebugMux returns a mux with every /debug endpoint registered —
+// the ops surface both the standalone debug listener (ServeDebug) and
+// the vrserved admin API mount, so a daemon is observable on the same
+// listener that serves its API.
+func NewDebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -59,7 +60,14 @@ func serveDebugOn(ln net.Listener) (string, func() error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return mux
+}
+
+// serveDebugOn runs the debug mux on an already-bound listener and
+// returns the bound address and closer (split from ServeDebug so tests
+// can kill the listener underneath the server).
+func serveDebugOn(ln net.Listener) (string, func() error) {
+	srv := &http.Server{Handler: NewDebugMux(), ReadHeaderTimeout: 5 * time.Second}
 	served := make(chan error, 1)
 	go func() { served <- srv.Serve(ln) }()
 	var once sync.Once

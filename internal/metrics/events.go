@@ -20,6 +20,20 @@ const (
 	EventInstanceReassigned = "instance_reassigned"
 	EventDuplicateDropped   = "duplicate_dropped"
 	EventMergeComplete      = "merge_complete"
+	// EventConvFailed marks a worker-server conversation that ended in
+	// an error rather than a clean finish/EOF (worker daemons only).
+	EventConvFailed = "conversation_failed"
+)
+
+// Event kinds recorded by the vrserved control plane. Detail carries
+// the job ID; Query carries the tenant.
+const (
+	EventServeJobQueued    = "serve_job_queued"
+	EventServeJobStarted   = "serve_job_started"
+	EventServeJobDone      = "serve_job_done"
+	EventServeJobFailed    = "serve_job_failed"
+	EventServeJobCancelled = "serve_job_cancelled"
+	EventServeJobRejected  = "serve_job_rejected"
 )
 
 // Event is one structured lifecycle event. Seq is assigned at record

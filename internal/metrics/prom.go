@@ -91,6 +91,7 @@ func WriteProm(w io.Writer) {
 	promCounter(w, "vr_shard_retried_instances_total", "Query instances re-executed after a failure.", sh.RetriedInstances)
 	promCounter(w, "vr_shard_duplicate_results_total", "Duplicate instance results dropped by first-wins dedup.", sh.DuplicateResults)
 	promCounter(w, "vr_shard_dial_retries_total", "Worker dial attempts retried.", sh.DialRetries)
+	promCounter(w, "vr_shard_conv_failures_total", "Worker-server conversations that ended in error.", sh.ConvFailures)
 
 	promCounter(w, "vr_events_total", "Lifecycle events journaled.", int64(EventSeq()))
 	promCounter(w, "vr_trace_spans_total", "Trace spans recorded.", int64(TraceSeq()))

@@ -107,6 +107,9 @@ type ShardTelemetry struct {
 	RetriedInstances  int64 `json:"retried_instances"`
 	DuplicateResults  int64 `json:"duplicate_results"`
 	DialRetries       int64 `json:"dial_retries"`
+	// ConvFailures counts worker-server conversations that ended in an
+	// error (worker daemons only; zero on the coordinator side).
+	ConvFailures int64 `json:"conv_failures,omitempty"`
 }
 
 // Sub derives the interval telemetry between two captures: stage
@@ -157,8 +160,12 @@ func (t Telemetry) WriteTable(w io.Writer) {
 			o.Frames, o.Dropped, o.Gaps, o.Resyncs, o.Retries, o.Degraded)
 	}
 	if sh := t.Shard; sh != nil {
-		fmt.Fprintf(w, "shard: %d worker failure(s), %d heartbeat timeout(s), %d reassignment(s), %d retried instance(s), %d duplicate(s), %d dial retry(ies)\n",
+		fmt.Fprintf(w, "shard: %d worker failure(s), %d heartbeat timeout(s), %d reassignment(s), %d retried instance(s), %d duplicate(s), %d dial retry(ies)",
 			sh.WorkerFailures, sh.HeartbeatTimeouts, sh.Reassignments, sh.RetriedInstances, sh.DuplicateResults, sh.DialRetries)
+		if sh.ConvFailures > 0 {
+			fmt.Fprintf(w, ", %d failed conversation(s)", sh.ConvFailures)
+		}
+		fmt.Fprintln(w)
 	}
 	if t.FramePool.Gets > 0 {
 		fmt.Fprintf(w, "frame pool: %d gets, %d allocs (%.0f%% reuse)\n",

@@ -211,6 +211,7 @@ func (d WireDelta) Telemetry() Telemetry {
 			RetriedInstances:  sh.RetriedInstances,
 			DuplicateResults:  sh.DuplicateResults,
 			DialRetries:       sh.DialRetries,
+			ConvFailures:      sh.ConvFailures,
 		}
 	}
 	t.Errors = d.Errors
@@ -226,6 +227,7 @@ func addShard(a, b ShardStats) ShardStats {
 		RetriedInstances:  a.RetriedInstances + b.RetriedInstances,
 		DuplicateResults:  a.DuplicateResults + b.DuplicateResults,
 		DialRetries:       a.DialRetries + b.DialRetries,
+		ConvFailures:      a.ConvFailures + b.ConvFailures,
 	}
 }
 

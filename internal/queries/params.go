@@ -2,6 +2,7 @@ package queries
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/vcity"
 	"repro/internal/vtt"
@@ -35,6 +36,31 @@ var AllQueries = []QueryID{Q1, Q2a, Q2b, Q2c, Q2d, Q3, Q4, Q5, Q6a, Q6b, Q7, Q8,
 
 // MicroQueries lists the microbenchmark subset.
 var MicroQueries = []QueryID{Q1, Q2a, Q2b, Q2c, Q2d, Q3, Q4, Q5, Q6a, Q6b}
+
+// ParseList maps a comma-separated list of short names like "Q2a" (or
+// canonical names like "Q2(a)") to query IDs, case-insensitively. An
+// empty string means "all" and returns nil, the convention every
+// options struct treats as the full suite.
+func ParseList(s string) ([]QueryID, error) {
+	if s == "" {
+		return nil, nil
+	}
+	byShort := map[string]QueryID{}
+	for _, q := range AllQueries {
+		short := strings.NewReplacer("(", "", ")", "").Replace(string(q))
+		byShort[strings.ToLower(short)] = q
+		byShort[strings.ToLower(string(q))] = q
+	}
+	var out []QueryID
+	for _, part := range strings.Split(s, ",") {
+		q, ok := byShort[strings.ToLower(strings.TrimSpace(part))]
+		if !ok {
+			return nil, fmt.Errorf("queries: unknown query %q", part)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
 
 // Params is the union of per-query free parameters (Table 3). A query
 // instance references exactly the fields its query uses.

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// Admission-control rejections, both mapped to HTTP 429: the submitter
+// is over its own limit, or the daemon's bounded queue is full. Neither
+// perturbs running jobs — rejection happens before a job exists.
+var (
+	ErrTenantLimit = errors.New("serve: tenant concurrency limit reached")
+	ErrQueueFull   = errors.New("serve: job queue full")
+)
+
+// admission enforces the per-tenant concurrency limit: a tenant's
+// queued-plus-running jobs may not exceed the limit. Slots are taken at
+// submission and released at the job's terminal transition, so a tenant
+// cannot occupy the bounded queue beyond its share no matter how fast
+// it submits.
+type admission struct {
+	mu     sync.Mutex
+	limit  int
+	active map[string]int
+}
+
+func newAdmission(limit int) *admission {
+	return &admission{limit: limit, active: map[string]int{}}
+}
+
+// admit takes one slot for the tenant, or reports ErrTenantLimit.
+func (a *admission) admit(tenant string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.active[tenant] >= a.limit {
+		return ErrTenantLimit
+	}
+	a.active[tenant]++
+	return nil
+}
+
+// release returns one slot.
+func (a *admission) release(tenant string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.active[tenant] > 1 {
+		a.active[tenant]--
+	} else {
+		delete(a.active, tenant)
+	}
+}

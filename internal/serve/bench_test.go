@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/shard"
+	"repro/internal/vcd"
+)
+
+// BenchmarkServeSubmit measures the control plane's submit→done round
+// trip — admission, journaling, dispatch, terminal transition, report
+// persistence — with the execution plane stubbed out, so the number is
+// the daemon's own overhead per job.
+func BenchmarkServeSubmit(b *testing.B) {
+	runner := func(ctx context.Context, plan shard.Plan, copt shard.Options) (*vcd.RunReport, *shard.Counters, error) {
+		return &vcd.RunReport{System: "stub", Scale: 1}, nil, nil
+	}
+	s, err := New(Options{
+		DataDir: b.TempDir(), Runner: runner,
+		TenantLimit: 1 << 20, MaxQueued: 4, Concurrency: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.mu.Lock()
+	s.datasets["d"] = &DatasetInfo{Name: "d", Path: b.TempDir(), Scale: 1}
+	s.mu.Unlock()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go s.Run(ctx)
+	h := s.Handler()
+
+	body := []byte(`{"dataset":"d","queries":["Q1"]}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/api/jobs", bytes.NewReader(body))
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if rr.Code != http.StatusAccepted {
+			b.Fatalf("submit = %d: %s", rr.Code, rr.Body)
+		}
+		var j Job
+		if err := json.Unmarshal(rr.Body.Bytes(), &j); err != nil {
+			b.Fatal(err)
+		}
+		for !j.Status.Terminal() {
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, httptest.NewRequest("GET", "/api/jobs/"+j.ID, nil))
+			if err := json.Unmarshal(rr.Body.Bytes(), &j); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if j.Status != StatusDone {
+			b.Fatalf("job ended %s (%s)", j.Status, j.Err)
+		}
+	}
+}

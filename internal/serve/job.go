@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/shard"
+	"repro/internal/vcd"
+)
+
+// Status is a job's lifecycle state. Transitions are monotonic:
+// queued → running → done | failed | cancelled, with queued → cancelled
+// permitted for jobs cancelled before dispatch.
+type Status string
+
+// Job statuses.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the status is an end state.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// JobRequest is the submit-API body: which registered dataset to run,
+// against which engine, with the execution-shaping knobs the CLI
+// exposes. Zero values select the driver defaults (all queries, 4
+// instances per unit of scale, seed 1).
+type JobRequest struct {
+	Dataset string `json:"dataset"`
+	System  string `json:"system"`
+	// Queries lists short names ("Q1", "Q2a"); empty means the full
+	// suite.
+	Queries   []string `json:"queries,omitempty"`
+	Seed      uint64   `json:"seed,omitempty"`
+	Instances int      `json:"instances,omitempty"`
+	Validate  bool     `json:"validate,omitempty"`
+	// Workers bounds per-worker instance concurrency (0 = machine
+	// default).
+	Workers int `json:"workers,omitempty"`
+	// Shards selects the in-process pipe worker count when the daemon
+	// runs without a TCP worker pool (single-node mode). Ignored when
+	// worker addresses are configured — the pool size is the shard
+	// count there.
+	Shards int `json:"shards,omitempty"`
+}
+
+// Job is one submitted batch as a first-class value: identity, tenant,
+// lifecycle status, the request that created it, wall-clock marks, and
+// the degradation counters of its shard run. The daemon journals every
+// transition to the data dir, so the job list survives restarts.
+type Job struct {
+	ID          string          `json:"id"`
+	Tenant      string          `json:"tenant"`
+	Status      Status          `json:"status"`
+	Request     JobRequest      `json:"request"`
+	SubmittedNS int64           `json:"submitted_ns"`
+	StartedNS   int64           `json:"started_ns,omitempty"`
+	EndedNS     int64           `json:"ended_ns,omitempty"`
+	Err         string          `json:"error,omitempty"`
+	Counters    *shard.Counters `json:"counters,omitempty"`
+
+	// cancelRequested marks a running job the cancel API has asked to
+	// stop, so the terminal transition reads "cancelled" rather than
+	// "failed" when the run returns its context error.
+	cancelRequested bool
+}
+
+// DatasetInfo is one registered dataset: where workers find it and the
+// manifest facts jobs need (the scale factor sizes every batch).
+type DatasetInfo struct {
+	Name     string  `json:"name"`
+	Path     string  `json:"path"`
+	Scale    int     `json:"scale"`
+	Width    int     `json:"width"`
+	Height   int     `json:"height"`
+	Duration float64 `json:"duration"`
+}
+
+// newJobID mints a random job identifier.
+func newJobID() (string, error) {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return "j" + hex.EncodeToString(b[:]), nil
+}
+
+// fileStore is the daemon's persistence layer: one JSON file per job
+// under jobs/ (rewritten atomically at every transition — the journal
+// of submitted jobs), reports under reports/, and the dataset registry
+// in datasets.json. Everything is plain indented JSON so the data dir
+// is inspectable with standard tools.
+type fileStore struct {
+	root string
+}
+
+func newFileStore(root string) (*fileStore, error) {
+	if root == "" {
+		return nil, fmt.Errorf("serve: data dir required")
+	}
+	for _, dir := range []string{root, filepath.Join(root, "jobs"), filepath.Join(root, "reports")} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &fileStore{root: root}, nil
+}
+
+func (fs *fileStore) jobPath(id string) string {
+	return filepath.Join(fs.root, "jobs", id+".json")
+}
+
+// ReportPath returns where a job's persisted report lives.
+func (fs *fileStore) reportPath(id string) string {
+	return filepath.Join(fs.root, "reports", id+".json")
+}
+
+// saveJob journals one job state atomically.
+func (fs *fileStore) saveJob(j *Job) error {
+	data, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		return err
+	}
+	return vcd.WriteFileAtomic(fs.jobPath(j.ID), append(data, '\n'))
+}
+
+// loadJobs reads the journal back in submission order.
+func (fs *fileStore) loadJobs() ([]*Job, error) {
+	entries, err := os.ReadDir(filepath.Join(fs.root, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	var jobs []*Job
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(fs.root, "jobs", e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		j := new(Job)
+		if err := json.Unmarshal(data, j); err != nil {
+			return nil, fmt.Errorf("serve: corrupt job journal %s: %w", e.Name(), err)
+		}
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(a, b int) bool {
+		if jobs[a].SubmittedNS != jobs[b].SubmittedNS {
+			return jobs[a].SubmittedNS < jobs[b].SubmittedNS
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	return jobs, nil
+}
+
+func (fs *fileStore) datasetsPath() string {
+	return filepath.Join(fs.root, "datasets.json")
+}
+
+// saveDatasets persists the dataset registry atomically.
+func (fs *fileStore) saveDatasets(ds map[string]*DatasetInfo) error {
+	names := make([]string, 0, len(ds))
+	for name := range ds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	list := make([]*DatasetInfo, 0, len(names))
+	for _, name := range names {
+		list = append(list, ds[name])
+	}
+	data, err := json.MarshalIndent(list, "", "  ")
+	if err != nil {
+		return err
+	}
+	return vcd.WriteFileAtomic(fs.datasetsPath(), append(data, '\n'))
+}
+
+// loadDatasets reads the registry; a missing file is an empty registry.
+func (fs *fileStore) loadDatasets() (map[string]*DatasetInfo, error) {
+	out := map[string]*DatasetInfo{}
+	data, err := os.ReadFile(fs.datasetsPath())
+	if os.IsNotExist(err) {
+		return out, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var list []*DatasetInfo
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("serve: corrupt dataset registry: %w", err)
+	}
+	for _, d := range list {
+		out[d.Name] = d
+	}
+	return out, nil
+}

@@ -1,0 +1,23 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context cancelled on SIGINT/SIGTERM — the
+// shutdown driver vrserved and `vcd -shard-worker` share. The first
+// signal starts a graceful drain (callers stop accepting and let
+// in-flight work finish); once it fires, the handler is unregistered,
+// so a second signal falls back to the default action and kills a
+// wedged process. The returned stop releases the handler early.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, stop
+}

@@ -16,6 +16,10 @@ import (
 	"repro/internal/vfs"
 )
 
+// DefaultHeartbeat is the default liveness window: the coordinator's
+// worker-silence bound and the worker server's first-frame bound.
+const DefaultHeartbeat = 10 * time.Second
+
 // Options configure the coordinator.
 type Options struct {
 	// Shards is the worker count (≥ 1). Partitioning is a function of
@@ -30,7 +34,7 @@ type Options struct {
 	Worker WorkerOptions
 	// Heartbeat is the liveness window: a worker silent for this long is
 	// presumed dead and its unfinished shard is retried on a survivor.
-	// 0 selects 10s. Frames are written whole under the worker's frame
+	// 0 selects DefaultHeartbeat. Frames are written whole under the worker's frame
 	// mutex, so a heartbeat can be delayed by one in-flight result
 	// frame: size Heartbeat above the time a single result payload
 	// (largest WriteMode instance's files) takes to cross the link, or
@@ -102,7 +106,7 @@ func Run(ctx context.Context, plan Plan, copt Options) (*vcd.RunReport, *Counter
 		copt.Shards = 1
 	}
 	if copt.Heartbeat <= 0 {
-		copt.Heartbeat = 10 * time.Second
+		copt.Heartbeat = DefaultHeartbeat
 	}
 	opt := vcd.NormalizeOptions(plan.Opt)
 	if opt.Mode == vcd.WriteMode && opt.ResultStore == nil {

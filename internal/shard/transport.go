@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/stream"
 )
 
@@ -167,10 +170,27 @@ func (t *AddrTransport) DialRetries() int64 {
 func (t *AddrTransport) Close() error { return nil }
 
 // WorkerServer accepts coordinator connections and serves each — the
-// body of the -shard-worker CLI mode.
+// body of the -shard-worker CLI mode and the execution plane vrserved
+// drives. The pool of worker servers outlives individual jobs: each
+// coordinator conversation owns the worker for its duration, and the
+// accept loop survives failed conversations (they are counted and
+// journaled, not fatal), so the same processes serve job after job.
 type WorkerServer struct {
-	ln   net.Listener
-	wopt WorkerOptions
+	// Heartbeat bounds the wait for the first frame (the job manifest)
+	// of each conversation, mirroring the coordinator's liveness window:
+	// a coordinator that connects and never sends a job is dropped
+	// instead of wedging the serial accept loop forever. Zero selects
+	// DefaultHeartbeat. Set before Serve.
+	Heartbeat time.Duration
+	// Logf, when set, receives one line per failed conversation (the
+	// accept loop keeps going either way). Set before Serve.
+	Logf func(format string, args ...any)
+
+	ln     net.Listener
+	wopt   WorkerOptions
+	closed atomic.Bool
+	once   sync.Once
+	cerr   error
 }
 
 // ListenWorker binds addr (e.g. "127.0.0.1:0") for worker service.
@@ -188,22 +208,67 @@ func (s *WorkerServer) Addr() string { return s.ln.Addr().String() }
 // Serve accepts and serves coordinator connections until the listener
 // closes or ctx ends. Connections are served one at a time: a worker
 // process hosts one engine and one decoded cache, and jobs own both.
+//
+// Cancelling ctx drains gracefully: the listener closes immediately
+// (no new conversations), the in-flight conversation — deliberately
+// detached from ctx — runs to completion, and Serve returns ctx.Err().
+// A conversation that ends in an error is logged (Logf), counted
+// (shard ConvFailures), and journaled (EventConvFailed); the loop
+// accepts the next coordinator. Close() stops the loop cleanly: Serve
+// returns nil rather than the listener's accept error.
 func (s *WorkerServer) Serve(ctx context.Context) error {
+	// The watcher is tied to this Serve call: it exits when Serve
+	// returns (done) as well as when ctx fires, so a Serve ended by
+	// Close() or an accept error under context.Background() leaks
+	// nothing.
+	done := make(chan struct{})
+	defer close(done)
 	go func() {
-		<-ctx.Done()
-		s.ln.Close()
+		select {
+		case <-ctx.Done():
+			s.Close()
+		case <-done:
+		}
 	}()
+	wopt := s.wopt
+	if wopt.FirstFrameTimeout <= 0 {
+		wopt.FirstFrameTimeout = s.Heartbeat
+		if wopt.FirstFrameTimeout <= 0 {
+			wopt.FirstFrameTimeout = DefaultHeartbeat
+		}
+	}
+	// In-flight conversations finish even after a shutdown signal: the
+	// drain closes the listener, not the current job's connection.
+	convCtx := context.WithoutCancel(ctx)
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			if s.closed.Load() {
+				return nil
 			}
 			return err
 		}
-		ServeConn(ctx, conn, s.wopt)
+		if err := ServeConn(convCtx, conn, wopt); err != nil {
+			metrics.GlobalShardCounters().ConvFailures.Inc()
+			metrics.RecordEvent(metrics.Event{
+				Kind: metrics.EventConvFailed, Shard: -1, Detail: err.Error(),
+			})
+			if s.Logf != nil {
+				s.Logf("shard: worker conversation failed: %v", err)
+			}
+		}
 	}
 }
 
-// Close stops accepting.
-func (s *WorkerServer) Close() error { return s.ln.Close() }
+// Close stops accepting; repeated calls are no-ops returning the first
+// outcome.
+func (s *WorkerServer) Close() error {
+	s.once.Do(func() {
+		s.closed.Store(true)
+		s.cerr = s.ln.Close()
+	})
+	return s.cerr
+}

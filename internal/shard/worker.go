@@ -54,6 +54,12 @@ type WorkerOptions struct {
 	InProcess bool
 	// Clock paces heartbeats (nil = wall clock).
 	Clock stream.Clock
+	// FirstFrameTimeout bounds the wait for the first frame of the
+	// conversation (the job manifest): a coordinator that connects and
+	// never sends a job is dropped as a read timeout instead of holding
+	// the worker forever. Zero means no bound (in-process pipe workers,
+	// whose coordinator writes the job before Connect returns).
+	FirstFrameTimeout time.Duration
 }
 
 // ServeConn runs one worker conversation: job manifest, then
@@ -98,9 +104,19 @@ func (w *worker) send(kind byte, v any) error {
 }
 
 func (w *worker) serve(ctx context.Context) error {
+	// The first frame is the only read a half-open coordinator can wedge
+	// indefinitely (afterwards the conversation is the coordinator's
+	// responsibility, bounded by its own heartbeat window), so it alone
+	// gets a deadline.
+	if t := w.opt.FirstFrameTimeout; t > 0 {
+		w.conn.SetReadDeadline(time.Now().Add(t))
+	}
 	kind, body, err := readMsg(w.conn)
 	if err != nil {
 		return fmt.Errorf("shard: worker: reading job: %w", err)
+	}
+	if w.opt.FirstFrameTimeout > 0 {
+		w.conn.SetReadDeadline(time.Time{})
 	}
 	if kind != msgJob {
 		return fmt.Errorf("shard: worker: expected job manifest, got type %d", kind)

@@ -147,4 +147,11 @@ emit_json_min <"$tmp" >BENCH_tile.json
 go test -run '^$' -bench '^BenchmarkShardedBatch$' -benchtime 1x -count 5 ./internal/shard >"$tmp"
 emit_json_min <"$tmp" >BENCH_shard.json
 
-cat BENCH_query.json BENCH_range.json BENCH_online.json BENCH_obs.json BENCH_codec.json BENCH_tile.json BENCH_shard.json
+# BENCH_serve.json: the vrserved control plane's per-job overhead — one
+# submit→done round trip (admission, journaling to disk, dispatch,
+# terminal transition, report persistence) with the execution plane
+# stubbed, so the number is pure daemon cost, not benchmark runtime.
+go test -run '^$' -bench '^BenchmarkServeSubmit$' -benchtime 50x -count 5 ./internal/serve >"$tmp"
+emit_json_min <"$tmp" >BENCH_serve.json
+
+cat BENCH_query.json BENCH_range.json BENCH_online.json BENCH_obs.json BENCH_codec.json BENCH_tile.json BENCH_shard.json BENCH_serve.json

@@ -44,3 +44,15 @@ go test -race -run 'TestTileStitchIdentity|TestTiledEncodeDeterministicAcrossWor
 # {1,2,4} and under a deterministically killed worker.
 go test -race ./internal/shard
 go test -race -run 'TestShardEquivalence|TestShardWorkerDeathRecovers' ./internal/shard
+# Worker-server lifecycle under the race detector: serve/close cycles
+# must leak no ctx-watcher goroutines, a half-open coordinator must be
+# dropped by the first-frame deadline without wedging the accept loop,
+# and a SIGTERM'd -shard-worker must drain cleanly.
+go test -race -run 'TestWorkerServer' ./internal/shard
+go test -race -run 'TestShardWorkerSignalShutdown' ./cmd/vcd
+# Benchmark-as-a-service control plane under the race detector: the
+# executor, per-tenant admission, cancellation plumbing, and restart
+# recovery interleave with HTTP handlers; the end-to-end test asserts
+# the daemon's persisted report is byte-identical (canonical form) to a
+# direct shard run of the same plan against the same worker pool.
+go test -race ./internal/serve
